@@ -1,0 +1,131 @@
+// Experiment C6 (Section 5): the consistent-extension overhead.
+//
+// HRDM on T = {now} must behave like the classical relational model; here
+// we measure what that generality costs: each classical operator is run
+// (a) natively on the classical baseline (src/classic) and (b) through the
+// historical operator on the lifted relation. Shape to check: a modest
+// constant factor, flat across operators.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "classic/classic.h"
+#include "util/random.h"
+
+namespace hrdm {
+namespace {
+
+using classic::Column;
+using classic::Row;
+using classic::SnapshotRelation;
+
+constexpr TimePoint kNow = 0;
+
+SnapshotRelation MakeClassic(const std::string& prefix, int rows,
+                             uint64_t seed) {
+  Rng rng(seed);
+  SnapshotRelation s({Column{prefix + "Id", DomainType::kString},
+                      Column{prefix + "X", DomainType::kInt},
+                      Column{prefix + "Y", DomainType::kInt}});
+  for (int i = 0; i < rows; ++i) {
+    s.InsertRow({Value::String(prefix + std::to_string(i)),
+                 Value::Int(rng.Uniform(0, 49)),
+                 Value::Int(rng.Uniform(0, 49))});
+  }
+  return s;
+}
+
+void BM_ClassicSelect(benchmark::State& state) {
+  SnapshotRelation s = MakeClassic("a", static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classic::Select(s, "aX", CompareOp::kLe, Value::Int(25)));
+  }
+}
+BENCHMARK(BM_ClassicSelect)->Arg(100)->Arg(1000);
+
+void BM_HistoricalSelectOnNow(benchmark::State& state) {
+  SnapshotRelation s = MakeClassic("a", static_cast<int>(state.range(0)), 1);
+  Relation lifted = *classic::Lift(s, kNow, {"aId"});
+  Predicate p = Predicate::AttrConst("aX", CompareOp::kLe, Value::Int(25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectIf(lifted, p, Quantifier::kExists));
+  }
+}
+BENCHMARK(BM_HistoricalSelectOnNow)->Arg(100)->Arg(1000);
+
+void BM_ClassicProject(benchmark::State& state) {
+  SnapshotRelation s = MakeClassic("a", static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classic::Project(s, {"aId", "aX"}));
+  }
+}
+BENCHMARK(BM_ClassicProject)->Arg(100)->Arg(1000);
+
+void BM_HistoricalProjectOnNow(benchmark::State& state) {
+  SnapshotRelation s = MakeClassic("a", static_cast<int>(state.range(0)), 2);
+  Relation lifted = *classic::Lift(s, kNow, {"aId"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Project(lifted, {"aId", "aX"}));
+  }
+}
+BENCHMARK(BM_HistoricalProjectOnNow)->Arg(100)->Arg(1000);
+
+void BM_ClassicUnion(benchmark::State& state) {
+  SnapshotRelation a = MakeClassic("a", static_cast<int>(state.range(0)), 3);
+  SnapshotRelation b = MakeClassic("a", static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classic::Union(a, b));
+  }
+}
+BENCHMARK(BM_ClassicUnion)->Arg(100)->Arg(500);
+
+void BM_HistoricalUnionOnNow(benchmark::State& state) {
+  SnapshotRelation a = MakeClassic("a", static_cast<int>(state.range(0)), 3);
+  SnapshotRelation b = MakeClassic("a", static_cast<int>(state.range(0)), 4);
+  Relation la = *classic::Lift(a, kNow, {"aId"});
+  Relation lb = *classic::Lift(b, kNow, {"aId"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Union(la, lb));
+  }
+}
+BENCHMARK(BM_HistoricalUnionOnNow)->Arg(100)->Arg(500);
+
+void BM_ClassicThetaJoin(benchmark::State& state) {
+  SnapshotRelation a = MakeClassic("a", static_cast<int>(state.range(0)), 5);
+  SnapshotRelation b = MakeClassic("b", static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classic::ThetaJoin(a, "aX", CompareOp::kEq, b, "bX"));
+  }
+}
+BENCHMARK(BM_ClassicThetaJoin)->Arg(50)->Arg(200);
+
+void BM_HistoricalThetaJoinOnNow(benchmark::State& state) {
+  SnapshotRelation a = MakeClassic("a", static_cast<int>(state.range(0)), 5);
+  SnapshotRelation b = MakeClassic("b", static_cast<int>(state.range(0)), 6);
+  Relation la = *classic::Lift(a, kNow, {"aId"});
+  Relation lb = *classic::Lift(b, kNow, {"bId"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThetaJoin(la, "aX", CompareOp::kEq, lb, "bX"));
+  }
+}
+BENCHMARK(BM_HistoricalThetaJoinOnNow)->Arg(50)->Arg(200);
+
+void BM_SnapshotMapping(benchmark::State& state) {
+  // Cost of crossing between the models (Lift / Snapshot themselves).
+  SnapshotRelation s = MakeClassic("a", static_cast<int>(state.range(0)), 7);
+  Relation lifted = *classic::Lift(s, kNow, {"aId"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classic::Snapshot(lifted, kNow));
+  }
+}
+BENCHMARK(BM_SnapshotMapping)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Experiment F9 (Figure 9): representation level vs model level.
+//
+// Shape to check (paper): the representation level stores functions
+// "more succinctly using intervals and allowing for value interpolation";
+// the model-level total function costs time/space proportional to the
+// target lifespan it must cover. We sweep stored-sample density and target
+// width for the three interpolation functions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/interpolation.h"
+#include "util/random.h"
+
+namespace hrdm {
+namespace {
+
+/// Sparse samples every `period` chronons over [0, horizon).
+TemporalValue SparseSamples(TimePoint horizon, TimePoint period,
+                            DomainType type, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment> segs;
+  for (TimePoint t = 0; t < horizon; t += period) {
+    Value v = type == DomainType::kDouble
+                  ? Value::Double(rng.NextDouble() * 100)
+                  : Value::Int(rng.Uniform(0, 99));
+    segs.push_back(Segment{Interval::At(t), std::move(v)});
+  }
+  return *TemporalValue::FromSegments(std::move(segs));
+}
+
+void BM_StepwiseMaterialize(benchmark::State& state) {
+  const TimePoint horizon = state.range(0);
+  const TimePoint period = state.range(1);
+  TemporalValue stored = SparseSamples(horizon, period, DomainType::kInt, 1);
+  const Lifespan target = Span(0, horizon - 1);
+  size_t model_segments = 0;
+  for (auto _ : state) {
+    auto model = Interpolate(stored, target, InterpolationKind::kStepwise);
+    model_segments = model->segments().size();
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["stored_segments"] =
+      static_cast<double>(stored.segments().size());
+  state.counters["model_segments"] = static_cast<double>(model_segments);
+}
+BENCHMARK(BM_StepwiseMaterialize)
+    ->ArgsProduct({{1000, 10000}, {2, 16, 128}});
+
+void BM_LinearMaterialize(benchmark::State& state) {
+  const TimePoint horizon = state.range(0);
+  const TimePoint period = state.range(1);
+  TemporalValue stored =
+      SparseSamples(horizon, period, DomainType::kDouble, 2);
+  const Lifespan target = Span(0, horizon - 1);
+  size_t model_segments = 0;
+  for (auto _ : state) {
+    auto model = Interpolate(stored, target, InterpolationKind::kLinear);
+    model_segments = model->segments().size();
+    benchmark::DoNotOptimize(model);
+  }
+  // Linear materialization is per-chronon in the gaps: the succinctness of
+  // the representation level is exactly what this counter loses.
+  state.counters["stored_segments"] =
+      static_cast<double>(stored.segments().size());
+  state.counters["model_segments"] = static_cast<double>(model_segments);
+}
+BENCHMARK(BM_LinearMaterialize)
+    ->ArgsProduct({{1000, 4000}, {4, 16, 128}});
+
+void BM_DiscreteMaterialize(benchmark::State& state) {
+  const TimePoint horizon = state.range(0);
+  TemporalValue stored = SparseSamples(horizon, 8, DomainType::kInt, 3);
+  const Lifespan target = Span(0, horizon - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Interpolate(stored, target, InterpolationKind::kDiscrete));
+  }
+}
+BENCHMARK(BM_DiscreteMaterialize)->Arg(1000)->Arg(10000);
+
+void BM_PointLookupStoredVsModel(benchmark::State& state) {
+  // Querying one chronon: the representation level answers via binary
+  // search + interpolation on demand, no materialization needed.
+  const TimePoint horizon = 10000;
+  TemporalValue stored = SparseSamples(horizon, 16, DomainType::kInt, 4);
+  TimePoint probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stored.ValueAt(probe));
+    probe = (probe + 97) % horizon;
+  }
+}
+BENCHMARK(BM_PointLookupStoredVsModel);
+
+void BM_RestrictNarrowWindow(benchmark::State& state) {
+  // Model-level cost is bounded by the *target*, not the stored horizon:
+  // a narrow window over a huge stored history stays cheap.
+  TemporalValue stored = SparseSamples(100000, 16, DomainType::kInt, 5);
+  const Lifespan target = Span(50000, 50000 + state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Interpolate(stored, target, InterpolationKind::kStepwise));
+  }
+}
+BENCHMARK(BM_RestrictNarrowWindow)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+// Experiment C5 (Sections 4.6 and 5): the JOIN family, and the
+// JOIN vs SELECT-WHEN∘× plan comparison.
+//
+// Shape to check (paper): the direct join evaluates the θ condition pair-
+// wise and only materializes matching lifespans ("no nulls result"); the
+// equivalent ×-then-SELECT-WHEN plan materializes |r1|·|r2| wide tuples
+// first and must win nowhere. Both produce identical answers (see
+// join_test.cc); here we measure the cost gap.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/join.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+/// Two relations with disjoint attribute names whose A0/B0 values match
+/// with probability controlled by the value range.
+std::pair<Relation, Relation> MakeJoinPair(int tuples, uint64_t seed) {
+  Rng rng(seed);
+  workload::RandomRelationConfig c;
+  c.name = "ja";
+  c.num_tuples = static_cast<size_t>(tuples);
+  c.num_value_attrs = 1;
+  c.key_prefix = "x";
+  Relation r1 = *workload::MakeRandomRelation(&rng, c);
+  auto scheme2 = *RelationScheme::Make(
+      "jb",
+      {{"Id2", DomainType::kString, Span(0, 59),
+        InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
+      {"Id2"});
+  Relation r2(scheme2);
+  Relation src = *workload::MakeRandomRelation(&rng, c);
+  for (const Tuple& t : src) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    (void)r2.Insert(Tuple::FromParts(scheme2, t.lifespan(), vals));
+  }
+  return {std::move(r1), std::move(r2)};
+}
+
+void BM_EquiJoin(benchmark::State& state) {
+  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 1);
+  size_t matches = 0;
+  for (auto _ : state) {
+    auto j = EquiJoin(r1, "A0", r2, "B0");
+    matches = j->size();
+    benchmark::DoNotOptimize(j);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_EquiJoin)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_ThetaJoinLe(benchmark::State& state) {
+  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThetaJoin(r1, "A0", CompareOp::kLe, r2, "B0"));
+  }
+}
+BENCHMARK(BM_ThetaJoinLe)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_JoinDirect(benchmark::State& state) {
+  // The direct plan of the JOIN ≡ SELECT-WHEN ∘ × equivalence.
+  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EquiJoin(r1, "A0", r2, "B0"));
+  }
+}
+BENCHMARK(BM_JoinDirect)->Arg(30)->Arg(100);
+
+void BM_JoinViaProductSelectWhen(benchmark::State& state) {
+  // The naive plan: materialize ×, then SELECT-WHEN.
+  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 3);
+  Predicate p = Predicate::AttrAttr("A0", CompareOp::kEq, "B0");
+  for (auto _ : state) {
+    auto product = CartesianProduct(r1, r2);
+    benchmark::DoNotOptimize(SelectWhen(*product, p));
+  }
+}
+BENCHMARK(BM_JoinViaProductSelectWhen)->Arg(30)->Arg(100);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  // Shared attribute D: classic emp/dept shape.
+  Rng rng(4);
+  const Lifespan full = Span(0, 59);
+  auto emp_scheme = *RelationScheme::Make(
+      "emp",
+      {{"Name", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"D", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"Name"});
+  auto dept_scheme = *RelationScheme::Make(
+      "dept",
+      {{"D", DomainType::kInt, full, InterpolationKind::kDiscrete},
+       {"Mgr", DomainType::kString, full, InterpolationKind::kStepwise}},
+      {"D"});
+  Relation emp(emp_scheme), dept(dept_scheme);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    Tuple::Builder b(emp_scheme, Span(rng.Uniform(0, 30), 59));
+    b.SetConstant("Name", Value::String("e" + std::to_string(i)));
+    b.SetConstant("D", Value::Int(rng.Uniform(0, 19)));
+    (void)emp.Insert(*std::move(b).Build());
+  }
+  for (int i = 0; i < 20; ++i) {
+    Tuple::Builder b(dept_scheme, full);
+    b.SetConstant("D", Value::Int(i));
+    b.SetConstant("Mgr", Value::String(rng.Identifier(6)));
+    (void)dept.Insert(*std::move(b).Build());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaturalJoin(emp, dept));
+  }
+}
+BENCHMARK(BM_NaturalJoin)->Arg(100)->Arg(400);
+
+void BM_TimeJoin(benchmark::State& state) {
+  Rng rng(5);
+  workload::RandomRelationConfig c;
+  c.name = "audit";
+  c.num_tuples = static_cast<size_t>(state.range(0));
+  c.num_value_attrs = 0;
+  c.with_time_attribute = true;
+  c.key_prefix = "a";
+  Relation audit = *workload::MakeRandomRelation(&rng, c);
+  auto scheme2 = *RelationScheme::Make(
+      "hist",
+      {{"HId", DomainType::kString, Span(0, 59),
+        InterpolationKind::kDiscrete},
+       {"V", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
+      {"HId"});
+  Relation hist(scheme2);
+  for (int i = 0; i < 50; ++i) {
+    Tuple::Builder b(scheme2, Span(0, 59));
+    b.SetConstant("HId", Value::String("h" + std::to_string(i)));
+    b.SetConstant("V", Value::Int(rng.Uniform(0, 99)));
+    (void)hist.Insert(*std::move(b).Build());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimeJoin(audit, "Ref", hist));
+  }
+}
+BENCHMARK(BM_TimeJoin)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

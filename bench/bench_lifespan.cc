@@ -1,0 +1,94 @@
+// Kernel benchmark: Lifespan set operations vs. fragmentation.
+// Everything in the algebra reduces to these sweeps, so their scaling
+// bounds every other experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lifespan.h"
+#include "util/random.h"
+
+namespace hrdm {
+namespace {
+
+Lifespan MakeFragmented(Rng* rng, int fragments, TimePoint gap = 10) {
+  std::vector<Interval> ivs;
+  TimePoint t = 0;
+  for (int i = 0; i < fragments; ++i) {
+    TimePoint len = 1 + rng->Uniform(0, 8);
+    ivs.push_back(Interval(t, t + len));
+    t += len + 1 + rng->Uniform(1, gap);
+  }
+  return Lifespan::FromIntervals(std::move(ivs));
+}
+
+void BM_LifespanUnion(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  Lifespan a = MakeFragmented(&rng, n);
+  Lifespan b = MakeFragmented(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LifespanUnion)->Range(4, 4096)->Complexity(benchmark::oN);
+
+void BM_LifespanIntersect(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  Lifespan a = MakeFragmented(&rng, n);
+  Lifespan b = MakeFragmented(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LifespanIntersect)->Range(4, 4096)->Complexity(benchmark::oN);
+
+void BM_LifespanDifference(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  Lifespan a = MakeFragmented(&rng, n);
+  Lifespan b = MakeFragmented(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Difference(b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LifespanDifference)->Range(4, 4096)->Complexity(benchmark::oN);
+
+void BM_LifespanContains(benchmark::State& state) {
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  Lifespan a = MakeFragmented(&rng, n);
+  TimePoint probe = a.Max() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Contains(probe));
+    probe = (probe + 37) % a.Max();
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LifespanContains)->Range(4, 4096)->Complexity(benchmark::oLogN);
+
+void BM_LifespanCanonicalize(benchmark::State& state) {
+  Rng rng(5);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Interval> raw;
+  for (int i = 0; i < n; ++i) {
+    TimePoint b = rng.Uniform(0, n * 4);
+    raw.push_back(Interval(b, b + rng.Uniform(0, 12)));
+  }
+  for (auto _ : state) {
+    auto copy = raw;
+    benchmark::DoNotOptimize(Lifespan::FromIntervals(std::move(copy)));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LifespanCanonicalize)
+    ->Range(4, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

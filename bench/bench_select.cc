@@ -1,0 +1,99 @@
+// Experiment C2 (Section 4.3): SELECT-IF vs SELECT-WHEN across selectivity,
+// quantifier and window width.
+//
+// Shape to check: SELECT-IF only filters (cost ≈ predicate evaluation);
+// SELECT-WHEN additionally rewrites lifespans and restricts every value
+// (cost grows with the surviving history volume).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/select.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+Relation MakeEmp(int tuples, uint64_t seed = 1) {
+  Rng rng(seed);
+  workload::PersonnelConfig config;
+  config.num_employees = static_cast<size_t>(tuples);
+  return *workload::MakePersonnel(&rng, config);
+}
+
+/// Salary threshold controlling selectivity (salaries start at 30K–200K and
+/// drift upward).
+Predicate SalaryAtLeast(int64_t threshold) {
+  return Predicate::AttrConst("Salary", CompareOp::kGe,
+                              Value::Int(threshold));
+}
+
+void BM_SelectIfExists(benchmark::State& state) {
+  Relation emp = MakeEmp(static_cast<int>(state.range(0)));
+  Predicate p = SalaryAtLeast(state.range(1) * 1000);
+  size_t selected = 0;
+  for (auto _ : state) {
+    auto r = SelectIf(emp, p, Quantifier::kExists);
+    selected = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+BENCHMARK(BM_SelectIfExists)
+    ->ArgsProduct({{200, 1000}, {50, 150, 250}});
+
+void BM_SelectIfForall(benchmark::State& state) {
+  Relation emp = MakeEmp(static_cast<int>(state.range(0)));
+  Predicate p = SalaryAtLeast(state.range(1) * 1000);
+  size_t selected = 0;
+  for (auto _ : state) {
+    auto r = SelectIf(emp, p, Quantifier::kForall);
+    selected = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+BENCHMARK(BM_SelectIfForall)
+    ->ArgsProduct({{200, 1000}, {50, 150, 250}});
+
+void BM_SelectWhen(benchmark::State& state) {
+  Relation emp = MakeEmp(static_cast<int>(state.range(0)));
+  Predicate p = SalaryAtLeast(state.range(1) * 1000);
+  size_t selected = 0;
+  for (auto _ : state) {
+    auto r = SelectWhen(emp, p);
+    selected = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+BENCHMARK(BM_SelectWhen)
+    ->ArgsProduct({{200, 1000}, {50, 150, 250}});
+
+void BM_SelectIfWindowed(benchmark::State& state) {
+  Relation emp = MakeEmp(500);
+  Predicate p = SalaryAtLeast(100000);
+  const Lifespan window = Span(0, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectIf(emp, p, Quantifier::kExists, window));
+  }
+}
+BENCHMARK(BM_SelectIfWindowed)->Arg(9)->Arg(49)->Arg(99);
+
+void BM_SelectWhenConjunction(benchmark::State& state) {
+  Relation emp = MakeEmp(500);
+  Predicate p = Predicate::And(
+      {SalaryAtLeast(80000),
+       Predicate::AttrConst("Dept", CompareOp::kEq,
+                            Value::String("dept0"))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectWhen(emp, p));
+  }
+}
+BENCHMARK(BM_SelectWhenConjunction);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Experiment F11 + C1 (Figure 11, Section 4.1): standard vs. object-based
+// set operations, sweeping how many objects the operands share.
+//
+// Shape to check (paper): the standard union leaves ~2 tuples per shared
+// object (counter-intuitive duplicates); the object-based union merges them
+// back to 1, at the cost of the mergeability scan.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/setops.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+std::pair<Relation, Relation> MakePair(int tuples, double overlap,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  workload::RandomRelationConfig config;
+  config.num_tuples = static_cast<size_t>(tuples);
+  config.num_value_attrs = 2;
+  auto pair = workload::MakeMergeablePair(&rng, config, overlap);
+  return *pair;
+}
+
+void BM_StandardUnion(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)),
+                           state.range(1) / 100.0, 1);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto u = Union(r1, r2);
+    result_size = u->size();
+    benchmark::DoNotOptimize(u);
+  }
+  state.counters["result_tuples"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_StandardUnion)
+    ->ArgsProduct({{100, 400}, {0, 50, 100}});
+
+void BM_ObjectUnion(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)),
+                           state.range(1) / 100.0, 1);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto u = UnionO(r1, r2);
+    result_size = u->size();
+    benchmark::DoNotOptimize(u);
+  }
+  state.counters["result_tuples"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_ObjectUnion)
+    ->ArgsProduct({{100, 400}, {0, 50, 100}});
+
+void BM_StandardIntersect(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)), 0.5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersect(r1, r2));
+  }
+}
+BENCHMARK(BM_StandardIntersect)->Arg(100)->Arg(400);
+
+void BM_ObjectIntersect(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)), 0.5, 2);
+  size_t result_size = 0;
+  for (auto _ : state) {
+    auto i = IntersectO(r1, r2);
+    result_size = i->size();
+    benchmark::DoNotOptimize(i);
+  }
+  state.counters["result_tuples"] = static_cast<double>(result_size);
+}
+BENCHMARK(BM_ObjectIntersect)->Arg(100)->Arg(400);
+
+void BM_StandardDifference(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)), 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Difference(r1, r2));
+  }
+}
+BENCHMARK(BM_StandardDifference)->Arg(100)->Arg(400);
+
+void BM_ObjectDifference(benchmark::State& state) {
+  auto [r1, r2] = MakePair(static_cast<int>(state.range(0)), 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DifferenceO(r1, r2));
+  }
+}
+BENCHMARK(BM_ObjectDifference)->Arg(100)->Arg(400);
+
+void BM_CartesianProduct(benchmark::State& state) {
+  Rng rng(4);
+  workload::RandomRelationConfig c1;
+  c1.name = "pa";
+  c1.num_tuples = static_cast<size_t>(state.range(0));
+  c1.num_value_attrs = 1;
+  c1.key_prefix = "x";
+  auto r1 = *workload::MakeRandomRelation(&rng, c1);
+  // Rename attributes for disjointness.
+  auto scheme2 = *RelationScheme::Make(
+      "pb",
+      {{"Id2", DomainType::kString, Span(0, 59),
+        InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
+      {"Id2"});
+  Relation r2(scheme2);
+  auto src = *workload::MakeRandomRelation(&rng, c1);
+  for (const Tuple& t : src) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    (void)r2.Insert(Tuple::FromParts(scheme2, t.lifespan(), vals));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CartesianProduct(r1, r2));
+  }
+}
+BENCHMARK(BM_CartesianProduct)->Arg(30)->Arg(100);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

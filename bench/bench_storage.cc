@@ -1,0 +1,149 @@
+// Storage-substrate benchmark: serialization, snapshot load, temporal DML
+// and change-log replay throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "storage/changelog.h"
+#include "storage/database.h"
+#include "storage/serializer.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm::storage {
+namespace {
+
+Database MakeDb(int employees, uint64_t seed = 1) {
+  Rng rng(seed);
+  workload::PersonnelConfig config;
+  config.num_employees = static_cast<size_t>(employees);
+  auto rel = *workload::MakePersonnel(&rng, config);
+  Database db;
+  (void)db.CreateRelation(rel.scheme());
+  for (const Tuple& t : rel) {
+    (void)db.Insert("emp", t);
+  }
+  return db;
+}
+
+void BM_EncodeSnapshot(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string buf = db.EncodeSnapshot();
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_EncodeSnapshot)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_DecodeSnapshot(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  const std::string buf = db.EncodeSnapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Database::DecodeSnapshot(buf));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(buf.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeSnapshot)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_InsertThroughput(benchmark::State& state) {
+  Rng rng(2);
+  workload::PersonnelConfig config;
+  config.num_employees = 2000;
+  auto rel = *workload::MakePersonnel(&rng, config);
+  for (auto _ : state) {
+    Database db;
+    (void)db.CreateRelation(rel.scheme());
+    for (const Tuple& t : rel) {
+      benchmark::DoNotOptimize(db.Insert("emp", t));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rel.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_InsertThroughput);
+
+void BM_AssignThroughput(benchmark::State& state) {
+  Database db = MakeDb(500, 3);
+  const Relation& rel = **db.Get("emp");
+  std::vector<std::vector<Value>> keys;
+  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
+  Rng rng(4);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& key = keys[i++ % keys.size()];
+    const Relation& cur = **db.Get("emp");
+    auto idx = cur.FindByKey(key);
+    const Lifespan& l = cur.tuple(*idx).lifespan();
+    const TimePoint at = l.Min();
+    benchmark::DoNotOptimize(db.Assign("emp", key, "Salary",
+                                       Lifespan::Point(at),
+                                       Value::Int(rng.Uniform(1, 999))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssignThroughput);
+
+void BM_KeyLookup(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 5);
+  const Relation& rel = **db.Get("emp");
+  std::vector<std::vector<Value>> keys;
+  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.FindByKey(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_KeyLookup)->Arg(100)->Arg(10000);
+
+void BM_ChangeLogReplay(benchmark::State& state) {
+  // Build a log of n inserts + updates, then measure replay.
+  const int n = static_cast<int>(state.range(0));
+  LoggedDatabase ldb;
+  (void)ldb.CreateRelation(
+      "emp",
+      {{"Name", DomainType::kString, Span(0, 99),
+        InterpolationKind::kDiscrete},
+       {"Salary", DomainType::kInt, Span(0, 99),
+        InterpolationKind::kStepwise}},
+      {"Name"});
+  auto scheme = *ldb.db().catalog().Get("emp");
+  for (int i = 0; i < n; ++i) {
+    Tuple::Builder b(scheme, Span(0, 99));
+    b.SetConstant("Name", Value::String("e" + std::to_string(i)));
+    (void)ldb.Insert("emp", *std::move(b).Build());
+    (void)ldb.Assign("emp", {Value::String("e" + std::to_string(i))},
+                     "Salary", Span(0, 49), Value::Int(i));
+  }
+  for (auto _ : state) {
+    Database replayed;
+    benchmark::DoNotOptimize(ldb.log().Replay(&replayed));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ldb.log().size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ChangeLogReplay)->Arg(100)->Arg(1000);
+
+void BM_Reincarnate(benchmark::State& state) {
+  Database db = MakeDb(200, 6);
+  const Relation& rel = **db.Get("emp");
+  std::vector<std::vector<Value>> keys;
+  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
+  size_t i = 0;
+  TimePoint epoch = 100;
+  for (auto _ : state) {
+    const auto& key = keys[i++ % keys.size()];
+    benchmark::DoNotOptimize(
+        db.Reincarnate("emp", key, Span(epoch, epoch + 4)));
+    if (i % keys.size() == 0) epoch += 10;
+  }
+}
+BENCHMARK(BM_Reincarnate);
+
+}  // namespace
+}  // namespace hrdm::storage
+
+BENCHMARK_MAIN();

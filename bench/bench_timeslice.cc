@@ -1,0 +1,98 @@
+// Experiment C3 (Section 4.4): static vs dynamic TIME-SLICE.
+//
+// Shape to check: static slice cost scales with window width × relation
+// size; the dynamic slice additionally computes each tuple's image from its
+// time-valued attribute, so it tracks the TT attribute's segment count.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/timeslice.h"
+#include "algebra/when.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+Relation MakeAudit(int tuples, uint64_t seed = 1) {
+  Rng rng(seed);
+  workload::RandomRelationConfig config;
+  config.name = "audit";
+  config.num_tuples = static_cast<size_t>(tuples);
+  config.num_value_attrs = 2;
+  config.with_time_attribute = true;
+  return *workload::MakeRandomRelation(&rng, config);
+}
+
+void BM_StaticTimeSliceWidth(benchmark::State& state) {
+  Relation r = MakeAudit(500);
+  const Lifespan window = Span(0, state.range(0));
+  size_t survivors = 0;
+  for (auto _ : state) {
+    auto sliced = TimeSlice(r, window);
+    survivors = sliced->size();
+    benchmark::DoNotOptimize(sliced);
+  }
+  state.counters["survivors"] = static_cast<double>(survivors);
+}
+BENCHMARK(BM_StaticTimeSliceWidth)->Arg(1)->Arg(9)->Arg(29)->Arg(59);
+
+void BM_StaticTimeSliceScale(benchmark::State& state) {
+  Relation r = MakeAudit(static_cast<int>(state.range(0)));
+  const Lifespan window = Span(10, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimeSlice(r, window));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaticTimeSliceScale)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_SnapshotSlice(benchmark::State& state) {
+  Relation r = MakeAudit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimeSliceAt(r, 30));
+  }
+}
+BENCHMARK(BM_SnapshotSlice)->Arg(500)->Arg(2000);
+
+void BM_DynamicTimeSlice(benchmark::State& state) {
+  Relation r = MakeAudit(static_cast<int>(state.range(0)));
+  size_t survivors = 0;
+  for (auto _ : state) {
+    auto sliced = TimeSliceDynamic(r, "Ref");
+    survivors = sliced->size();
+    benchmark::DoNotOptimize(sliced);
+  }
+  state.counters["survivors"] = static_cast<double>(survivors);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DynamicTimeSlice)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_FragmentedWindowSlice(benchmark::State& state) {
+  // Fragmentation of the window (not just width) drives the sweep cost.
+  Relation r = MakeAudit(500);
+  std::vector<Interval> ivs;
+  for (int i = 0; i < state.range(0); ++i) {
+    ivs.push_back(Interval(i * 4, i * 4 + 1));
+  }
+  const Lifespan window = Lifespan::FromIntervals(std::move(ivs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimeSlice(r, window));
+  }
+}
+BENCHMARK(BM_FragmentedWindowSlice)->Arg(1)->Arg(4)->Arg(15);
+
+void BM_When(benchmark::State& state) {
+  Relation r = MakeAudit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(When(r));
+  }
+}
+BENCHMARK(BM_When)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

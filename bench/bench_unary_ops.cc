@@ -1,0 +1,88 @@
+// Experiment F10 (Figure 10): the three dimensions of the historical data
+// model, one unary reduction operator per axis:
+//   SELECT    — value dimension
+//   PROJECT   — attribute dimension
+//   TIME-SLICE — temporal dimension
+//
+// Shape to check: all three scale linearly in the instance; each touches a
+// different axis (project cost tracks arity, slice cost tracks history
+// volume, select cost tracks predicate evaluation over histories).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/timeslice.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+Relation MakeWide(int tuples, int attrs, uint64_t seed = 1) {
+  Rng rng(seed);
+  workload::RandomRelationConfig config;
+  config.num_tuples = static_cast<size_t>(tuples);
+  config.num_value_attrs = static_cast<size_t>(attrs);
+  return *workload::MakeRandomRelation(&rng, config);
+}
+
+void BM_AxisSelect(benchmark::State& state) {
+  Relation r = MakeWide(static_cast<int>(state.range(0)), 4);
+  Predicate p = Predicate::AttrConst("A0", CompareOp::kLe, Value::Int(50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectIf(r, p, Quantifier::kExists));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AxisSelect)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_AxisProject(benchmark::State& state) {
+  Relation r = MakeWide(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Project(r, {"Id", "A0"}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AxisProject)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_AxisTimeSlice(benchmark::State& state) {
+  Relation r = MakeWide(static_cast<int>(state.range(0)), 4);
+  const Lifespan window = Span(10, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TimeSlice(r, window));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AxisTimeSlice)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_ProjectArity(benchmark::State& state) {
+  // The attribute axis: cost tracks how many columns are retained.
+  Relation r = MakeWide(500, 8);
+  std::vector<std::string> attrs = {"Id"};
+  for (int a = 0; a < state.range(0); ++a) {
+    attrs.push_back("A" + std::to_string(a));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Project(r, attrs));
+  }
+}
+BENCHMARK(BM_ProjectArity)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ComposedThreeAxes(benchmark::State& state) {
+  // One query cutting all three dimensions, Figure 10's cube carving.
+  Relation r = MakeWide(static_cast<int>(state.range(0)), 4);
+  Predicate p = Predicate::AttrConst("A1", CompareOp::kGe, Value::Int(25));
+  const Lifespan window = Span(5, 45);
+  for (auto _ : state) {
+    auto sliced = TimeSlice(r, window);
+    auto selected = SelectWhen(*sliced, p);
+    benchmark::DoNotOptimize(Project(*selected, {"Id", "A1"}));
+  }
+}
+BENCHMARK(BM_ComposedThreeAxes)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace hrdm
+
+BENCHMARK_MAIN();

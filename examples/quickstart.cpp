@@ -1,0 +1,121 @@
+// Quickstart: the HRDM public API in one file.
+//
+// Builds a tiny employee history, runs every family of algebra operator on
+// it, and prints the results. Follow along with Sections 3–4 of the paper.
+//
+//   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "algebra/timeslice.h"
+#include "algebra/when.h"
+#include "util/pretty.h"
+
+using namespace hrdm;  // examples only; library code never does this
+
+namespace {
+
+void Print(const char* title, const std::string& body) {
+  std::printf("== %s ==\n%s\n", title, body.c_str());
+}
+
+int RealMain() {
+  // --- 1. A scheme R = <A, K, ALS, DOM> (Section 3) ------------------------
+  // Attribute lifespans (ALS) say when each attribute exists in the scheme;
+  // the key (Name) must be constant-valued and span the scheme lifespan.
+  const Lifespan decade = Span(0, 9);  // chronons 0..9, e.g. years
+  auto scheme_or = RelationScheme::Make(
+      "emp",
+      {{"Name", DomainType::kString, decade, InterpolationKind::kDiscrete},
+       {"Salary", DomainType::kInt, decade, InterpolationKind::kStepwise},
+       {"Dept", DomainType::kString, decade, InterpolationKind::kStepwise}},
+      {"Name"});
+  if (!scheme_or.ok()) {
+    std::fprintf(stderr, "%s\n", scheme_or.status().ToString().c_str());
+    return 1;
+  }
+  SchemePtr scheme = *scheme_or;
+
+  // --- 2. Tuples t = <v, l> with lifespans ---------------------------------
+  Relation emp(scheme);
+  {
+    // John: hired at 0, fired at 3, re-hired at 6 (reincarnation!).
+    Tuple::Builder b(scheme, Lifespan::FromIntervals(
+                                 {Interval(0, 3), Interval(6, 9)}));
+    b.SetConstant("Name", Value::String("john"));
+    // Stepwise salary: stored change points; the model level fills gaps.
+    b.SetAt("Salary", 0, Value::Int(20000));
+    b.SetAt("Salary", 7, Value::Int(30000));
+    b.SetAt("Dept", 0, Value::String("tools"));
+    b.SetAt("Dept", 6, Value::String("toys"));
+    auto t = std::move(b).Build();
+    if (!t.ok() || !emp.Insert(std::move(t).value()).ok()) return 1;
+  }
+  {
+    Tuple::Builder b(scheme, Span(2, 9));
+    b.SetConstant("Name", Value::String("mary"));
+    b.SetConstant("Salary", Value::Int(30000));
+    b.SetConstant("Dept", Value::String("toys"));
+    auto t = std::move(b).Build();
+    if (!t.ok() || !emp.Insert(std::move(t).value()).ok()) return 1;
+  }
+
+  Print("full history (Figure 8 style)", RenderHistory(emp));
+  Print("snapshot at t=7 (one slice of the Figure 10 cube)",
+        RenderSnapshot(emp, 7));
+
+  // --- 3. The algebra (Section 4) ------------------------------------------
+  // SELECT-IF: whole objects whose salary ever reached 30K.
+  auto rich_ever = SelectIf(
+      emp, Predicate::AttrConst("Salary", CompareOp::kGe, Value::Int(30000)),
+      Quantifier::kExists);
+  Print("SELECT-IF(Salary >= 30000, exists)", RenderHistory(*rich_ever));
+
+  // SELECT-WHEN: the paper's example — WHEN did john earn 30K?
+  auto john_30k = SelectWhen(
+      emp, Predicate::And(
+               {Predicate::AttrConst("Name", CompareOp::kEq,
+                                     Value::String("john")),
+                Predicate::AttrConst("Salary", CompareOp::kEq,
+                                     Value::Int(30000))}));
+  Print("SELECT-WHEN(Name=john AND Salary=30000)", RenderHistory(*john_30k));
+  std::printf("WHEN is that? %s\n\n", When(*john_30k).ToString().c_str());
+
+  // TIME-SLICE: restrict the whole relation to [2,5].
+  auto early = TimeSlice(emp, Span(2, 5));
+  Print("TIME-SLICE [2,5]", RenderHistory(*early));
+
+  // PROJECT: drop the salary column.
+  auto names = Project(emp, {"Name", "Dept"});
+  Print("PROJECT(Name, Dept)", RenderHistory(*names));
+
+  // JOIN: who shared a department with whom, and when? (Rename one side to
+  // keep attribute sets disjoint, as the paper's θ-join requires.)
+  auto other_scheme = *RelationScheme::Make(
+      "emp2",
+      {{"Name2", DomainType::kString, decade, InterpolationKind::kDiscrete},
+       {"Dept2", DomainType::kString, decade, InterpolationKind::kStepwise}},
+      {"Name2"});
+  Relation emp2(other_scheme);
+  for (const Tuple& t : emp) {
+    Tuple::Builder b(other_scheme, t.lifespan());
+    b.Set("Name2", t.value(0));
+    b.Set("Dept2", t.value(2));
+    auto t2 = std::move(b).Build();
+    if (!t2.ok() || !emp2.Insert(std::move(t2).value()).ok()) return 1;
+  }
+  auto colleagues = ThetaJoin(emp, "Dept", CompareOp::kEq, emp2, "Dept2");
+  auto strict = SelectWhen(*colleagues, Predicate::AttrAttr(
+                                            "Name", CompareOp::kNe, "Name2"));
+  Print("colleagues over time (θ-join + select)", RenderHistory(*strict));
+
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,169 @@
+#include "algebra/join.h"
+
+#include "algebra/setops.h"
+
+#include <vector>
+
+namespace hrdm {
+
+namespace {
+
+Status RequireDisjointAttributes(const Relation& r1, const Relation& r2) {
+  for (const AttributeDef& a : r2.scheme()->attributes()) {
+    if (r1.scheme()->IndexOf(a.name).has_value()) {
+      return Status::IncompatibleSchemes(
+          "join requires disjoint attributes; both operands have " + a.name);
+    }
+  }
+  return Status::OK();
+}
+
+/// Builds the concatenated tuple (left values then right-only values, in
+/// result-scheme order) restricted to lifespan `l`. `right_src[i]` maps
+/// result attribute i to an index in t2 (or npos for left attributes).
+Tuple ConcatRestricted(const SchemePtr& scheme, const Tuple& t1,
+                       const Tuple& t2, const std::vector<size_t>& left_src,
+                       const std::vector<size_t>& right_src,
+                       const Lifespan& l) {
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<TemporalValue> values;
+  values.reserve(scheme->arity());
+  for (size_t i = 0; i < scheme->arity(); ++i) {
+    const TemporalValue& src = left_src[i] != kNone ? t1.value(left_src[i])
+                                                    : t2.value(right_src[i]);
+    values.push_back(src.Restrict(l));
+  }
+  return Tuple::FromParts(scheme, l, std::move(values));
+}
+
+/// Computes the attribute source maps for a JoinScheme of r1 and r2.
+void BuildSourceMaps(const SchemePtr& scheme, const RelationScheme& s1,
+                     const RelationScheme& s2, std::vector<size_t>* left_src,
+                     std::vector<size_t>* right_src) {
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  left_src->assign(scheme->arity(), kNone);
+  right_src->assign(scheme->arity(), kNone);
+  for (size_t i = 0; i < scheme->arity(); ++i) {
+    const std::string& name = scheme->attribute(i).name;
+    if (auto idx = s1.IndexOf(name)) {
+      (*left_src)[i] = *idx;
+    } else if (auto idx2 = s2.IndexOf(name)) {
+      (*right_src)[i] = *idx2;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Relation> ThetaJoin(const Relation& r1, std::string_view attr_a,
+                           CompareOp op, const Relation& r2,
+                           std::string_view attr_b, std::string result_name) {
+  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
+  HRDM_ASSIGN_OR_RETURN(size_t ib, r2.scheme()->RequireIndex(attr_b));
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::JoinScheme(std::move(result_name),
+                                                   *r1.scheme(),
+                                                   *r2.scheme()));
+  std::vector<size_t> left_src, right_src;
+  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t1 : m1) {
+    const TemporalValue& va = t1.value(ia);
+    for (const Tuple& t2 : m2) {
+      const TemporalValue& vb = t2.value(ib);
+      // t.l = { s | t_r1(A)(s) θ t_r2(B)(s) } — where both are defined and
+      // the comparison holds.
+      HRDM_ASSIGN_OR_RETURN(Lifespan l, va.TimesWhereMatches(op, vb));
+      if (l.empty()) continue;
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(
+          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> EquiJoin(const Relation& r1, std::string_view attr_a,
+                          const Relation& r2, std::string_view attr_b,
+                          std::string result_name) {
+  return ThetaJoin(r1, attr_a, CompareOp::kEq, r2, attr_b,
+                   std::move(result_name));
+}
+
+Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2,
+                             std::string result_name) {
+  // Shared attribute names X (checked for equal domains by JoinScheme).
+  std::vector<std::pair<size_t, size_t>> shared;  // (idx in r1, idx in r2)
+  for (size_t j = 0; j < r2.scheme()->arity(); ++j) {
+    if (auto i = r1.scheme()->IndexOf(r2.scheme()->attribute(j).name)) {
+      shared.emplace_back(*i, j);
+    }
+  }
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::JoinScheme(std::move(result_name),
+                                                   *r1.scheme(),
+                                                   *r2.scheme()));
+  std::vector<size_t> left_src, right_src;
+  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t1 : m1) {
+    for (const Tuple& t2 : m2) {
+      // Chronons where every shared attribute agrees (model level); with no
+      // shared attributes, the common lifespan t1.l ∩ t2.l.
+      Lifespan l = t1.lifespan().Intersect(t2.lifespan());
+      for (const auto& [i, j] : shared) {
+        if (l.empty()) break;
+        l = l.Intersect(t1.value(i).AgreementWith(t2.value(j)));
+      }
+      if (l.empty()) continue;
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(
+          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
+                          const Relation& r2, std::string result_name) {
+  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
+  if (r1.scheme()->attribute(ia).type != DomainType::kTime) {
+    return Status::TypeError(
+        "TIME-JOIN requires a time-valued attribute (DOM(A) in TT); " +
+        std::string(attr_a) + " is " +
+        std::string(DomainTypeName(r1.scheme()->attribute(ia).type)));
+  }
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::JoinScheme(std::move(result_name),
+                                                   *r1.scheme(),
+                                                   *r2.scheme()));
+  std::vector<size_t> left_src, right_src;
+  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t1 : m1) {
+    HRDM_ASSIGN_OR_RETURN(Lifespan image, t1.value(ia).TimeImage());
+    for (const Tuple& t2 : m2) {
+      // Join of the dynamic TIME-SLICEs: both sides restricted to the image
+      // of t1(A), over their common lifespan.
+      Lifespan l = image.Intersect(t1.lifespan()).Intersect(t2.lifespan());
+      if (l.empty()) continue;
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(
+          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

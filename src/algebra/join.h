@@ -1,0 +1,67 @@
+#ifndef HRDM_ALGEBRA_JOIN_H_
+#define HRDM_ALGEBRA_JOIN_H_
+
+/// \file join.h
+/// \brief The JOIN family (Section 4.6): θ-JOIN, EQUIJOIN, NATURAL-JOIN and
+/// TIME-JOIN.
+///
+/// All joins follow the paper's chosen semantics (Section 5): a joined
+/// tuple is defined only over the chronons where the join condition
+/// actually holds — equivalently, JOIN is the appropriate SELECT-WHEN of
+/// the Cartesian product — "and thus no nulls result". The result scheme is
+/// `R3 = <A1 ∪ A2, K1 ∪ K2, ALS1 ∪ ALS2, DOM1 ∪ DOM2>`.
+///
+///  * `ThetaJoin(r1, A, θ, r2, B)`: the joined tuple's lifespan is
+///    `{s | t_r1(A)(s) θ t_r2(B)(s)}` (evaluated on model-level values),
+///    with every attribute restricted to it.
+///  * `EquiJoin` — the θ = "=" case. (The paper also gives a "simplified"
+///    equijoin whose lifespan is the bare `vls ∩ vls` with the A/B
+///    functions intersected; since §4.6 states the equijoin "is just a
+///    special case of the general θ-JOIN" and §5 equates JOIN with
+///    SELECT-WHEN ∘ ×, we implement the θ-join reading — the two coincide
+///    exactly when the matched functions agree throughout the vls
+///    intersection.)
+///  * `NaturalJoin(r1, r2)`: equality on every shared attribute name; the
+///    shared columns appear once.
+///  * `TimeJoin(r1, A, r2)` — `r1 [@A] r2` for a time-valued A: "a join of
+///    dynamic TIME-SLICEs of both relations". The exact formula is garbled
+///    in the surviving text; we reconstruct it per that sentence: for each
+///    pair, both tuples are restricted to `L = image(t1(A))`, joined over
+///    the common remaining lifespan `t1.l ∩ L ∩ t2.l`.
+
+#include <string>
+#include <string_view>
+
+#include "core/relation.h"
+#include "core/value.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief `r1 JOIN r2 [A θ B]`. Requires disjoint attribute sets and
+/// comparable domains for A and B.
+Result<Relation> ThetaJoin(const Relation& r1, std::string_view attr_a,
+                           CompareOp op, const Relation& r2,
+                           std::string_view attr_b,
+                           std::string result_name = "join_result");
+
+/// \brief `r1 [A = B] r2`.
+Result<Relation> EquiJoin(const Relation& r1, std::string_view attr_a,
+                          const Relation& r2, std::string_view attr_b,
+                          std::string result_name = "equijoin_result");
+
+/// \brief `r1 NATURAL-JOIN r2` over all shared attribute names (which may
+/// be none — then the join degenerates to a product over the common
+/// lifespan).
+Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2,
+                             std::string result_name = "njoin_result");
+
+/// \brief `r1 [@A] r2` for time-valued attribute A of r1. Requires
+/// disjoint attribute sets.
+Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
+                          const Relation& r2,
+                          std::string result_name = "timejoin_result");
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_JOIN_H_

@@ -1,0 +1,30 @@
+#include "algebra/project.h"
+
+#include "algebra/setops.h"
+
+namespace hrdm {
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, r.scheme()->Project(attrs));
+  // Precompute source indices in result-attribute order.
+  std::vector<size_t> src;
+  src.reserve(attrs.size());
+  for (const AttributeDef& a : scheme->attributes()) {
+    HRDM_ASSIGN_OR_RETURN(size_t idx, r.scheme()->RequireIndex(a.name));
+    src.push_back(idx);
+  }
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  Relation out(scheme);
+  for (const Tuple& t : m) {
+    std::vector<TemporalValue> values;
+    values.reserve(src.size());
+    for (size_t idx : src) values.push_back(t.value(idx));
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(
+        Tuple::FromParts(scheme, t.lifespan(), std::move(values))));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,32 @@
+#ifndef HRDM_ALGEBRA_PROJECT_H_
+#define HRDM_ALGEBRA_PROJECT_H_
+
+/// \file project.h
+/// \brief PROJECT (Section 4.2): reduction along the attribute dimension.
+///
+/// "The project operator π when applied to a relation r removes from r all
+/// but a specified set of attributes; as such it reduces a relation along
+/// the attribute dimension. It does not change the values of any of the
+/// remaining attributes, or the combinations of attribute values in the
+/// tuples of the resulting relation."
+///
+/// Tuple lifespans are unchanged; only the attribute columns are dropped.
+/// If the key is projected away the result is a keyless derived relation
+/// and structurally identical tuples collapse (set semantics).
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief `π_X(r)` — keeps exactly the attributes named in `attrs`
+/// (duplicates and unknown names are errors).
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs);
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_PROJECT_H_

@@ -1,0 +1,51 @@
+#include "algebra/select.h"
+
+#include "algebra/setops.h"
+
+namespace hrdm {
+
+Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q,
+                          const Lifespan& window) {
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  Relation out(r.scheme());
+  out.set_materialized(true);
+  for (const Tuple& t : m) {
+    const Lifespan scope = window.Intersect(t.lifespan());
+    HRDM_ASSIGN_OR_RETURN(Lifespan holds,
+                          p.TimesWhere(t, ValueView::kStored));
+    bool selected;
+    if (q == Quantifier::kExists) {
+      selected = holds.Overlaps(scope);
+    } else {
+      // forall: every chronon of the scope satisfies the criterion.
+      // Vacuously true on an empty scope, per the formal definition.
+      selected = holds.ContainsAll(scope);
+    }
+    if (selected) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> SelectIf(const Relation& r, const Predicate& p,
+                          Quantifier q) {
+  return SelectIf(r, p, q, r.LS());
+}
+
+Result<Relation> SelectWhen(const Relation& r, const Predicate& p) {
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  Relation out(r.scheme());
+  for (const Tuple& t : m) {
+    HRDM_ASSIGN_OR_RETURN(Lifespan holds,
+                          p.TimesWhere(t, ValueView::kStored));
+    // New lifespan: exactly the chronons when the criterion is met; values
+    // restricted to match. Empty results are dropped (the object is never
+    // selected).
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(holds, r.scheme())));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

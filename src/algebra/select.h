@@ -1,0 +1,49 @@
+#ifndef HRDM_ALGEBRA_SELECT_H_
+#define HRDM_ALGEBRA_SELECT_H_
+
+/// \file select.h
+/// \brief SELECT-IF and SELECT-WHEN (Section 4.3): reduction along the
+/// value dimension.
+///
+/// Because tuples carry lifespans, selection comes in two flavors:
+///
+///  * `SELECT-IF(A θ a, Q, L)(r) = { t ∈ r | Q(s ∈ L ∩ t.l) [t(A)(s) θ a] }`
+///    — if the criterion is met (under the existential or universal
+///    quantifier over `L ∩ t.l`), the *whole* tuple is returned with its
+///    lifespan unchanged: a complete object is or is not selected.
+///
+///  * `SELECT-WHEN(A θ a)(r)` — a hybrid reduction in both the value and
+///    the temporal dimension: a selected tuple's new lifespan is exactly
+///    the set of chronons WHEN the criterion is met, with values restricted
+///    to those chronons. (The paper's example: the times when John earned
+///    30K.)
+///
+/// Quantifier semantics follow the paper's formal definition literally:
+/// with `Q = forall` and `L ∩ t.l = ∅` the condition is vacuously true and
+/// the tuple is selected. Chronons where a referenced attribute value is
+/// undefined do not satisfy the criterion (so they are fatal to `forall`
+/// and useless to `exists`).
+
+#include "algebra/predicate.h"
+#include "core/lifespan.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief `SELECT-IF(p, q, window)(r)`. Pass `window = LS(r)` (or any
+/// superset, conventionally "T") to quantify over entire tuple lifespans.
+Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q,
+                          const Lifespan& window);
+
+/// \brief `SELECT-IF(p, q, T)(r)` — the paper's L = T case, where
+/// `s ∈ (L ∩ t.l)` is simply `s ∈ t.l`.
+Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q);
+
+/// \brief `SELECT-WHEN(p)(r)`: tuples satisfying `p` somewhere, restricted
+/// to exactly the chronons when they do.
+Result<Relation> SelectWhen(const Relation& r, const Predicate& p);
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_SELECT_H_

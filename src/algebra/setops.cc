@@ -1,0 +1,226 @@
+#include "algebra/setops.h"
+
+#include <unordered_set>
+
+namespace hrdm {
+
+namespace {
+
+Status RequireUnionCompatible(const Relation& r1, const Relation& r2) {
+  if (!r1.scheme()->UnionCompatibleWith(*r2.scheme())) {
+    return Status::IncompatibleSchemes(
+        r1.scheme()->name() + " and " + r2.scheme()->name() +
+        " are not union-compatible");
+  }
+  return Status::OK();
+}
+
+Status RequireMergeCompatible(const Relation& r1, const Relation& r2) {
+  if (!r1.scheme()->MergeCompatibleWith(*r2.scheme())) {
+    return Status::IncompatibleSchemes(
+        r1.scheme()->name() + " and " + r2.scheme()->name() +
+        " are not merge-compatible");
+  }
+  return Status::OK();
+}
+
+/// First tuple of `r` mergeable with `t` (same key vector and consistent),
+/// or nullopt. With keyed schemes at most one tuple of `r` shares t's key.
+std::optional<size_t> FindMergeable(const Relation& r, const Tuple& t) {
+  if (!r.scheme()->key().empty()) {
+    for (size_t idx : r.FindAllByKey(t.KeyValues())) {
+      if (r.tuple(idx).MergeableWith(t)) return idx;
+    }
+    return std::nullopt;
+  }
+  for (size_t idx = 0; idx < r.size(); ++idx) {
+    if (r.tuple(idx).MergeableWith(t)) return idx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<Relation> MaterializeRelation(const Relation& r) {
+  if (r.materialized()) return r;
+  Relation out(r.scheme());
+  for (const Tuple& t : r) {
+    HRDM_ASSIGN_OR_RETURN(Tuple m, t.Materialized());
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(m)));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> Union(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireUnionCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      RelationScheme::Combine("union_result", *r1.scheme(), *r2.scheme(),
+                              RelationScheme::LifespanCombine::kUnion));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t : m1) {
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Rebind(scheme)));
+  }
+  for (const Tuple& t : m2) {
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Rebind(scheme)));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> Intersect(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireUnionCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      RelationScheme::Combine("intersect_result", *r1.scheme(), *r2.scheme(),
+                              RelationScheme::LifespanCombine::kIntersect));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t : m1) {
+    if (m2.FindStructural(t).has_value()) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Rebind(scheme)));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> Difference(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireUnionCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(r1.scheme());
+  for (const Tuple& t : m1) {
+    if (!m2.FindStructural(t).has_value()) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(t));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> CartesianProduct(const Relation& r1, const Relation& r2,
+                                  std::string result_name) {
+  // Attribute sets must be disjoint (the paper's precondition).
+  for (const AttributeDef& a : r2.scheme()->attributes()) {
+    if (r1.scheme()->IndexOf(a.name).has_value()) {
+      return Status::IncompatibleSchemes(
+          "Cartesian product requires disjoint attributes; both operands "
+          "have " +
+          a.name);
+    }
+  }
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::JoinScheme(std::move(result_name),
+                                                   *r1.scheme(),
+                                                   *r2.scheme()));
+  Relation out(scheme);
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  const size_t left_arity = r1.scheme()->arity();
+  const size_t right_arity = r2.scheme()->arity();
+  for (const Tuple& t1 : m1) {
+    for (const Tuple& t2 : m2) {
+      // Section 4.1/5: product tuples live on the *union* of the operand
+      // lifespans; each side's values stay on their own (now partial)
+      // domains — the "null values" the paper discusses are plain
+      // undefinedness here.
+      Lifespan l = t1.lifespan().Union(t2.lifespan());
+      std::vector<TemporalValue> values;
+      values.reserve(left_arity + right_arity);
+      for (size_t i = 0; i < left_arity; ++i) values.push_back(t1.value(i));
+      for (size_t i = 0; i < right_arity; ++i) values.push_back(t2.value(i));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(
+          Tuple::FromParts(scheme, std::move(l), std::move(values))));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> UnionO(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireMergeCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      RelationScheme::Combine("uniono_result", *r1.scheme(), *r2.scheme(),
+                              RelationScheme::LifespanCombine::kUnion));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  std::unordered_set<size_t> matched_in_r2;
+  for (const Tuple& t1 : m1) {
+    auto partner = FindMergeable(m2, t1);
+    if (partner.has_value()) {
+      matched_in_r2.insert(*partner);
+      HRDM_ASSIGN_OR_RETURN(Tuple merged,
+                            t1.Merge(m2.tuple(*partner), scheme));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(merged)));
+    } else {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(t1.Rebind(scheme)));
+    }
+  }
+  for (size_t j = 0; j < m2.size(); ++j) {
+    if (matched_in_r2.count(j)) continue;
+    // Unmatched in r1 (the paper's definition has a typo "matched in r2").
+    if (!FindMergeable(m1, m2.tuple(j)).has_value()) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(m2.tuple(j).Rebind(scheme)));
+    }
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> IntersectO(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireMergeCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      RelationScheme::Combine("intersecto_result", *r1.scheme(), *r2.scheme(),
+                              RelationScheme::LifespanCombine::kIntersect));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(scheme);
+  for (const Tuple& t1 : m1) {
+    auto partner = FindMergeable(m2, t1);
+    if (!partner.has_value()) continue;
+    const Tuple& t2 = m2.tuple(*partner);
+    Lifespan l = t1.lifespan().Intersect(t2.lifespan());
+    if (l.empty()) continue;
+    std::vector<TemporalValue> values;
+    values.reserve(t1.arity());
+    for (size_t i = 0; i < t1.arity(); ++i) {
+      // Pointwise function intersection: defined where both sides agree.
+      const Lifespan agree = t1.value(i).AgreementWith(t2.value(i));
+      values.push_back(t1.value(i).Restrict(agree.Intersect(l)));
+    }
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(
+        Tuple::FromParts(scheme, std::move(l), std::move(values))));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> DifferenceO(const Relation& r1, const Relation& r2) {
+  HRDM_RETURN_IF_ERROR(RequireMergeCompatible(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
+  HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
+  Relation out(r1.scheme());
+  for (const Tuple& t1 : m1) {
+    auto partner = FindMergeable(m2, t1);
+    if (!partner.has_value()) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(t1));
+      continue;
+    }
+    const Tuple& t2 = m2.tuple(*partner);
+    const Lifespan remaining = t1.lifespan().Difference(t2.lifespan());
+    HRDM_RETURN_IF_ERROR(
+        out.InsertDedup(t1.Restrict(remaining, r1.scheme())));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,71 @@
+#ifndef HRDM_ALGEBRA_SETOPS_H_
+#define HRDM_ALGEBRA_SETOPS_H_
+
+/// \file setops.h
+/// \brief Set-theoretic and object-based set operations (Section 4.1).
+///
+/// Standard operators (`Union`, `Intersect`, `Difference`,
+/// `CartesianProduct`) treat historical relations as plain sets of tuples.
+/// As the paper's Figure 11 shows, the standard union of two histories of
+/// the same object produces two separate tuples — a counter-intuitive
+/// result that motivates the *object-based* operators (`UnionO`,
+/// `IntersectO`, `DifferenceO`), which merge *mergeable* tuples
+/// (merge-compatible schemes, equal key values, no contradictions).
+///
+/// Result schemes follow the paper:
+///  * `r1 ∪ r2`   on `<A1, K1, ALS1 ∪ ALS2, DOM1>`
+///  * `r1 ∩ r2`   on `<A1, K1, ALS1 ∩ ALS2, DOM1>`
+///  * `r1 − r2`   on `R1`
+///  * `r1 × r2`   on `<A1 ∪ A2, K1 ∪ K2, ALS1 ∪ ALS2, DOM1 ∪ DOM2>`,
+///    tuple lifespans unioned (Section 5 discusses the resulting
+///    undefined/"null" regions; our partial functions represent them as
+///    plain undefinedness).
+///
+/// Standard-operator results are sets (key uniqueness deliberately NOT
+/// enforced; see Figure 11); object-based results restore the one-tuple-
+/// per-object reading.
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief The model-level view of a relation: every tuple materialized via
+/// Tuple::Materialized (interpolation applied), exact duplicates collapsed.
+/// All algebra operators work on materialized relations — the paper's
+/// semantics are defined at the model level, where values are total
+/// functions on `vls` (Figure 9).
+Result<Relation> MaterializeRelation(const Relation& r);
+
+/// \brief `r1 ∪ r2`. Requires union compatibility.
+Result<Relation> Union(const Relation& r1, const Relation& r2);
+
+/// \brief `r1 ∩ r2`. Requires union compatibility. Tuples present (as sets
+/// of attribute assignments) in both.
+Result<Relation> Intersect(const Relation& r1, const Relation& r2);
+
+/// \brief `r1 − r2`. Requires union compatibility.
+Result<Relation> Difference(const Relation& r1, const Relation& r2);
+
+/// \brief `r1 × r2`. Requires disjoint attribute sets.
+Result<Relation> CartesianProduct(const Relation& r1, const Relation& r2,
+                                  std::string result_name = "product");
+
+/// \brief Object-based union `r1 ∪ₒ r2`: mergeable tuples are merged,
+/// unmatched tuples pass through. Requires merge compatibility.
+Result<Relation> UnionO(const Relation& r1, const Relation& r2);
+
+/// \brief Object-based intersection `r1 ∩ₒ r2`: for each mergeable pair,
+/// a tuple with lifespan `t1.l ∩ t2.l` whose values are the pointwise
+/// function intersections (defined where both agree). Requires merge
+/// compatibility.
+Result<Relation> IntersectO(const Relation& r1, const Relation& r2);
+
+/// \brief Object-based difference `r1 −ₒ r2`: unmatched tuples of r1 pass
+/// through; a tuple mergeable with some t2 survives on `t1.l − t2.l` with
+/// values restricted accordingly. Requires merge compatibility.
+Result<Relation> DifferenceO(const Relation& r1, const Relation& r2);
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_SETOPS_H_

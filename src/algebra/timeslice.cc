@@ -1,0 +1,40 @@
+#include "algebra/timeslice.h"
+
+#include "algebra/setops.h"
+
+namespace hrdm {
+
+Result<Relation> TimeSlice(const Relation& r, const Lifespan& l) {
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  Relation out(r.scheme());
+  for (const Tuple& t : m) {
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(l, r.scheme())));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+Result<Relation> TimeSliceAt(const Relation& r, TimePoint t) {
+  return TimeSlice(r, Lifespan::Point(t));
+}
+
+Result<Relation> TimeSliceDynamic(const Relation& r, std::string_view attr) {
+  HRDM_ASSIGN_OR_RETURN(size_t idx, r.scheme()->RequireIndex(attr));
+  if (r.scheme()->attribute(idx).type != DomainType::kTime) {
+    return Status::TypeError(
+        "dynamic TIME-SLICE requires a time-valued attribute (DOM(A) in "
+        "TT); " +
+        std::string(attr) + " is " +
+        std::string(DomainTypeName(r.scheme()->attribute(idx).type)));
+  }
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  Relation out(r.scheme());
+  for (const Tuple& t : m) {
+    HRDM_ASSIGN_OR_RETURN(Lifespan image, t.value(idx).TimeImage());
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(image, r.scheme())));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

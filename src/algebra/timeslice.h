@@ -1,0 +1,42 @@
+#ifndef HRDM_ALGEBRA_TIMESLICE_H_
+#define HRDM_ALGEBRA_TIMESLICE_H_
+
+/// \file timeslice.h
+/// \brief TIME-SLICE (Section 4.4): reduction along the temporal dimension.
+///
+/// The third unary operator of the 3-D model (Figure 10). Two forms:
+///
+///  * static `T_L(r)`: every tuple is restricted to the lifespan parameter
+///    `L` — "t.l = L ∩ t'.l ∧ t.v = t'.v|_{t.l}".
+///
+///  * dynamic `T_@A(r)`: for a *time-valued* attribute A (DOM(A) ⊆ TT),
+///    each tuple is restricted to the *image* of its own value of A — "for
+///    L, the image of t(A), t.l = L ∧ t = t'|_L". The sliced lifespan is
+///    data-dependent, per tuple. (The paper's formal text sets `t.l` to the
+///    image L itself; chronons of L outside the original lifespan carry no
+///    values, and a tuple whose image misses its lifespan entirely would be
+///    an empty shell — we keep `t.l = L ∩ t'.l`, which coincides with the
+///    paper whenever the image refers to times the tuple actually lived
+///    through, and drop empty results.)
+
+#include <string_view>
+
+#include "core/lifespan.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief Static time-slice `T_L(r)`.
+Result<Relation> TimeSlice(const Relation& r, const Lifespan& l);
+
+/// \brief Snapshot convenience: `T_{[t,t]}(r)`.
+Result<Relation> TimeSliceAt(const Relation& r, TimePoint t);
+
+/// \brief Dynamic time-slice `T_@A(r)`. Errors if `attr` is unknown or not
+/// time-valued (DomainType::kTime).
+Result<Relation> TimeSliceDynamic(const Relation& r, std::string_view attr);
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_TIMESLICE_H_

@@ -1,0 +1,4 @@
+#include "algebra/when.h"
+
+// WHEN is fully defined in the header; this translation unit exists so the
+// module has a .cc anchor for future non-inline additions.

@@ -1,0 +1,25 @@
+#ifndef HRDM_ALGEBRA_WHEN_H_
+#define HRDM_ALGEBRA_WHEN_H_
+
+/// \file when.h
+/// \brief WHEN (Section 4.5): the lifespan-sorted operator `Ω`.
+///
+/// "All of the operators except for WHEN are (unary or binary) operations
+/// on historical relations producing historical relations. The unary
+/// operator WHEN, denoted Ω, maps relations to lifespans ...
+/// Ω(r) = LS(r)." The algebra is thus multi-sorted; the lifespan returned
+/// by WHEN can parameterise TIME-SLICE or SELECT-IF ("when particular
+/// conditions are satisfied").
+
+#include "core/lifespan.h"
+#include "core/relation.h"
+
+namespace hrdm {
+
+/// \brief `Ω(r) = LS(r)`: the set of times over which the relation is
+/// defined.
+inline Lifespan When(const Relation& r) { return r.LS(); }
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_WHEN_H_

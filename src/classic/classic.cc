@@ -1,0 +1,297 @@
+#include "classic/classic.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+
+namespace hrdm::classic {
+
+std::optional<size_t> SnapshotRelation::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void SnapshotRelation::InsertRow(Row row) {
+  if (!Contains(row)) rows_.push_back(std::move(row));
+}
+
+bool SnapshotRelation::Contains(const Row& row) const {
+  return std::find(rows_.begin(), rows_.end(), row) != rows_.end();
+}
+
+bool SnapshotRelation::EqualsAsSet(const SnapshotRelation& other) const {
+  if (columns_ != other.columns_) return false;
+  if (size() != other.size()) return false;
+  for (const Row& r : rows_) {
+    if (!other.Contains(r)) return false;
+  }
+  return true;
+}
+
+std::string SnapshotRelation::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+  }
+  out += ")\n";
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Row& r : sorted) {
+    out += "  (";
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += r[i].absent() ? "-" : r[i].ToString();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+namespace {
+
+Result<size_t> RequireColumn(const SnapshotRelation& s,
+                             std::string_view name) {
+  if (auto idx = s.IndexOf(name)) return *idx;
+  return Status::NotFound("column " + std::string(name) + " not found");
+}
+
+Status RequireSameHeader(const SnapshotRelation& a,
+                         const SnapshotRelation& b) {
+  if (a.columns() != b.columns()) {
+    return Status::IncompatibleSchemes(
+        "snapshot relations are not union-compatible");
+  }
+  return Status::OK();
+}
+
+/// Absent cells never satisfy a comparison.
+Result<bool> CellMatches(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.absent() || rhs.absent()) return false;
+  return Compare(lhs, op, rhs);
+}
+
+}  // namespace
+
+Result<SnapshotRelation> Select(const SnapshotRelation& s,
+                                std::string_view attr, CompareOp op,
+                                const Value& constant) {
+  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireColumn(s, attr));
+  SnapshotRelation out(s.columns());
+  for (const Row& r : s.rows()) {
+    HRDM_ASSIGN_OR_RETURN(bool m, CellMatches(r[idx], op, constant));
+    if (m) out.InsertRow(r);
+  }
+  return out;
+}
+
+Result<SnapshotRelation> SelectAttr(const SnapshotRelation& s,
+                                    std::string_view attr, CompareOp op,
+                                    std::string_view attr2) {
+  HRDM_ASSIGN_OR_RETURN(size_t i, RequireColumn(s, attr));
+  HRDM_ASSIGN_OR_RETURN(size_t j, RequireColumn(s, attr2));
+  SnapshotRelation out(s.columns());
+  for (const Row& r : s.rows()) {
+    HRDM_ASSIGN_OR_RETURN(bool m, CellMatches(r[i], op, r[j]));
+    if (m) out.InsertRow(r);
+  }
+  return out;
+}
+
+Result<SnapshotRelation> Project(const SnapshotRelation& s,
+                                 const std::vector<std::string>& attrs) {
+  std::vector<Column> cols;
+  std::vector<size_t> src;
+  for (const std::string& a : attrs) {
+    HRDM_ASSIGN_OR_RETURN(size_t idx, RequireColumn(s, a));
+    cols.push_back(s.columns()[idx]);
+    src.push_back(idx);
+  }
+  SnapshotRelation out(std::move(cols));
+  for (const Row& r : s.rows()) {
+    Row projected;
+    projected.reserve(src.size());
+    for (size_t idx : src) projected.push_back(r[idx]);
+    out.InsertRow(std::move(projected));
+  }
+  return out;
+}
+
+Result<SnapshotRelation> Union(const SnapshotRelation& a,
+                               const SnapshotRelation& b) {
+  HRDM_RETURN_IF_ERROR(RequireSameHeader(a, b));
+  SnapshotRelation out(a.columns());
+  for (const Row& r : a.rows()) out.InsertRow(r);
+  for (const Row& r : b.rows()) out.InsertRow(r);
+  return out;
+}
+
+Result<SnapshotRelation> Intersect(const SnapshotRelation& a,
+                                   const SnapshotRelation& b) {
+  HRDM_RETURN_IF_ERROR(RequireSameHeader(a, b));
+  SnapshotRelation out(a.columns());
+  for (const Row& r : a.rows()) {
+    if (b.Contains(r)) out.InsertRow(r);
+  }
+  return out;
+}
+
+Result<SnapshotRelation> Difference(const SnapshotRelation& a,
+                                    const SnapshotRelation& b) {
+  HRDM_RETURN_IF_ERROR(RequireSameHeader(a, b));
+  SnapshotRelation out(a.columns());
+  for (const Row& r : a.rows()) {
+    if (!b.Contains(r)) out.InsertRow(r);
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::vector<Column>> DisjointHeader(const SnapshotRelation& a,
+                                           const SnapshotRelation& b) {
+  std::vector<Column> cols = a.columns();
+  for (const Column& c : b.columns()) {
+    if (a.IndexOf(c.name).has_value()) {
+      return Status::IncompatibleSchemes(
+          "operands must have disjoint attributes; both have " + c.name);
+    }
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+Row ConcatRows(const Row& x, const Row& y) {
+  Row r = x;
+  r.insert(r.end(), y.begin(), y.end());
+  return r;
+}
+
+}  // namespace
+
+Result<SnapshotRelation> CartesianProduct(const SnapshotRelation& a,
+                                          const SnapshotRelation& b) {
+  HRDM_ASSIGN_OR_RETURN(std::vector<Column> cols, DisjointHeader(a, b));
+  SnapshotRelation out(std::move(cols));
+  for (const Row& x : a.rows()) {
+    for (const Row& y : b.rows()) {
+      out.InsertRow(ConcatRows(x, y));
+    }
+  }
+  return out;
+}
+
+Result<SnapshotRelation> ThetaJoin(const SnapshotRelation& a,
+                                   std::string_view attr_a, CompareOp op,
+                                   const SnapshotRelation& b,
+                                   std::string_view attr_b) {
+  HRDM_ASSIGN_OR_RETURN(size_t i, RequireColumn(a, attr_a));
+  HRDM_ASSIGN_OR_RETURN(size_t j, RequireColumn(b, attr_b));
+  HRDM_ASSIGN_OR_RETURN(std::vector<Column> cols, DisjointHeader(a, b));
+  SnapshotRelation out(std::move(cols));
+  for (const Row& x : a.rows()) {
+    for (const Row& y : b.rows()) {
+      HRDM_ASSIGN_OR_RETURN(bool m, CellMatches(x[i], op, y[j]));
+      if (m) out.InsertRow(ConcatRows(x, y));
+    }
+  }
+  return out;
+}
+
+Result<SnapshotRelation> NaturalJoin(const SnapshotRelation& a,
+                                     const SnapshotRelation& b) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> b_extra;
+  for (size_t j = 0; j < b.arity(); ++j) {
+    if (auto i = a.IndexOf(b.columns()[j].name)) {
+      if (a.columns()[*i].type != b.columns()[j].type) {
+        return Status::IncompatibleSchemes("shared attribute " +
+                                           b.columns()[j].name +
+                                           " has conflicting domains");
+      }
+      shared.emplace_back(*i, j);
+    } else {
+      b_extra.push_back(j);
+    }
+  }
+  std::vector<Column> cols = a.columns();
+  for (size_t j : b_extra) cols.push_back(b.columns()[j]);
+  SnapshotRelation out(std::move(cols));
+  for (const Row& x : a.rows()) {
+    for (const Row& y : b.rows()) {
+      bool match = true;
+      for (const auto& [i, j] : shared) {
+        if (x[i].absent() || y[j].absent() || !(x[i] == y[j])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row r = x;
+      for (size_t j : b_extra) r.push_back(y[j]);
+      out.InsertRow(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<SnapshotRelation> Snapshot(const Relation& r, TimePoint t) {
+  std::vector<Column> cols;
+  cols.reserve(r.scheme()->arity());
+  for (const AttributeDef& a : r.scheme()->attributes()) {
+    cols.push_back(Column{a.name, a.type});
+  }
+  SnapshotRelation out(std::move(cols));
+  for (const Tuple& tup : r) {
+    if (!tup.lifespan().Contains(t)) continue;
+    Row row;
+    row.reserve(tup.arity());
+    for (size_t i = 0; i < tup.arity(); ++i) {
+      // Materialized (algebra-derived) relations are already at the model
+      // level; re-interpolating them would extend values into regions the
+      // operator semantics left undefined (e.g. ALS unioned in from the
+      // other operand of a Union).
+      if (r.materialized()) {
+        row.push_back(tup.ValueAt(i, t));
+      } else {
+        HRDM_ASSIGN_OR_RETURN(Value v, tup.ModelValueAt(i, t));
+        row.push_back(std::move(v));
+      }
+    }
+    out.InsertRow(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> Lift(const SnapshotRelation& s, TimePoint t,
+                      const std::vector<std::string>& key,
+                      std::string name) {
+  if (key.empty()) {
+    return Status::InvalidArgument("Lift requires a non-empty key");
+  }
+  const Lifespan now = Lifespan::Point(t);
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(s.arity());
+  for (const Column& c : s.columns()) {
+    attrs.push_back(
+        AttributeDef{c.name, c.type, now, InterpolationKind::kDiscrete});
+  }
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      RelationScheme::Make(std::move(name), std::move(attrs), key));
+  Relation out(scheme);
+  for (const Row& row : s.rows()) {
+    Tuple::Builder b(scheme, now);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].absent()) continue;
+      b.SetConstant(s.columns()[i].name, row[i]);
+    }
+    HRDM_ASSIGN_OR_RETURN(Tuple tup, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(out.Insert(std::move(tup)));
+  }
+  return out;
+}
+
+}  // namespace hrdm::classic

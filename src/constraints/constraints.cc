@@ -1,0 +1,340 @@
+#include "constraints/constraints.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/format.h"
+
+namespace hrdm {
+
+namespace {
+
+std::string KeyString(const Tuple& t) {
+  std::string out = "(";
+  const auto key = t.KeyValues();
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += ",";
+    out += key[i].absent() ? "?" : key[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void AddBoundaries(const Lifespan& ls, std::vector<TimePoint>* out) {
+  for (const Interval& iv : ls.intervals()) {
+    out->push_back(iv.begin);
+    if (iv.end != kTimeMax) out->push_back(iv.end + 1);
+  }
+}
+
+/// Resolves attribute names to indices; empty names list means all.
+Result<std::vector<size_t>> ResolveAttrs(const Relation& r,
+                                         const std::vector<std::string>& names) {
+  std::vector<size_t> idx;
+  if (names.empty()) {
+    for (size_t i = 0; i < r.scheme()->arity(); ++i) idx.push_back(i);
+    return idx;
+  }
+  for (const std::string& n : names) {
+    HRDM_ASSIGN_OR_RETURN(size_t i, r.scheme()->RequireIndex(n));
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+/// Model values of `attrs` for every tuple of `r` (parallel vectors).
+Result<std::vector<std::vector<TemporalValue>>> ModelValues(
+    const Relation& r, const std::vector<size_t>& attrs) {
+  std::vector<std::vector<TemporalValue>> out;
+  out.reserve(r.size());
+  for (const Tuple& t : r) {
+    std::vector<TemporalValue> vals;
+    vals.reserve(attrs.size());
+    for (size_t i : attrs) {
+      HRDM_ASSIGN_OR_RETURN(TemporalValue v, t.ModelValue(i));
+      vals.push_back(std::move(v));
+    }
+    out.push_back(std::move(vals));
+  }
+  return out;
+}
+
+/// The vector of values of `vals` at chronon t; `all_defined` is set false
+/// if any is absent.
+std::vector<Value> At(const std::vector<TemporalValue>& vals, TimePoint t,
+                      bool* all_defined) {
+  std::vector<Value> out;
+  out.reserve(vals.size());
+  *all_defined = true;
+  for (const TemporalValue& v : vals) {
+    out.push_back(v.ValueAt(t));
+    if (out.back().absent()) *all_defined = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<TimePoint>> CriticalChronons(
+    const Relation& r, const std::vector<std::string>& attrs) {
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> idx, ResolveAttrs(r, attrs));
+  std::vector<TimePoint> pts;
+  for (const Tuple& t : r) {
+    AddBoundaries(t.lifespan(), &pts);
+    for (size_t i : idx) {
+      HRDM_ASSIGN_OR_RETURN(TemporalValue v, t.ModelValue(i));
+      for (const Segment& s : v.segments()) {
+        pts.push_back(s.interval.begin);
+        if (s.interval.end != kTimeMax) pts.push_back(s.interval.end + 1);
+      }
+    }
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+Result<std::vector<Violation>> CheckPointFD(
+    const Relation& r, const std::vector<std::string>& lhs,
+    const std::vector<std::string>& rhs) {
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> xi, ResolveAttrs(r, lhs));
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> yi, ResolveAttrs(r, rhs));
+  std::vector<std::string> all = lhs;
+  all.insert(all.end(), rhs.begin(), rhs.end());
+  HRDM_ASSIGN_OR_RETURN(std::vector<TimePoint> critical,
+                        CriticalChronons(r, all));
+  HRDM_ASSIGN_OR_RETURN(auto xs, ModelValues(r, xi));
+  HRDM_ASSIGN_OR_RETURN(auto ys, ModelValues(r, yi));
+
+  std::vector<Violation> violations;
+  for (TimePoint t : critical) {
+    std::map<std::vector<Value>, size_t> witness;  // X-vector -> tuple index
+    for (size_t u = 0; u < r.size(); ++u) {
+      bool x_defined = false;
+      std::vector<Value> xv = At(xs[u], t, &x_defined);
+      if (!x_defined) continue;
+      auto [it, inserted] = witness.emplace(std::move(xv), u);
+      if (inserted) continue;
+      const size_t w = it->second;
+      // Two tuples agree on X at t: Y values must not conflict.
+      for (size_t k = 0; k < yi.size(); ++k) {
+        const Value yu = ys[u][k].ValueAt(t);
+        const Value yw = ys[w][k].ValueAt(t);
+        if (!yu.absent() && !yw.absent() && yu != yw) {
+          violations.push_back(Violation{StrPrintf(
+              "point FD violated at t=%lld: tuples %s and %s agree on LHS "
+              "but differ on %s (%s vs %s)",
+              static_cast<long long>(t), KeyString(r.tuple(u)).c_str(),
+              KeyString(r.tuple(w)).c_str(),
+              r.scheme()->attribute(yi[k]).name.c_str(),
+              yu.ToString().c_str(), yw.ToString().c_str())});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::vector<Violation>> CheckGlobalFD(
+    const Relation& r, const std::vector<std::string>& lhs,
+    const std::vector<std::string>& rhs) {
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> xi, ResolveAttrs(r, lhs));
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> yi, ResolveAttrs(r, rhs));
+  std::vector<std::string> all = lhs;
+  all.insert(all.end(), rhs.begin(), rhs.end());
+  HRDM_ASSIGN_OR_RETURN(std::vector<TimePoint> critical,
+                        CriticalChronons(r, all));
+  HRDM_ASSIGN_OR_RETURN(auto xs, ModelValues(r, xi));
+  HRDM_ASSIGN_OR_RETURN(auto ys, ModelValues(r, yi));
+
+  // X-vector -> first (tuple, chronon, Y-vector) seen.
+  struct Witness {
+    size_t tuple;
+    TimePoint t;
+    std::vector<Value> y;
+  };
+  std::map<std::vector<Value>, Witness> groups;
+  std::vector<Violation> violations;
+  for (size_t u = 0; u < r.size(); ++u) {
+    for (TimePoint t : critical) {
+      bool x_defined = false;
+      std::vector<Value> xv = At(xs[u], t, &x_defined);
+      if (!x_defined) continue;
+      bool y_defined = false;
+      std::vector<Value> yv = At(ys[u], t, &y_defined);
+      auto it = groups.find(xv);
+      if (it == groups.end()) {
+        groups.emplace(std::move(xv), Witness{u, t, std::move(yv)});
+        continue;
+      }
+      const Witness& w = it->second;
+      for (size_t k = 0; k < yi.size(); ++k) {
+        if (!yv[k].absent() && !w.y[k].absent() && yv[k] != w.y[k]) {
+          violations.push_back(Violation{StrPrintf(
+              "global FD violated: tuple %s at t=%lld and tuple %s at "
+              "t=%lld agree on LHS but differ on %s (%s vs %s)",
+              KeyString(r.tuple(u)).c_str(), static_cast<long long>(t),
+              KeyString(r.tuple(w.tuple)).c_str(),
+              static_cast<long long>(w.t),
+              r.scheme()->attribute(yi[k]).name.c_str(),
+              yv[k].ToString().c_str(), w.y[k].ToString().c_str())});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::vector<Violation>> CheckMonotone(const Relation& r,
+                                             std::string_view attr,
+                                             bool non_decreasing) {
+  HRDM_ASSIGN_OR_RETURN(size_t idx, r.scheme()->RequireIndex(attr));
+  const DomainType type = r.scheme()->attribute(idx).type;
+  if (type != DomainType::kInt && type != DomainType::kDouble &&
+      type != DomainType::kTime) {
+    return Status::TypeError(
+        "monotonicity constraint requires a numeric or time attribute");
+  }
+  auto numeric = [type](const Value& v) {
+    return type == DomainType::kTime ? static_cast<double>(v.AsTime())
+                                     : v.AsNumeric();
+  };
+  std::vector<Violation> violations;
+  for (const Tuple& t : r) {
+    HRDM_ASSIGN_OR_RETURN(TemporalValue v, t.ModelValue(idx));
+    const auto& segs = v.segments();
+    for (size_t k = 1; k < segs.size(); ++k) {
+      const double prev = numeric(segs[k - 1].value);
+      const double cur = numeric(segs[k].value);
+      const bool bad = non_decreasing ? cur < prev : cur > prev;
+      if (bad) {
+        violations.push_back(Violation{StrPrintf(
+            "tuple %s: %s %s from %s to %s at t=%lld",
+            KeyString(t).c_str(), std::string(attr).c_str(),
+            non_decreasing ? "decreases" : "increases",
+            segs[k - 1].value.ToString().c_str(),
+            segs[k].value.ToString().c_str(),
+            static_cast<long long>(segs[k].interval.begin))});
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::vector<Violation>> CheckTemporalForeignKey(
+    const Relation& child, const std::vector<std::string>& fk_attrs,
+    const Relation& parent) {
+  if (parent.scheme()->key().empty()) {
+    return Status::InvalidArgument("FK target relation " +
+                                   parent.scheme()->name() + " has no key");
+  }
+  if (fk_attrs.size() != parent.scheme()->key().size()) {
+    return Status::InvalidArgument(
+        "FK attribute count does not match parent key arity");
+  }
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> fki, ResolveAttrs(child, fk_attrs));
+  for (size_t k = 0; k < fki.size(); ++k) {
+    const DomainType ct = child.scheme()->attribute(fki[k]).type;
+    const DomainType pt =
+        parent.scheme()
+            ->attribute(parent.scheme()->key_indices()[k])
+            .type;
+    if (ct != pt) {
+      return Status::TypeError("FK attribute " + fk_attrs[k] +
+                               " domain does not match parent key");
+    }
+  }
+  // Critical chronons: the child's fk-value changes plus the parent's
+  // aliveness changes.
+  HRDM_ASSIGN_OR_RETURN(std::vector<TimePoint> critical,
+                        CriticalChronons(child, fk_attrs));
+  std::vector<TimePoint> extra;
+  for (const Tuple& p : parent) AddBoundaries(p.lifespan(), &extra);
+  critical.insert(critical.end(), extra.begin(), extra.end());
+  std::sort(critical.begin(), critical.end());
+  critical.erase(std::unique(critical.begin(), critical.end()),
+                 critical.end());
+
+  HRDM_ASSIGN_OR_RETURN(auto fk_vals, ModelValues(child, fki));
+
+  std::vector<Violation> violations;
+  for (size_t u = 0; u < child.size(); ++u) {
+    for (TimePoint t : critical) {
+      bool defined = false;
+      std::vector<Value> fk = At(fk_vals[u], t, &defined);
+      if (!defined) continue;
+      auto idx = parent.FindByKey(fk);
+      const bool alive =
+          idx.has_value() && parent.tuple(*idx).lifespan().Contains(t);
+      if (!alive) {
+        std::string fk_str;
+        for (const Value& v : fk) {
+          if (!fk_str.empty()) fk_str += ",";
+          fk_str += v.ToString();
+        }
+        violations.push_back(Violation{StrPrintf(
+            "temporal RI violated: tuple %s of %s references (%s) at "
+            "t=%lld but no %s tuple exists then",
+            KeyString(child.tuple(u)).c_str(),
+            child.scheme()->name().c_str(), fk_str.c_str(),
+            static_cast<long long>(t), parent.scheme()->name().c_str())});
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::vector<Violation>> CheckRelationWellFormed(const Relation& r) {
+  std::vector<Violation> violations;
+  const RelationScheme& scheme = *r.scheme();
+  for (size_t u = 0; u < r.size(); ++u) {
+    const Tuple& t = r.tuple(u);
+    if (t.lifespan().empty()) {
+      violations.push_back(
+          Violation{"tuple " + KeyString(t) + " has empty lifespan"});
+    }
+    for (size_t i = 0; i < t.arity(); ++i) {
+      const AttributeDef& a = scheme.attribute(i);
+      const TemporalValue& v = t.value(i);
+      if (v.empty()) {
+        if (scheme.IsKey(i)) {
+          violations.push_back(Violation{
+              "tuple " + KeyString(t) + ": key attribute " + a.name +
+              " has no value"});
+        }
+        continue;
+      }
+      if (*v.type() != a.type) {
+        violations.push_back(Violation{
+            "tuple " + KeyString(t) + ": attribute " + a.name +
+            " has wrong domain type"});
+      }
+      const Lifespan vls = t.Vls(i);
+      if (!vls.ContainsAll(v.domain())) {
+        violations.push_back(Violation{
+            "tuple " + KeyString(t) + ": value of " + a.name +
+            " escapes vls " + vls.ToString()});
+      }
+      if (scheme.IsKey(i)) {
+        if (!v.IsConstant()) {
+          violations.push_back(Violation{
+              "tuple " + KeyString(t) + ": key attribute " + a.name +
+              " is not constant-valued"});
+        } else if (v.domain() != vls) {
+          violations.push_back(Violation{
+              "tuple " + KeyString(t) + ": key attribute " + a.name +
+              " is not total on vls"});
+        }
+      }
+    }
+    if (!scheme.key().empty()) {
+      if (r.FindAllByKey(t.KeyValues()).size() > 1) {
+        violations.push_back(Violation{
+            "temporal key uniqueness violated for key " + KeyString(t)});
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,85 @@
+#ifndef HRDM_CONSTRAINTS_CONSTRAINTS_H_
+#define HRDM_CONSTRAINTS_CONSTRAINTS_H_
+
+/// \file constraints.h
+/// \brief Temporal integrity constraints (Sections 1 and 5).
+///
+/// The paper sketches how HRDM extends the classical constraint theory:
+///
+///  * *point-in-time* functional dependencies — "dependencies that hold at
+///    each single point in time" (the classical FD evaluated on every
+///    snapshot);
+///  * *global* (the paper's "intensional"/"dynamic") dependencies — FDs
+///    ranging over all pairs of points in time;
+///  * constraints "over the way that values change over time (as in the
+///    familiar 'salary must never decrease' example)";
+///  * temporal referential integrity (Section 1: "a student can only take
+///    a course at time t if both the student and the course exist in the
+///    database at time t").
+///
+/// Checkers report every violation found (rather than failing fast), so
+/// callers can surface complete diagnostics. All value inspection is at
+/// the model level (interpolated).
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief One detected constraint violation, with a human-readable
+/// description naming the tuples and chronon involved.
+struct Violation {
+  std::string description;
+};
+
+/// \brief Point-in-time FD `X -> Y`: at every chronon, any two tuples that
+/// agree on all of X also agree on all of Y (classical FD on every
+/// snapshot). Attributes undefined at a chronon are treated as
+/// non-matching on the X side and as automatically violating on the Y side
+/// only if the two Y values are defined and differ.
+Result<std::vector<Violation>> CheckPointFD(
+    const Relation& r, const std::vector<std::string>& lhs,
+    const std::vector<std::string>& rhs);
+
+/// \brief Global FD `X -> Y` over all points in time: for any two tuples
+/// u, v and any two chronons s, s', if u(X)(s) = v(X)(s') then
+/// u(Y)(s) = v(Y)(s'). (The paper's stronger, "intensional" reading.)
+Result<std::vector<Violation>> CheckGlobalFD(
+    const Relation& r, const std::vector<std::string>& lhs,
+    const std::vector<std::string>& rhs);
+
+/// \brief Value-evolution constraint: within every tuple, the model-level
+/// value of `attr` never decreases (or never increases) across its value
+/// lifespan — the paper's "salary must never decrease" example. Requires a
+/// numeric or time attribute.
+Result<std::vector<Violation>> CheckMonotone(const Relation& r,
+                                             std::string_view attr,
+                                             bool non_decreasing);
+
+/// \brief Temporal referential integrity: for every chronon `t` at which a
+/// child tuple's `fk_attrs` values are defined, a parent tuple must exist
+/// at `t` whose key values equal them. `fk_attrs` must match the parent
+/// key's arity and domains.
+Result<std::vector<Violation>> CheckTemporalForeignKey(
+    const Relation& child, const std::vector<std::string>& fk_attrs,
+    const Relation& parent);
+
+/// \brief Verifies the relation-level invariants of Section 3 hold for
+/// every tuple of `r`: value domains inside `vls`, constant total keys,
+/// temporal key uniqueness. Used by tests and by storage after load.
+Result<std::vector<Violation>> CheckRelationWellFormed(const Relation& r);
+
+/// \brief The chronons at which any model-level value of any tuple of `r`
+/// may change: segment starts of interpolated values plus lifespan interval
+/// starts. Constraint checkers evaluate at exactly these "critical
+/// chronons" — between consecutive ones nothing changes, making the checks
+/// sound without materialising every chronon.
+Result<std::vector<TimePoint>> CriticalChronons(
+    const Relation& r, const std::vector<std::string>& attrs);
+
+}  // namespace hrdm
+
+#endif  // HRDM_CONSTRAINTS_CONSTRAINTS_H_

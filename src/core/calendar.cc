@@ -1,0 +1,104 @@
+#include "core/calendar.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/format.h"
+
+namespace hrdm {
+
+namespace {
+
+bool IsLeap(int64_t y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+int DaysInMonth(int64_t y, int m) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Result<TimePoint> ChrononFromDate(const CivilDate& date) {
+  if (date.month < 1 || date.month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  if (date.day < 1 || date.day > DaysInMonth(date.year, date.month)) {
+    return Status::InvalidArgument("day out of range");
+  }
+  // Hinnant's days_from_civil.
+  int64_t y = date.year;
+  const int m = date.month;
+  const int d = date.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate DateFromChronon(TimePoint t) {
+  // Hinnant's civil_from_days.
+  int64_t z = t + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+Result<TimePoint> ParseDate(std::string_view iso) {
+  long long y = 0;
+  int m = 0, d = 0;
+  const std::string s(iso);
+  if (std::sscanf(s.c_str(), "%lld-%d-%d", &y, &m, &d) != 3) {
+    return Status::ParseError("expected YYYY-MM-DD, got " + s);
+  }
+  return ChrononFromDate(CivilDate{y, m, d});
+}
+
+std::string FormatDate(TimePoint t) {
+  const CivilDate d = DateFromChronon(t);
+  return StrPrintf("%04lld-%02d-%02d", static_cast<long long>(d.year),
+                   d.month, d.day);
+}
+
+Result<Lifespan> DateSpan(std::string_view from_iso,
+                          std::string_view to_iso) {
+  HRDM_ASSIGN_OR_RETURN(TimePoint from, ParseDate(from_iso));
+  HRDM_ASSIGN_OR_RETURN(TimePoint to, ParseDate(to_iso));
+  if (to < from) {
+    return Status::InvalidArgument("date span ends before it begins");
+  }
+  return Span(from, to);
+}
+
+std::string FormatLifespanAsDates(const Lifespan& l) {
+  std::string out = "{";
+  bool first = true;
+  for (const Interval& iv : l.intervals()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('[');
+    out += FormatDate(iv.begin);
+    if (iv.end != iv.begin) {
+      out += "..";
+      out += FormatDate(iv.end);
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,58 @@
+#ifndef HRDM_CORE_CALENDAR_H_
+#define HRDM_CORE_CALENDAR_H_
+
+/// \file calendar.h
+/// \brief Civil-date views of the chronon line — the paper's deferred
+/// "more elaborate structures for the time domain".
+///
+/// Section 3: "In a subsequent paper we will discuss more elaborate
+/// structures for the time domain of historical databases." This module
+/// provides the most-requested such structure: a proleptic-Gregorian
+/// day calendar over the chronon line, so lifespans can be written and
+/// printed as dates. One chronon == one day; chronon 0 == 1970-01-01
+/// (days can be negative for earlier dates).
+///
+/// The conversion uses Howard Hinnant's days-from-civil algorithm (public
+/// domain), exact over the entire int64 range of years representable.
+
+#include <string>
+
+#include "core/lifespan.h"
+#include "core/time.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief A civil (proleptic Gregorian) date.
+struct CivilDate {
+  int64_t year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// \brief Days since 1970-01-01 for a civil date (may be negative).
+/// Errors if month/day are out of range (including month length and leap
+/// years).
+Result<TimePoint> ChrononFromDate(const CivilDate& date);
+
+/// \brief Inverse of ChrononFromDate; total (every chronon is a date).
+CivilDate DateFromChronon(TimePoint t);
+
+/// \brief Parses "YYYY-MM-DD" (with optional leading '-' on the year).
+Result<TimePoint> ParseDate(std::string_view iso);
+
+/// \brief Formats a chronon as "YYYY-MM-DD".
+std::string FormatDate(TimePoint t);
+
+/// \brief The lifespan covering [from, to] as dates (inclusive).
+Result<Lifespan> DateSpan(std::string_view from_iso, std::string_view to_iso);
+
+/// \brief Renders a lifespan with day-calendar semantics, e.g.
+/// "{[2001-05-17..2003-02-01],[2010-01-01]}".
+std::string FormatLifespanAsDates(const Lifespan& l);
+
+}  // namespace hrdm
+
+#endif  // HRDM_CORE_CALENDAR_H_

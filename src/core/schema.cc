@@ -1,0 +1,252 @@
+#include "core/schema.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/format.h"
+
+namespace hrdm {
+
+Result<SchemePtr> RelationScheme::Make(std::string name,
+                                       std::vector<AttributeDef> attributes,
+                                       std::vector<std::string> key) {
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument("relation name is not an identifier: " +
+                                   name);
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("scheme " + name + " has no attributes");
+  }
+  // An empty key is allowed for *derived* schemes (e.g. a projection that
+  // drops the key): such relations use structural set semantics instead of
+  // temporal key uniqueness. Base relations registered in a catalog must
+  // have keys (enforced by storage::Catalog).
+  std::unordered_set<std::string> seen;
+  for (const AttributeDef& a : attributes) {
+    if (!IsIdentifier(a.name)) {
+      return Status::InvalidArgument("attribute name is not an identifier: " +
+                                     a.name);
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute " + a.name +
+                                     " in scheme " + name);
+    }
+    if (a.type == DomainType::kDouble ||
+        a.interpolation != InterpolationKind::kLinear) {
+      // Any type works with discrete/stepwise; linear needs double.
+    } else {
+      return Status::TypeError("attribute " + a.name +
+                               ": linear interpolation requires double");
+    }
+  }
+
+  auto scheme = std::shared_ptr<RelationScheme>(new RelationScheme());
+  scheme->name_ = std::move(name);
+  scheme->attributes_ = std::move(attributes);
+
+  // Scheme lifespan = union of attribute lifespans.
+  Lifespan scheme_ls;
+  for (const AttributeDef& a : scheme->attributes_) {
+    scheme_ls = scheme_ls.Union(a.lifespan);
+  }
+  scheme->scheme_lifespan_ = std::move(scheme_ls);
+
+  // Resolve and validate the key.
+  std::unordered_set<std::string> key_seen;
+  for (const std::string& k : key) {
+    if (!key_seen.insert(k).second) {
+      return Status::InvalidArgument("duplicate key attribute " + k);
+    }
+  }
+  for (size_t i = 0; i < scheme->attributes_.size(); ++i) {
+    const AttributeDef& a = scheme->attributes_[i];
+    if (key_seen.count(a.name)) {
+      scheme->key_.push_back(a.name);
+      scheme->key_indices_.push_back(i);
+      // Section 2: key attribute lifespans must equal the scheme lifespan.
+      if (!(a.lifespan == scheme->scheme_lifespan_)) {
+        return Status::ConstraintViolation(
+            "key attribute " + a.name + " of scheme " + scheme->name_ +
+            " must have the scheme lifespan " +
+            scheme->scheme_lifespan_.ToString() + ", got " +
+            a.lifespan.ToString());
+      }
+      key_seen.erase(a.name);
+    }
+  }
+  if (!key_seen.empty()) {
+    return Status::NotFound("key attribute " + *key_seen.begin() +
+                            " is not an attribute of scheme " + scheme->name_);
+  }
+  return SchemePtr(scheme);
+}
+
+bool RelationScheme::IsKey(size_t index) const {
+  return std::find(key_indices_.begin(), key_indices_.end(), index) !=
+         key_indices_.end();
+}
+
+std::optional<size_t> RelationScheme::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> RelationScheme::RequireIndex(std::string_view name) const {
+  if (auto idx = IndexOf(name)) return *idx;
+  return Status::NotFound("attribute " + std::string(name) +
+                          " not in scheme " + name_);
+}
+
+bool RelationScheme::UnionCompatibleWith(const RelationScheme& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name) return false;
+    if (attributes_[i].type != other.attributes_[i].type) return false;
+  }
+  return true;
+}
+
+bool RelationScheme::MergeCompatibleWith(const RelationScheme& other) const {
+  return UnionCompatibleWith(other) && key_ == other.key_;
+}
+
+Result<SchemePtr> RelationScheme::Combine(std::string name,
+                                          const RelationScheme& left,
+                                          const RelationScheme& right,
+                                          LifespanCombine combine) {
+  if (!left.UnionCompatibleWith(right)) {
+    return Status::IncompatibleSchemes(left.name_ + " and " + right.name_ +
+                                       " are not union-compatible");
+  }
+  std::vector<AttributeDef> attrs = left.attributes_;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const Lifespan& other_ls = right.attributes_[i].lifespan;
+    switch (combine) {
+      case LifespanCombine::kUnion:
+        attrs[i].lifespan = attrs[i].lifespan.Union(other_ls);
+        break;
+      case LifespanCombine::kIntersect:
+        attrs[i].lifespan = attrs[i].lifespan.Intersect(other_ls);
+        break;
+      case LifespanCombine::kLeft:
+        break;
+    }
+  }
+  return Make(std::move(name), std::move(attrs), left.key_);
+}
+
+Result<SchemePtr> RelationScheme::Project(
+    const std::vector<std::string>& names) const {
+  if (names.empty()) {
+    return Status::InvalidArgument("projection list is empty");
+  }
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(names.size());
+  std::unordered_set<std::string> kept;
+  for (const std::string& n : names) {
+    HRDM_ASSIGN_OR_RETURN(size_t idx, RequireIndex(n));
+    if (!kept.insert(n).second) {
+      return Status::InvalidArgument("duplicate attribute in projection: " +
+                                     n);
+    }
+    attrs.push_back(attributes_[idx]);
+  }
+  // Key: the old key if fully retained; otherwise the result is a keyless
+  // derived scheme (structural set semantics — projecting away the key can
+  // legitimately produce tuples whose key vectors collide).
+  bool key_retained = true;
+  for (const std::string& k : key_) {
+    if (!kept.count(k)) {
+      key_retained = false;
+      break;
+    }
+  }
+  std::vector<std::string> new_key;
+  if (key_retained) new_key = key_;
+  // Keep the key-lifespan invariant: key attribute lifespans must equal the
+  // (possibly shrunken) scheme lifespan of the projection.
+  Lifespan scheme_ls;
+  for (const AttributeDef& a : attrs) scheme_ls = scheme_ls.Union(a.lifespan);
+  for (AttributeDef& a : attrs) {
+    if (std::find(new_key.begin(), new_key.end(), a.name) != new_key.end()) {
+      a.lifespan = scheme_ls;
+    }
+  }
+  return Make(name_ + "_proj", std::move(attrs), std::move(new_key));
+}
+
+Result<SchemePtr> RelationScheme::JoinScheme(std::string name,
+                                             const RelationScheme& left,
+                                             const RelationScheme& right) {
+  std::vector<AttributeDef> attrs = left.attributes_;
+  for (const AttributeDef& b : right.attributes_) {
+    auto idx = left.IndexOf(b.name);
+    if (idx.has_value()) {
+      AttributeDef& a = attrs[*idx];
+      if (a.type != b.type) {
+        return Status::IncompatibleSchemes(
+            "shared attribute " + b.name +
+            " has conflicting domains in join of " + left.name_ + " and " +
+            right.name_);
+      }
+      a.lifespan = a.lifespan.Union(b.lifespan);
+    } else {
+      attrs.push_back(b);
+    }
+  }
+  // K1 ∪ K2.
+  std::vector<std::string> key = left.key_;
+  for (const std::string& k : right.key_) {
+    if (std::find(key.begin(), key.end(), k) == key.end()) key.push_back(k);
+  }
+  // Restore the key-lifespan invariant on the combined scheme.
+  Lifespan scheme_ls;
+  for (const AttributeDef& a : attrs) scheme_ls = scheme_ls.Union(a.lifespan);
+  for (AttributeDef& a : attrs) {
+    if (std::find(key.begin(), key.end(), a.name) != key.end()) {
+      a.lifespan = scheme_ls;
+    }
+  }
+  return Make(std::move(name), std::move(attrs), std::move(key));
+}
+
+Result<SchemePtr> RelationScheme::WithAttributeLifespan(
+    std::string_view attr, Lifespan lifespan) const {
+  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireIndex(attr));
+  std::vector<AttributeDef> attrs = attributes_;
+  attrs[idx].lifespan = std::move(lifespan);
+  // Keys must keep spanning the (possibly changed) scheme lifespan.
+  Lifespan scheme_ls;
+  for (const AttributeDef& a : attrs) scheme_ls = scheme_ls.Union(a.lifespan);
+  for (AttributeDef& a : attrs) {
+    if (std::find(key_.begin(), key_.end(), a.name) != key_.end()) {
+      a.lifespan = scheme_ls;
+    }
+  }
+  return Make(name_, std::move(attrs), key_);
+}
+
+bool RelationScheme::SameStructure(const RelationScheme& other) const {
+  return attributes_ == other.attributes_ && key_ == other.key_;
+}
+
+std::string RelationScheme::ToString() const {
+  std::string out = name_;
+  out.push_back('(');
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeDef& a = attributes_[i];
+    out += a.name;
+    if (IsKey(i)) out.push_back('*');
+    out += ": ";
+    out += DomainTypeName(a.type);
+    out += " @";
+    out += a.lifespan.ToString();
+  }
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace hrdm

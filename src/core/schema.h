@@ -1,0 +1,165 @@
+#ifndef HRDM_CORE_SCHEMA_H_
+#define HRDM_CORE_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Relation schemes: `R = <A, K, ALS, DOM>`.
+///
+/// Section 3 of the paper defines a relation scheme as an ordered 4-tuple:
+///  1. `A ⊆ U`   — the attributes of R;
+///  2. `K ⊆ A`   — the key attributes;
+///  3. `ALS : A -> 2^T` — a lifespan for each attribute (this is what makes
+///     *schemes* time-varying, Figure 6's evolving Daily-Trading-Volume);
+///  4. `DOM : A -> HD`  — a historical domain for each attribute, where key
+///     attributes must be constant-valued (`DOM(K_i) ∈ CD`).
+///
+/// The paper further notes (Section 2) that "the lifespan of the relation
+/// schema [is] the union of the lifespans of all of the attributes in the
+/// schema, and we need the constraint that the lifespan of the key
+/// attributes must be the same as the lifespan of the entire relation
+/// schema" — `RelationScheme::Make` validates exactly that.
+///
+/// DOM is represented by a `DomainType` (the *value-domain* `VD(A)`); the
+/// constant-valuedness of keys is a property of tuple values and is
+/// enforced on tuple construction (tuple.h). An attribute with
+/// DomainType::kTime has `DOM(A) ⊆ TT` and unlocks the dynamic TIME-SLICE
+/// and TIME-JOIN.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/interpolation.h"
+#include "core/lifespan.h"
+#include "core/value.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief One attribute of a relation scheme: name, value domain, attribute
+/// lifespan, and the interpolation function used to lift its stored values
+/// to the model level.
+struct AttributeDef {
+  std::string name;
+  DomainType type = DomainType::kInt;
+  /// ALS(A, R): the set of times over which this attribute is defined in
+  /// the scheme.
+  Lifespan lifespan;
+  /// Representation-level → model-level mapping for this attribute.
+  InterpolationKind interpolation = InterpolationKind::kDiscrete;
+
+  bool operator==(const AttributeDef& o) const {
+    return name == o.name && type == o.type && lifespan == o.lifespan &&
+           interpolation == o.interpolation;
+  }
+};
+
+class RelationScheme;
+/// \brief Schemes are immutable once built and shared between relations and
+/// derived relations.
+using SchemePtr = std::shared_ptr<const RelationScheme>;
+
+/// \brief An immutable relation scheme `R = <A, K, ALS, DOM>`.
+class RelationScheme {
+ public:
+  /// \brief Validates and builds a scheme.
+  ///
+  /// An empty `key` builds a *keyless derived scheme* (used by algebra
+  /// results such as key-dropping projections, which use structural set
+  /// semantics); base relations stored in a catalog must be keyed.
+  ///
+  /// Errors:
+  ///  * no attributes, duplicate attribute names, invalid identifiers;
+  ///  * key attribute not in A;
+  ///  * a key attribute whose ALS differs from the scheme lifespan
+  ///    (union of all attribute lifespans), per the Section 2 constraint.
+  static Result<SchemePtr> Make(std::string name,
+                                std::vector<AttributeDef> attributes,
+                                std::vector<std::string> key);
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// \brief Key attribute names, in attribute order.
+  const std::vector<std::string>& key() const { return key_; }
+  /// \brief Indices of the key attributes within attributes().
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+
+  bool IsKey(size_t index) const;
+
+  /// \brief Index of attribute `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// \brief Index of attribute `name`, or NotFound error naming the scheme.
+  Result<size_t> RequireIndex(std::string_view name) const;
+
+  /// \brief ALS(A, R) by index.
+  const Lifespan& AttributeLifespan(size_t i) const {
+    return attributes_[i].lifespan;
+  }
+
+  /// \brief The scheme lifespan: union of all attribute lifespans.
+  const Lifespan& SchemeLifespan() const { return scheme_lifespan_; }
+
+  /// \brief Union compatibility (Section 4.1): same attributes with the
+  /// same domains (names, types, order). ALS may differ.
+  bool UnionCompatibleWith(const RelationScheme& other) const;
+
+  /// \brief Merge compatibility (Section 4.1): union-compatible and the
+  /// same key.
+  bool MergeCompatibleWith(const RelationScheme& other) const;
+
+  /// \brief Derived scheme with identical attributes but each ALS replaced
+  /// by `f(old_als_1, old_als_2)` pointwise against `other` (used by the
+  /// set-theoretic operators: union takes ALS1 ∪ ALS2, intersection
+  /// ALS1 ∩ ALS2). Requires union compatibility.
+  enum class LifespanCombine { kUnion, kIntersect, kLeft };
+  static Result<SchemePtr> Combine(std::string name,
+                                   const RelationScheme& left,
+                                   const RelationScheme& right,
+                                   LifespanCombine combine);
+
+  /// \brief Derived scheme keeping only the attributes in `names` (PROJECT,
+  /// Section 4.2). The result keeps the old key if every key attribute is
+  /// retained; otherwise the result is keyless (structural set semantics —
+  /// the paper leaves the result key implicit).
+  Result<SchemePtr> Project(const std::vector<std::string>& names) const;
+
+  /// \brief Derived scheme for joins (Section 4.6): `R3 = <A1 ∪ A2,
+  /// K1 ∪ K2, ALS1 ∪ ALS2, DOM1 ∪ DOM2>`. Shared attribute names must have
+  /// equal domains; their ALS are unioned. `name` names the result.
+  static Result<SchemePtr> JoinScheme(std::string name,
+                                      const RelationScheme& left,
+                                      const RelationScheme& right);
+
+  /// \brief Derived scheme with one attribute's lifespan replaced
+  /// (schema-evolution primitive used by the catalog).
+  Result<SchemePtr> WithAttributeLifespan(std::string_view attr,
+                                          Lifespan lifespan) const;
+
+  /// \brief Structural equality ignoring the scheme name.
+  bool SameStructure(const RelationScheme& other) const;
+
+  /// \brief e.g. `emp(Name*: string @{[0,49]}, Salary: int @{[0,49]})`,
+  /// `*` marking key attributes.
+  std::string ToString() const;
+
+ private:
+  RelationScheme() = default;
+
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<std::string> key_;
+  std::vector<size_t> key_indices_;
+  Lifespan scheme_lifespan_;
+};
+
+}  // namespace hrdm
+
+#endif  // HRDM_CORE_SCHEMA_H_

@@ -1,0 +1,19 @@
+#include "core/time.h"
+
+#include "util/format.h"
+
+namespace hrdm {
+
+std::string Interval::ToString() const {
+  std::string out;
+  out.push_back('[');
+  AppendInt(&out, begin);
+  if (end != begin) {
+    out.push_back(',');
+    AppendInt(&out, end);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,85 @@
+#ifndef HRDM_CORE_TIME_H_
+#define HRDM_CORE_TIME_H_
+
+/// \file time.h
+/// \brief The time domain `T` of HRDM: discrete time points and closed
+/// intervals.
+///
+/// Section 3 of the paper: "Let T = {..., t0, t1, ...} be a set of times, at
+/// most countably infinite, over which is defined the linear (total) order
+/// <_T ... the reader can assume that T is isomorphic to the natural
+/// numbers". We model a time point as a 64-bit chronon index. A *closed
+/// interval* `[t1, t2]` is the set {t | t1 <= t <= t2}; because time is
+/// discrete, intervals are exactly finite runs of consecutive chronons.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hrdm {
+
+/// \brief A chronon index into the discrete time line `T`.
+using TimePoint = int64_t;
+
+/// \brief Smallest representable time point (used as "-infinity" sentinel in
+/// workload code; never stored in lifespans produced by the algebra).
+inline constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
+
+/// \brief Largest representable time point. The paper's "now / forever"
+/// upper bound can be modelled with any large chronon; kTimeMax is reserved
+/// as a sentinel.
+inline constexpr TimePoint kTimeMax = std::numeric_limits<TimePoint>::max();
+
+/// \brief A closed interval `[begin, end]` of the discrete time line;
+/// represents the set of chronons {t | begin <= t <= end}.
+///
+/// Invariant (checked by `valid()`, enforced by Lifespan): begin <= end.
+/// Single chronons are intervals with begin == end.
+struct Interval {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint b, TimePoint e) : begin(b), end(e) {}
+
+  /// \brief The single-chronon interval [t, t].
+  static constexpr Interval At(TimePoint t) { return Interval(t, t); }
+
+  constexpr bool valid() const { return begin <= end; }
+
+  /// \brief Number of chronons in the interval. Requires valid().
+  constexpr uint64_t length() const {
+    return static_cast<uint64_t>(end - begin) + 1;
+  }
+
+  constexpr bool contains(TimePoint t) const { return begin <= t && t <= end; }
+
+  /// \brief True if the two intervals share at least one chronon.
+  constexpr bool overlaps(const Interval& o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+
+  /// \brief True if `o` starts immediately after this interval ends (or
+  /// vice versa), so their union is a single run of chronons.
+  constexpr bool adjacent(const Interval& o) const {
+    return (end != kTimeMax && end + 1 == o.begin) ||
+           (o.end != kTimeMax && o.end + 1 == begin);
+  }
+
+  /// \brief Intersection; returns an invalid interval when disjoint.
+  constexpr Interval intersect(const Interval& o) const {
+    return Interval(begin > o.begin ? begin : o.begin,
+                    end < o.end ? end : o.end);
+  }
+
+  constexpr bool operator==(const Interval& o) const {
+    return begin == o.begin && end == o.end;
+  }
+
+  /// \brief Renders "[b,e]" or "[t]" for single chronons.
+  std::string ToString() const;
+};
+
+}  // namespace hrdm
+
+#endif  // HRDM_CORE_TIME_H_

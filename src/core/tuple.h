@@ -1,0 +1,176 @@
+#ifndef HRDM_CORE_TUPLE_H_
+#define HRDM_CORE_TUPLE_H_
+
+/// \file tuple.h
+/// \brief Historical tuples: `t = <v, l>`.
+///
+/// Section 3 of the paper: "A tuple t on scheme R is an ordered pair,
+/// t = <v, l>, where t.l, the lifespan of tuple t, is a lifespan, and t.v,
+/// the value of the tuple, is a mapping such that for all attributes A ∈ R,
+/// t.v(A) is a mapping in t.l ∩ ALS(A,R) -> DOM(A)."
+///
+/// The *value lifespan* of attribute A in tuple t is
+/// `vls(t,A,R) = t.l ∩ ALS(A,R)` — the set of times over which the value is
+/// defined (Figures 7–8). Tuple values are therefore heterogeneous in the
+/// temporal dimension: each attribute is clipped both by the tuple's
+/// lifespan and by its own attribute lifespan.
+///
+/// Invariants enforced by `Tuple::Builder::Build` and preserved by all
+/// algebra operators:
+///  * the domain of every stored value is contained in `vls(t,A,R)`;
+///  * every value's range type matches `DOM(A)`;
+///  * key attribute values are constant-valued (`DOM(K) ⊆ CD`) and total on
+///    `vls` (so the temporal key-uniqueness condition of Section 3 is
+///    well-defined at every chronon of the tuple's lifespan).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/interpolation.h"
+#include "core/lifespan.h"
+#include "core/schema.h"
+#include "core/temporal_value.h"
+#include "core/value.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief An immutable historical tuple `<v, l>` bound to a scheme.
+class Tuple {
+ public:
+  /// \brief Incremental construction of a valid tuple.
+  class Builder {
+   public:
+    /// \brief Starts a tuple on `scheme` with lifespan `lifespan`.
+    Builder(SchemePtr scheme, Lifespan lifespan);
+
+    /// \brief Sets attribute `attr` to the temporal function `value`.
+    /// The function is clipped to `vls(t, attr, R)` automatically.
+    Builder& Set(std::string_view attr, TemporalValue value);
+
+    /// \brief Sets attribute `attr` to the constant function over the whole
+    /// `vls(t, attr, R)` — the `<lifespan, value>` pair coding of CD.
+    Builder& SetConstant(std::string_view attr, Value value);
+
+    /// \brief Sets attribute `attr` at a single chronon.
+    Builder& SetAt(std::string_view attr, TimePoint t, Value value);
+
+    /// \brief Validates invariants and produces the tuple. Errors:
+    /// unknown attribute names, type mismatches, values escaping their
+    /// `vls`, non-constant or partial key values, empty tuple lifespan.
+    Result<Tuple> Build() &&;
+
+   private:
+    SchemePtr scheme_;
+    Lifespan lifespan_;
+    std::vector<TemporalValue> values_;
+    std::vector<std::vector<Segment>> pending_;  // per attribute
+    Status deferred_error_;
+  };
+
+  /// \brief Low-level constructor used by the algebra, which derives tuples
+  /// whose invariants follow from its own definitions (e.g. Cartesian
+  /// products legitimately have key values that are partial on the combined
+  /// lifespan — the paper's "null values" discussion in Section 5). The
+  /// caller must supply one value per scheme attribute; this is checked,
+  /// the Builder's richer validation is not re-run.
+  static Tuple FromParts(SchemePtr scheme, Lifespan lifespan,
+                         std::vector<TemporalValue> values);
+
+  const SchemePtr& scheme() const { return scheme_; }
+  const Lifespan& lifespan() const { return lifespan_; }
+
+  size_t arity() const { return values_.size(); }
+
+  /// \brief The stored (representation-level) temporal function of
+  /// attribute `i`.
+  const TemporalValue& value(size_t i) const { return values_[i]; }
+
+  /// \brief Stored function by attribute name; NotFound for unknown names.
+  Result<TemporalValue> value(std::string_view attr) const;
+
+  /// \brief `vls(t, A, R) = t.l ∩ ALS(A, R)` for attribute `i`.
+  Lifespan Vls(size_t i) const {
+    return lifespan_.Intersect(scheme_->AttributeLifespan(i));
+  }
+
+  /// \brief `vls(t, X, R)` for a set of attribute indices: the intersection
+  /// of the individual value lifespans (paper's extension of vls to sets).
+  Lifespan VlsOf(const std::vector<size_t>& indices) const;
+
+  /// \brief Stored value of attribute `i` at chronon `s` — the paper's
+  /// `t(A)(s)`; absent when `s` is outside the stored function's domain.
+  Value ValueAt(size_t i, TimePoint s) const { return values_[i].ValueAt(s); }
+
+  /// \brief Model-level value of attribute `i` at chronon `s`: applies the
+  /// attribute's interpolation function over `vls` before evaluating, so a
+  /// stepwise attribute answers queries between stored changes (Figure 9).
+  Result<Value> ModelValueAt(size_t i, TimePoint s) const;
+
+  /// \brief The full model-level function of attribute `i` on its `vls`.
+  Result<TemporalValue> ModelValue(size_t i) const;
+
+  /// \brief The model-level view of this tuple: every attribute value
+  /// interpolated into a total function on its `vls` (Figure 9's
+  /// representation → model mapping). Idempotent. The algebra operates on
+  /// materialized tuples so that restriction (TIME-SLICE, SELECT-WHEN,
+  /// joins) restricts the *model-level* function — restricting the sparse
+  /// stored representation instead would drop stepwise anchors that extend
+  /// into the restriction window and silently change query answers.
+  Result<Tuple> Materialized() const;
+
+  /// \brief The constant key values, in key-attribute order.
+  std::vector<Value> KeyValues() const;
+
+  /// \brief Hash of the key values (for relation key indexes).
+  uint64_t KeyHash() const;
+
+  /// \brief True if this tuple and `other` have equal key vectors at all
+  /// pairs of chronons — with constant keys, equal key value vectors
+  /// (mergability condition 2 / key-uniqueness condition of Section 3).
+  bool SameKeyAs(const Tuple& other) const;
+
+  /// \brief Mergability (Section 4.1): same key value and non-contradicting
+  /// values at every common chronon. Scheme merge-compatibility is checked
+  /// by the caller (it is a property of relations).
+  bool MergeableWith(const Tuple& other) const;
+
+  /// \brief The merge `t1 + t2` (Section 4.1): lifespan union, pointwise
+  /// function union. `result_scheme` is the merged scheme (ALS unions).
+  /// Errors if not mergeable.
+  Result<Tuple> Merge(const Tuple& other, SchemePtr result_scheme) const;
+
+  /// \brief The restriction `t|_L`: lifespan becomes `t.l ∩ L`, every value
+  /// clipped to its new vls. The result may have an empty lifespan; such
+  /// tuples are dropped by the algebra rather than inserted.
+  Tuple Restrict(const Lifespan& l, SchemePtr result_scheme) const;
+
+  /// \brief Rebinds the tuple to a structurally compatible scheme (same
+  /// attribute names/types; ALS may differ — values are re-clipped).
+  Tuple Rebind(SchemePtr scheme) const;
+
+  /// \brief Structural equality: same lifespan and same stored functions
+  /// (scheme pointers may differ if structurally equal).
+  bool operator==(const Tuple& other) const;
+
+  /// \brief 64-bit structural hash (lifespan + values).
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class Builder;
+  Tuple(SchemePtr scheme, Lifespan lifespan, std::vector<TemporalValue> values)
+      : scheme_(std::move(scheme)),
+        lifespan_(std::move(lifespan)),
+        values_(std::move(values)) {}
+
+  SchemePtr scheme_;
+  Lifespan lifespan_;
+  std::vector<TemporalValue> values_;
+};
+
+}  // namespace hrdm
+
+#endif  // HRDM_CORE_TUPLE_H_

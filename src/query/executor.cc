@@ -1,0 +1,138 @@
+#include "query/executor.h"
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "algebra/timeslice.h"
+#include "algebra/when.h"
+#include "query/parser.h"
+
+namespace hrdm::query {
+
+Resolver DatabaseResolver(const storage::Database& db) {
+  return [&db](std::string_view name) { return db.Get(name); };
+}
+
+Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
+  if (!expr) return Status::InvalidArgument("null expression");
+  switch (expr->kind) {
+    case ExprKind::kRelationRef: {
+      HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
+      return *rel;
+    }
+    case ExprKind::kSelectIf: {
+      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
+      if (expr->window) {
+        HRDM_ASSIGN_OR_RETURN(Lifespan window,
+                              EvalLifespan(expr->window, resolver));
+        return SelectIf(input, *expr->predicate, expr->quantifier, window);
+      }
+      return SelectIf(input, *expr->predicate, expr->quantifier);
+    }
+    case ExprKind::kSelectWhen: {
+      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
+      return SelectWhen(input, *expr->predicate);
+    }
+    case ExprKind::kProject: {
+      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
+      return Project(input, expr->attrs);
+    }
+    case ExprKind::kTimeSlice: {
+      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Lifespan window,
+                            EvalLifespan(expr->window, resolver));
+      return TimeSlice(input, window);
+    }
+    case ExprKind::kDynSlice: {
+      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
+      return TimeSliceDynamic(input, expr->attr_a);
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO:
+    case ExprKind::kProduct: {
+      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
+      switch (expr->kind) {
+        case ExprKind::kUnion:
+          return Union(l, r);
+        case ExprKind::kIntersect:
+          return Intersect(l, r);
+        case ExprKind::kDifference:
+          return Difference(l, r);
+        case ExprKind::kUnionO:
+          return UnionO(l, r);
+        case ExprKind::kIntersectO:
+          return IntersectO(l, r);
+        case ExprKind::kDifferenceO:
+          return DifferenceO(l, r);
+        default:
+          return CartesianProduct(l, r);
+      }
+    }
+    case ExprKind::kThetaJoin: {
+      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
+      return ThetaJoin(l, expr->attr_a, expr->op, r, expr->attr_b);
+    }
+    case ExprKind::kNaturalJoin: {
+      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
+      return NaturalJoin(l, r);
+    }
+    case ExprKind::kTimeJoin: {
+      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
+      return TimeJoin(l, expr->attr_a, r);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db) {
+  return Eval(expr, DatabaseResolver(db));
+}
+
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
+                              const Resolver& resolver) {
+  if (!expr) return Status::InvalidArgument("null lifespan expression");
+  switch (expr->kind) {
+    case LsExprKind::kLiteral:
+      return expr->literal;
+    case LsExprKind::kWhen: {
+      HRDM_ASSIGN_OR_RETURN(Relation rel, Eval(expr->relation, resolver));
+      return When(rel);
+    }
+    case LsExprKind::kUnion:
+    case LsExprKind::kIntersect:
+    case LsExprKind::kDifference: {
+      HRDM_ASSIGN_OR_RETURN(Lifespan l, EvalLifespan(expr->left, resolver));
+      HRDM_ASSIGN_OR_RETURN(Lifespan r, EvalLifespan(expr->right, resolver));
+      switch (expr->kind) {
+        case LsExprKind::kUnion:
+          return l.Union(r);
+        case LsExprKind::kIntersect:
+          return l.Intersect(r);
+        default:
+          return l.Difference(r);
+      }
+    }
+  }
+  return Status::Internal("unhandled lifespan expression kind");
+}
+
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
+                              const storage::Database& db) {
+  return EvalLifespan(expr, DatabaseResolver(db));
+}
+
+Result<Relation> Run(std::string_view hrql, const storage::Database& db) {
+  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
+  return Eval(expr, db);
+}
+
+}  // namespace hrdm::query

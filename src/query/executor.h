@@ -1,0 +1,43 @@
+#ifndef HRDM_QUERY_EXECUTOR_H_
+#define HRDM_QUERY_EXECUTOR_H_
+
+/// \file executor.h
+/// \brief Evaluation of HRQL query trees against a database.
+///
+/// The executor is a direct, recursive interpreter: each AST node maps to
+/// the corresponding operator in src/algebra. Because the algebra is
+/// multi-sorted, evaluation comes in two flavors — `Eval` for
+/// relation-sorted and `EvalLifespan` for lifespan-sorted expressions
+/// (where `when(e)` first evaluates `e` and then applies Ω).
+
+#include <functional>
+#include <string_view>
+
+#include "core/relation.h"
+#include "query/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace hrdm::query {
+
+/// \brief Resolves a base-relation name to a stored relation.
+using Resolver = std::function<Result<const Relation*>(std::string_view)>;
+
+/// \brief Wraps a Database as a Resolver.
+Resolver DatabaseResolver(const storage::Database& db);
+
+/// \brief Evaluates a relation-sorted expression.
+Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver);
+Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db);
+
+/// \brief Evaluates a lifespan-sorted expression.
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr, const Resolver& resolver);
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
+                              const storage::Database& db);
+
+/// \brief Convenience: parse and evaluate a relation-sorted HRQL string.
+Result<Relation> Run(std::string_view hrql, const storage::Database& db);
+
+}  // namespace hrdm::query
+
+#endif  // HRDM_QUERY_EXECUTOR_H_

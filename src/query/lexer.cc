@@ -1,0 +1,212 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/format.h"
+
+namespace hrdm::query {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kTime:
+      return "time literal";
+    case TokenKind::kEnd:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(
+        StrPrintf("%s at offset %zu", msg.c_str(), i));
+  };
+  auto push = [&](TokenKind kind, size_t at, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, start,
+           std::string(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool is_double = false;
+      while (j < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[j])) ||
+              input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_double) return error("malformed number");
+          is_double = true;
+        }
+        ++j;
+      }
+      const std::string text(input.substr(i, j - i));
+      Token t;
+      t.offset = start;
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '@': {
+        size_t j = i + 1;
+        bool neg = false;
+        if (j < input.size() && input[j] == '-') {
+          neg = true;
+          ++j;
+        }
+        size_t digits_start = j;
+        while (j < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+        if (j == digits_start) return error("expected digits after '@'");
+        Token t;
+        t.kind = TokenKind::kTime;
+        t.offset = start;
+        t.time_value = std::strtoll(
+            std::string(input.substr(i + 1, j - i - 1)).c_str(), nullptr, 10);
+        if (neg) {
+          // strtoll already handled the sign via the '-' in the substring.
+        }
+        tokens.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      case '"': {
+        std::string text;
+        size_t j = i + 1;
+        bool closed = false;
+        while (j < input.size()) {
+          if (input[j] == '\\' && j + 1 < input.size()) {
+            text.push_back(input[j + 1]);
+            j += 2;
+            continue;
+          }
+          if (input[j] == '"') {
+            closed = true;
+            ++j;
+            break;
+          }
+          text.push_back(input[j]);
+          ++j;
+        }
+        if (!closed) return error("unterminated string literal");
+        Token t;
+        t.kind = TokenKind::kString;
+        t.text = std::move(text);
+        t.offset = start;
+        tokens.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      case '(':
+        push(TokenKind::kLParen, start, "(");
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start, ")");
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start, ",");
+        ++i;
+        continue;
+      case '{':
+        push(TokenKind::kLBrace, start, "{");
+        ++i;
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, start, "}");
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start, "[");
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start, "]");
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, start, "=");
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNe, start, "!=");
+          i += 2;
+          continue;
+        }
+        return error("expected '=' after '!'");
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kLe, start, "<=");
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start, "<");
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kGe, start, ">=");
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start, ">");
+          ++i;
+        }
+        continue;
+      default:
+        return error(StrPrintf("unexpected character '%c'", c));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace hrdm::query

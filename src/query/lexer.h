@@ -1,0 +1,64 @@
+#ifndef HRDM_QUERY_LEXER_H_
+#define HRDM_QUERY_LEXER_H_
+
+/// \file lexer.h
+/// \brief Tokenizer for HRQL, the textual form of the HRDM algebra.
+///
+/// Token classes:
+///  * identifiers / keywords: `[A-Za-z_][A-Za-z0-9_]*` (keywords are
+///    recognised case-insensitively by the parser);
+///  * integer and floating literals: `-?[0-9]+(\.[0-9]+)?`;
+///  * string literals: double-quoted with backslash escapes;
+///  * time literals: `@` followed by an integer (e.g. `@17` is chronon 17);
+///  * punctuation: `( ) , { } [ ]` and the comparison operators
+///    `= != < <= > >=`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "util/status.h"
+
+namespace hrdm::query {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,
+  kInt,
+  kDouble,
+  kString,
+  kTime,     // @N
+  kLParen,
+  kRParen,
+  kComma,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kEq,       // =
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier / string payload
+  int64_t int_value = 0;
+  double double_value = 0;
+  TimePoint time_value = 0;
+  size_t offset = 0;    // byte offset in the input, for error messages
+
+  std::string Describe() const;
+};
+
+/// \brief Tokenizes `input`; fails with ParseError (and offset) on
+/// malformed lexemes. The result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace hrdm::query
+
+#endif  // HRDM_QUERY_LEXER_H_

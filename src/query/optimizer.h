@@ -1,0 +1,61 @@
+#ifndef HRDM_QUERY_OPTIMIZER_H_
+#define HRDM_QUERY_OPTIMIZER_H_
+
+/// \file optimizer.h
+/// \brief Algebraic rewrite optimizer for HRQL query trees.
+///
+/// Section 5 of the paper sketches the algebraic identities of the
+/// historical algebra: "the commutativity of select, the distribution of
+/// select over the binary set-theoretic operators ... the distribution of
+/// TIMESLICE over the binary set-theoretic operators, commutativity of
+/// TIMESLICE with both flavors of SELECT". The optimizer implements these
+/// as rewrite rules; tests/optimizer_test.cc verifies on random databases
+/// that every rewrite preserves the query answer, which operationalises the
+/// paper's claims.
+///
+/// Implemented rules (all answer-preserving, property-tested):
+///
+///  1. timeslice fusion:
+///       timeslice(timeslice(e, L1), L2) → timeslice(e, L1 ∩ L2)
+///  2. select-when fusion (commutativity of select):
+///       select_when(select_when(e, p1), p2) → select_when(e, p1 AND p2)
+///  3. TIMESLICE/SELECT-WHEN commutativity, used to push the slice down:
+///       timeslice(select_when(e, p), L) → select_when(timeslice(e, L), p)
+///  4. distribution over UNION (for rewriting operators):
+///       timeslice(union(e1, e2), L) → union(timeslice(e1,L), timeslice(e2,L))
+///       select_when(union(e1, e2), p) → union(select_when(e1,p), ...)
+///  5. SELECT-IF distribution over all three set operators (SELECT-IF is a
+///     pure tuple filter, so it distributes over ∪, ∩ and −):
+///       select_if(union(e1,e2), ...) → union(select_if(e1,...), ...), etc.
+///  6. projection fusion:
+///       project(project(e, X), Y) → project(e, Y)
+///  7. lifespan-literal folding inside window expressions
+///     (lunion/lintersect/lminus of literals).
+///
+/// Note the asymmetry the paper glosses over: TIMESLICE and SELECT-WHEN
+/// *rewrite* tuples, so they distribute over ∪ but not over ∩ or − (two
+/// different tuples can become equal after restriction); SELECT-IF filters
+/// whole tuples and distributes over all three. The test suite demonstrates
+/// the ∪-only distribution with counterexamples for −.
+
+#include "query/ast.h"
+
+namespace hrdm::query {
+
+/// \brief Statistics from one Optimize run.
+struct OptimizerStats {
+  int rules_applied = 0;
+  int passes = 0;
+};
+
+/// \brief Applies the rewrite rules to a fixpoint (bounded) and returns the
+/// rewritten tree. `stats`, if non-null, receives counters.
+ExprPtr Optimize(const ExprPtr& expr, OptimizerStats* stats = nullptr);
+
+/// \brief Rewrites a lifespan-sorted tree (literal folding, recursion into
+/// when()).
+LsExprPtr OptimizeLs(const LsExprPtr& expr, OptimizerStats* stats = nullptr);
+
+}  // namespace hrdm::query
+
+#endif  // HRDM_QUERY_OPTIMIZER_H_

@@ -1,0 +1,353 @@
+#include "storage/changelog.h"
+
+#include "storage/serializer.h"
+
+namespace hrdm::storage {
+
+namespace {
+
+void PutKey(std::string* out, const std::vector<Value>& key) {
+  PutVarint(out, key.size());
+  for (const Value& v : key) EncodeValue(out, v);
+}
+
+Result<std::vector<Value>> GetKey(Reader* r) {
+  HRDM_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > r->remaining()) return Status::Corruption("key too large");
+  std::vector<Value> key;
+  key.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HRDM_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+void PutAttributeDef(std::string* out, const AttributeDef& def) {
+  PutString(out, def.name);
+  PutVarint(out, static_cast<uint64_t>(def.type));
+  PutVarint(out, static_cast<uint64_t>(def.interpolation));
+  EncodeLifespan(out, def.lifespan);
+}
+
+Result<AttributeDef> GetAttributeDef(Reader* r) {
+  AttributeDef def;
+  HRDM_ASSIGN_OR_RETURN(def.name, r->GetString());
+  HRDM_ASSIGN_OR_RETURN(uint64_t type, r->GetVarint());
+  if (type > static_cast<uint64_t>(DomainType::kTime)) {
+    return Status::Corruption("bad domain type tag");
+  }
+  def.type = static_cast<DomainType>(type);
+  HRDM_ASSIGN_OR_RETURN(uint64_t interp, r->GetVarint());
+  if (interp > static_cast<uint64_t>(InterpolationKind::kLinear)) {
+    return Status::Corruption("bad interpolation tag");
+  }
+  def.interpolation = static_cast<InterpolationKind>(interp);
+  HRDM_ASSIGN_OR_RETURN(def.lifespan, DecodeLifespan(r));
+  return def;
+}
+
+}  // namespace
+
+std::string ChangeLog::Encode() const {
+  std::string out;
+  for (const std::string& rec : records_) {
+    PutString(&out, rec);
+  }
+  return out;
+}
+
+Result<ChangeLog> ChangeLog::Decode(std::string_view data) {
+  ChangeLog log;
+  Reader r(data);
+  while (!r.AtEnd()) {
+    auto rec = r.GetString();
+    if (!rec.ok()) {
+      // Torn tail: keep everything decoded so far.
+      break;
+    }
+    log.records_.push_back(std::move(rec).value());
+  }
+  return log;
+}
+
+Status ChangeLog::SaveTo(const std::string& path) const {
+  return WriteFile(path, Encode());
+}
+
+Result<ChangeLog> ChangeLog::LoadFrom(const std::string& path) {
+  HRDM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return Decode(data);
+}
+
+void ChangeLog::LogCreateRelation(const RelationScheme& scheme) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kCreateRelation));
+  EncodeScheme(&rec, scheme);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogDropRelation(std::string_view name) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kDropRelation));
+  PutString(&rec, name);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogInsert(std::string_view relation, const Tuple& t) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kInsert));
+  PutString(&rec, relation);
+  EncodeTuple(&rec, t);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogAssign(std::string_view relation,
+                          const std::vector<Value>& key,
+                          std::string_view attr, const Lifespan& span,
+                          const Value& value) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kAssign));
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  PutString(&rec, attr);
+  EncodeLifespan(&rec, span);
+  EncodeValue(&rec, value);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogEndLifespan(std::string_view relation,
+                               const std::vector<Value>& key, TimePoint at) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kEndLifespan));
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  PutSignedVarint(&rec, at);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogReincarnate(std::string_view relation,
+                               const std::vector<Value>& key,
+                               const Lifespan& span) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kReincarnate));
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  EncodeLifespan(&rec, span);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogAddAttribute(std::string_view relation,
+                                const AttributeDef& def) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kAddAttribute));
+  PutString(&rec, relation);
+  PutAttributeDef(&rec, def);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogCloseAttribute(std::string_view relation,
+                                  std::string_view attr, TimePoint at) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kCloseAttribute));
+  PutString(&rec, relation);
+  PutString(&rec, attr);
+  PutSignedVarint(&rec, at);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogReopenAttribute(std::string_view relation,
+                                   std::string_view attr,
+                                   const Lifespan& span) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kReopenAttribute));
+  PutString(&rec, relation);
+  PutString(&rec, attr);
+  EncodeLifespan(&rec, span);
+  records_.push_back(std::move(rec));
+}
+
+void ChangeLog::LogRegisterForeignKey(const ForeignKey& fk) {
+  std::string rec;
+  rec.push_back(static_cast<char>(OpKind::kRegisterForeignKey));
+  PutString(&rec, fk.child);
+  PutVarint(&rec, fk.attrs.size());
+  for (const std::string& a : fk.attrs) PutString(&rec, a);
+  PutString(&rec, fk.parent);
+  records_.push_back(std::move(rec));
+}
+
+Status ChangeLog::Replay(Database* db) const {
+  for (const std::string& rec : records_) {
+    if (rec.empty()) return Status::Corruption("empty log record");
+    const OpKind kind = static_cast<OpKind>(rec[0]);
+    Reader r(std::string_view(rec).substr(1));
+    switch (kind) {
+      case OpKind::kCreateRelation: {
+        HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, DecodeScheme(&r));
+        HRDM_RETURN_IF_ERROR(db->CreateRelation(std::move(scheme)));
+        break;
+      }
+      case OpKind::kDropRelation: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_RETURN_IF_ERROR(db->DropRelation(name));
+        break;
+      }
+      case OpKind::kInsert: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(const Relation* rel, db->Get(name));
+        HRDM_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&r, rel->scheme()));
+        HRDM_RETURN_IF_ERROR(db->Insert(name, std::move(t)));
+        break;
+      }
+      case OpKind::kAssign: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+        HRDM_ASSIGN_OR_RETURN(Value v, DecodeValue(&r));
+        HRDM_RETURN_IF_ERROR(db->Assign(name, key, attr, span, v));
+        break;
+      }
+      case OpKind::kEndLifespan: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+        HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
+        HRDM_RETURN_IF_ERROR(db->EndLifespan(name, key, at));
+        break;
+      }
+      case OpKind::kReincarnate: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+        HRDM_RETURN_IF_ERROR(db->Reincarnate(name, key, span));
+        break;
+      }
+      case OpKind::kAddAttribute: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(AttributeDef def, GetAttributeDef(&r));
+        HRDM_RETURN_IF_ERROR(db->AddAttribute(name, std::move(def)));
+        break;
+      }
+      case OpKind::kCloseAttribute: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
+        HRDM_RETURN_IF_ERROR(db->CloseAttribute(name, attr, at));
+        break;
+      }
+      case OpKind::kReopenAttribute: {
+        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+        HRDM_RETURN_IF_ERROR(db->ReopenAttribute(name, attr, span));
+        break;
+      }
+      case OpKind::kRegisterForeignKey: {
+        HRDM_ASSIGN_OR_RETURN(std::string child, r.GetString());
+        HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+        std::vector<std::string> attrs;
+        for (uint64_t i = 0; i < n; ++i) {
+          HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
+          attrs.push_back(std::move(a));
+        }
+        HRDM_ASSIGN_OR_RETURN(std::string parent, r.GetString());
+        HRDM_RETURN_IF_ERROR(db->RegisterForeignKey(
+            std::move(child), std::move(attrs), std::move(parent)));
+        break;
+      }
+      default:
+        return Status::Corruption("unknown log record kind");
+    }
+  }
+  return Status::OK();
+}
+
+// --- LoggedDatabase ---------------------------------------------------------
+
+Status LoggedDatabase::CreateRelation(std::string name,
+                                      std::vector<AttributeDef> attributes,
+                                      std::vector<std::string> key) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make(std::move(name),
+                                             std::move(attributes),
+                                             std::move(key)));
+  HRDM_RETURN_IF_ERROR(db_.CreateRelation(scheme));
+  log_.LogCreateRelation(*scheme);
+  return Status::OK();
+}
+
+Status LoggedDatabase::DropRelation(std::string_view name) {
+  HRDM_RETURN_IF_ERROR(db_.DropRelation(name));
+  log_.LogDropRelation(name);
+  return Status::OK();
+}
+
+Status LoggedDatabase::Insert(std::string_view relation, Tuple t) {
+  // Apply first (on a copy), log only successful mutations.
+  Tuple copy = t;
+  HRDM_RETURN_IF_ERROR(db_.Insert(relation, std::move(copy)));
+  log_.LogInsert(relation, t);
+  return Status::OK();
+}
+
+Status LoggedDatabase::Assign(std::string_view relation,
+                              const std::vector<Value>& key,
+                              std::string_view attr, const Lifespan& span,
+                              const Value& value) {
+  HRDM_RETURN_IF_ERROR(db_.Assign(relation, key, attr, span, value));
+  log_.LogAssign(relation, key, attr, span, value);
+  return Status::OK();
+}
+
+Status LoggedDatabase::EndLifespan(std::string_view relation,
+                                   const std::vector<Value>& key,
+                                   TimePoint at) {
+  HRDM_RETURN_IF_ERROR(db_.EndLifespan(relation, key, at));
+  log_.LogEndLifespan(relation, key, at);
+  return Status::OK();
+}
+
+Status LoggedDatabase::Reincarnate(std::string_view relation,
+                                   const std::vector<Value>& key,
+                                   const Lifespan& span) {
+  HRDM_RETURN_IF_ERROR(db_.Reincarnate(relation, key, span));
+  log_.LogReincarnate(relation, key, span);
+  return Status::OK();
+}
+
+Status LoggedDatabase::AddAttribute(std::string_view relation,
+                                    AttributeDef def) {
+  AttributeDef copy = def;
+  HRDM_RETURN_IF_ERROR(db_.AddAttribute(relation, std::move(copy)));
+  log_.LogAddAttribute(relation, def);
+  return Status::OK();
+}
+
+Status LoggedDatabase::CloseAttribute(std::string_view relation,
+                                      std::string_view attr, TimePoint at) {
+  HRDM_RETURN_IF_ERROR(db_.CloseAttribute(relation, attr, at));
+  log_.LogCloseAttribute(relation, attr, at);
+  return Status::OK();
+}
+
+Status LoggedDatabase::ReopenAttribute(std::string_view relation,
+                                       std::string_view attr,
+                                       const Lifespan& span) {
+  HRDM_RETURN_IF_ERROR(db_.ReopenAttribute(relation, attr, span));
+  log_.LogReopenAttribute(relation, attr, span);
+  return Status::OK();
+}
+
+Status LoggedDatabase::RegisterForeignKey(std::string child,
+                                          std::vector<std::string> attrs,
+                                          std::string parent) {
+  ForeignKey fk{child, attrs, parent};
+  HRDM_RETURN_IF_ERROR(db_.RegisterForeignKey(std::move(child),
+                                              std::move(attrs),
+                                              std::move(parent)));
+  log_.LogRegisterForeignKey(fk);
+  return Status::OK();
+}
+
+}  // namespace hrdm::storage

@@ -1,0 +1,304 @@
+#include "storage/database.h"
+
+#include "storage/serializer.h"
+
+namespace hrdm::storage {
+
+Status Database::CreateRelation(std::string name,
+                                std::vector<AttributeDef> attributes,
+                                std::vector<std::string> key) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make(std::move(name),
+                                             std::move(attributes),
+                                             std::move(key)));
+  return CreateRelation(std::move(scheme));
+}
+
+Status Database::CreateRelation(SchemePtr scheme) {
+  HRDM_RETURN_IF_ERROR(catalog_.Register(scheme));
+  relations_.emplace(scheme->name(), Relation(scheme));
+  return Status::OK();
+}
+
+Status Database::DropRelation(std::string_view name) {
+  HRDM_RETURN_IF_ERROR(catalog_.Drop(name));
+  relations_.erase(relations_.find(name));
+  for (const ForeignKey& fk : fks_) {
+    if (fk.child == name || fk.parent == name) {
+      // Drop dependent FK declarations silently; integrity of the rest is
+      // unaffected.
+    }
+  }
+  std::erase_if(fks_, [&](const ForeignKey& fk) {
+    return fk.child == name || fk.parent == name;
+  });
+  return Status::OK();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  return catalog_.Names();
+}
+
+Result<const Relation*> Database::Get(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + std::string(name) + " not found");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutable(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + std::string(name) + " not found");
+  }
+  return &it->second;
+}
+
+Status Database::Rebind(std::string_view relation) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, catalog_.Get(relation));
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+  Relation rebound(scheme);
+  for (const Tuple& t : *rel) {
+    HRDM_RETURN_IF_ERROR(rebound.Insert(t.Rebind(scheme)));
+  }
+  *rel = std::move(rebound);
+  return Status::OK();
+}
+
+Status Database::AddAttribute(std::string_view relation, AttributeDef def) {
+  HRDM_RETURN_IF_ERROR(catalog_.AddAttribute(relation, std::move(def)));
+  return Rebind(relation);
+}
+
+Status Database::CloseAttribute(std::string_view relation,
+                                std::string_view attr, TimePoint at) {
+  HRDM_RETURN_IF_ERROR(catalog_.CloseAttribute(relation, attr, at));
+  return Rebind(relation);
+}
+
+Status Database::ReopenAttribute(std::string_view relation,
+                                 std::string_view attr,
+                                 const Lifespan& span) {
+  HRDM_RETURN_IF_ERROR(catalog_.ReopenAttribute(relation, attr, span));
+  return Rebind(relation);
+}
+
+Status Database::Insert(std::string_view relation, Tuple t) {
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+  return rel->Insert(std::move(t));
+}
+
+Result<size_t> Database::RequireTuple(const Relation& rel,
+                                      const std::vector<Value>& key) const {
+  auto idx = rel.FindByKey(key);
+  if (!idx.has_value()) {
+    std::string key_str;
+    for (const Value& v : key) {
+      if (!key_str.empty()) key_str += ",";
+      key_str += v.ToString();
+    }
+    return Status::NotFound("no tuple with key (" + key_str + ") in " +
+                            rel.scheme()->name());
+  }
+  return *idx;
+}
+
+Status Database::Assign(std::string_view relation,
+                        const std::vector<Value>& key, std::string_view attr,
+                        const Lifespan& span, const Value& value) {
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+  const Tuple& t = rel->tuple(idx);
+  HRDM_ASSIGN_OR_RETURN(size_t ai, rel->scheme()->RequireIndex(attr));
+  if (rel->scheme()->IsKey(ai)) {
+    return Status::ConstraintViolation(
+        "cannot Assign to key attribute " + std::string(attr) +
+        " (keys are constant-valued)");
+  }
+  if (value.absent() || value.type() != rel->scheme()->attribute(ai).type) {
+    return Status::TypeError(
+        "Assign to " + std::string(attr) + " expects " +
+        std::string(DomainTypeName(rel->scheme()->attribute(ai).type)) +
+        ", got " +
+        (value.absent() ? "absent" : std::string(DomainTypeName(value.type()))));
+  }
+  const Lifespan vls = t.Vls(ai);
+  if (!vls.ContainsAll(span)) {
+    return Status::ConstraintViolation(
+        "Assign span " + span.ToString() + " escapes vls " + vls.ToString() +
+        " of " + std::string(attr));
+  }
+  // Overwrite: keep old values outside `span`, write `value` over `span`.
+  const TemporalValue& old = t.value(ai);
+  HRDM_ASSIGN_OR_RETURN(TemporalValue fresh,
+                        TemporalValue::Constant(span, value));
+  std::vector<Segment> segs =
+      old.Restrict(old.domain().Difference(span)).segments();
+  const auto& fresh_segs = fresh.segments();
+  segs.insert(segs.end(), fresh_segs.begin(), fresh_segs.end());
+  HRDM_ASSIGN_OR_RETURN(TemporalValue merged,
+                        TemporalValue::FromSegments(std::move(segs)));
+
+  std::vector<TemporalValue> values;
+  values.reserve(t.arity());
+  for (size_t i = 0; i < t.arity(); ++i) {
+    values.push_back(i == ai ? merged : t.value(i));
+  }
+  return rel->ReplaceAt(idx, Tuple::FromParts(rel->scheme(), t.lifespan(),
+                                              std::move(values)));
+}
+
+Status Database::AssignAt(std::string_view relation,
+                          const std::vector<Value>& key,
+                          std::string_view attr, TimePoint t,
+                          const Value& value) {
+  return Assign(relation, key, attr, Lifespan::Point(t), value);
+}
+
+Status Database::EndLifespan(std::string_view relation,
+                             const std::vector<Value>& key, TimePoint at) {
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+  const Tuple& t = rel->tuple(idx);
+  const Lifespan& l = t.lifespan();
+  const Lifespan remaining =
+      l.empty() ? l : l.Intersect(Span(l.Min(), at - 1));
+  if (remaining.empty()) {
+    return rel->EraseAt(idx);
+  }
+  return rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme()));
+}
+
+Status Database::Reincarnate(std::string_view relation,
+                             const std::vector<Value>& key,
+                             const Lifespan& span) {
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+  const Tuple& t = rel->tuple(idx);
+  const SchemePtr& scheme = rel->scheme();
+  Lifespan extended = t.lifespan().Union(span);
+  std::vector<TemporalValue> values;
+  values.reserve(t.arity());
+  for (size_t i = 0; i < t.arity(); ++i) {
+    if (scheme->IsKey(i)) {
+      // Keys stay constant and total over the extended vls.
+      const Lifespan vls = extended.Intersect(scheme->AttributeLifespan(i));
+      HRDM_ASSIGN_OR_RETURN(
+          TemporalValue kv,
+          TemporalValue::Constant(vls, t.value(i).ConstantValue()));
+      values.push_back(std::move(kv));
+    } else {
+      values.push_back(t.value(i));
+    }
+  }
+  return rel->ReplaceAt(
+      idx, Tuple::FromParts(scheme, std::move(extended), std::move(values)));
+}
+
+Status Database::RegisterForeignKey(std::string child,
+                                    std::vector<std::string> attrs,
+                                    std::string parent) {
+  HRDM_ASSIGN_OR_RETURN(const Relation* c, Get(child));
+  HRDM_ASSIGN_OR_RETURN(const Relation* p, Get(parent));
+  // Validate arity/domains now so bad declarations fail early.
+  if (p->scheme()->key().empty()) {
+    return Status::InvalidArgument("FK parent " + parent + " has no key");
+  }
+  if (attrs.size() != p->scheme()->key().size()) {
+    return Status::InvalidArgument(
+        "FK attribute count does not match parent key arity");
+  }
+  for (size_t k = 0; k < attrs.size(); ++k) {
+    HRDM_ASSIGN_OR_RETURN(size_t ci, c->scheme()->RequireIndex(attrs[k]));
+    const size_t pi = p->scheme()->key_indices()[k];
+    if (c->scheme()->attribute(ci).type != p->scheme()->attribute(pi).type) {
+      return Status::TypeError("FK attribute " + attrs[k] +
+                               " domain does not match parent key");
+    }
+  }
+  fks_.push_back(ForeignKey{std::move(child), std::move(attrs),
+                            std::move(parent)});
+  return Status::OK();
+}
+
+Result<std::vector<Violation>> Database::CheckIntegrity() const {
+  std::vector<Violation> all;
+  for (const auto& [name, rel] : relations_) {
+    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
+                          CheckRelationWellFormed(rel));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  for (const ForeignKey& fk : fks_) {
+    HRDM_ASSIGN_OR_RETURN(const Relation* child, Get(fk.child));
+    HRDM_ASSIGN_OR_RETURN(const Relation* parent, Get(fk.parent));
+    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
+                          CheckTemporalForeignKey(*child, fk.attrs, *parent));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+std::string Database::EncodeSnapshot() const {
+  std::string out;
+  PutVarint(&out, kSnapshotMagic);
+  PutVarint(&out, kSnapshotVersion);
+  PutVarint(&out, relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    EncodeRelation(&out, rel);
+  }
+  PutVarint(&out, fks_.size());
+  for (const ForeignKey& fk : fks_) {
+    PutString(&out, fk.child);
+    PutVarint(&out, fk.attrs.size());
+    for (const std::string& a : fk.attrs) PutString(&out, a);
+    PutString(&out, fk.parent);
+  }
+  return out;
+}
+
+Result<Database> Database::DecodeSnapshot(std::string_view data) {
+  Reader r(data);
+  HRDM_ASSIGN_OR_RETURN(uint64_t magic, r.GetVarint());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("not an HRDM snapshot (bad magic)");
+  }
+  HRDM_ASSIGN_OR_RETURN(uint64_t version, r.GetVarint());
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  Database db;
+  HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    HRDM_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
+    HRDM_RETURN_IF_ERROR(db.catalog_.Register(rel.scheme()));
+    db.relations_.emplace(rel.scheme()->name(), std::move(rel));
+  }
+  HRDM_ASSIGN_OR_RETURN(uint64_t fk_n, r.GetVarint());
+  for (uint64_t i = 0; i < fk_n; ++i) {
+    ForeignKey fk;
+    HRDM_ASSIGN_OR_RETURN(fk.child, r.GetString());
+    HRDM_ASSIGN_OR_RETURN(uint64_t attr_n, r.GetVarint());
+    for (uint64_t k = 0; k < attr_n; ++k) {
+      HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
+      fk.attrs.push_back(std::move(a));
+    }
+    HRDM_ASSIGN_OR_RETURN(fk.parent, r.GetString());
+    db.fks_.push_back(std::move(fk));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after snapshot");
+  }
+  return db;
+}
+
+Status Database::Save(const std::string& path) const {
+  return WriteFile(path, EncodeSnapshot());
+}
+
+Result<Database> Database::Load(const std::string& path) {
+  HRDM_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DecodeSnapshot(data);
+}
+
+}  // namespace hrdm::storage

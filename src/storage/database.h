@@ -1,0 +1,154 @@
+#ifndef HRDM_STORAGE_DATABASE_H_
+#define HRDM_STORAGE_DATABASE_H_
+
+/// \file database.h
+/// \brief The HRDM database engine: named historical relations with
+/// temporal DML, schema evolution, integrity checking and persistence.
+///
+/// This is the Figure 1 instance hierarchy made operational: a database is
+/// a set of relations, each a set of tuples, each of which carries its own
+/// lifespan. The engine supports the paper's motivating life-cycle events:
+///
+///  * **birth** — `Insert` records the first information about an object;
+///  * **death** — `EndLifespan` stops modelling it from a chronon on;
+///  * **reincarnation** — `Reincarnate` extends a lifespan with new
+///    intervals ("employees can be hired, fired, and subsequently
+///    re-hired");
+///  * temporal updates — `Assign` writes an attribute value over a region
+///    of time;
+///  * schema evolution — `AddAttribute` / `CloseAttribute` /
+///    `ReopenAttribute` (Figure 6), with stored tuples rebound to the
+///    evolved scheme;
+///  * temporal referential integrity — registered foreign keys are checked
+///    over the temporal dimension (Section 1's student/course example).
+///
+/// Persistence: `Save`/`Load` write a versioned binary snapshot (the
+/// physical level of Figure 9) through storage/serializer.h.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/constraints.h"
+#include "core/relation.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace hrdm::storage {
+
+/// \brief A registered temporal foreign key: child.attrs -> parent key.
+struct ForeignKey {
+  std::string child;
+  std::vector<std::string> attrs;
+  std::string parent;
+};
+
+/// \brief An in-memory HRDM database with snapshot persistence.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (relations can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- schema ---------------------------------------------------------------
+
+  /// \brief Creates an empty relation on a new keyed scheme.
+  Status CreateRelation(std::string name,
+                        std::vector<AttributeDef> attributes,
+                        std::vector<std::string> key);
+
+  /// \brief Creates an empty relation on an existing scheme object.
+  Status CreateRelation(SchemePtr scheme);
+
+  Status DropRelation(std::string_view name);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  std::vector<std::string> RelationNames() const;
+
+  /// \brief Read access to a stored relation.
+  Result<const Relation*> Get(std::string_view name) const;
+
+  // --- schema evolution (Figure 6) -------------------------------------------
+
+  Status AddAttribute(std::string_view relation, AttributeDef def);
+  Status CloseAttribute(std::string_view relation, std::string_view attr,
+                        TimePoint at);
+  Status ReopenAttribute(std::string_view relation, std::string_view attr,
+                         const Lifespan& span);
+
+  // --- DML --------------------------------------------------------------------
+
+  /// \brief Inserts a fully-built tuple (use Tuple::Builder against the
+  /// relation's current scheme).
+  Status Insert(std::string_view relation, Tuple t);
+
+  /// \brief Writes `value` for `attr` of the tuple with key `key` over the
+  /// chronons `span` (which must lie within the tuple's vls for that
+  /// attribute). Overwrites any previously stored values there.
+  Status Assign(std::string_view relation, const std::vector<Value>& key,
+                std::string_view attr, const Lifespan& span,
+                const Value& value);
+
+  /// \brief Point variant of Assign.
+  Status AssignAt(std::string_view relation, const std::vector<Value>& key,
+                  std::string_view attr, TimePoint t, const Value& value);
+
+  /// \brief Ends the object's lifespan at chronon `at` (exclusive): the new
+  /// lifespan is `l ∩ (-inf, at-1]`. If nothing remains the tuple is
+  /// removed entirely.
+  Status EndLifespan(std::string_view relation, const std::vector<Value>& key,
+                     TimePoint at);
+
+  /// \brief Extends the object's lifespan by `span` (reincarnation). Key
+  /// values are extended (constant) over the new chronons.
+  Status Reincarnate(std::string_view relation,
+                     const std::vector<Value>& key, const Lifespan& span);
+
+  // --- integrity ---------------------------------------------------------------
+
+  /// \brief Declares a temporal foreign key; validated by CheckIntegrity.
+  Status RegisterForeignKey(std::string child,
+                            std::vector<std::string> attrs,
+                            std::string parent);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// \brief Runs all integrity checks: per-relation well-formedness plus
+  /// every registered temporal foreign key. Returns the full violation
+  /// list (empty == healthy).
+  Result<std::vector<Violation>> CheckIntegrity() const;
+
+  // --- persistence ----------------------------------------------------------------
+
+  /// \brief Serializes the whole database to `path` (atomic).
+  Status Save(const std::string& path) const;
+
+  /// \brief Loads a database snapshot written by Save.
+  static Result<Database> Load(const std::string& path);
+
+  /// \brief Serializes to a buffer (used by Save and tests).
+  std::string EncodeSnapshot() const;
+
+  /// \brief Decodes a snapshot buffer.
+  static Result<Database> DecodeSnapshot(std::string_view data);
+
+ private:
+  Result<Relation*> GetMutable(std::string_view name);
+  Result<size_t> RequireTuple(const Relation& rel,
+                              const std::vector<Value>& key) const;
+  /// Rebinds every tuple of `relation` to the catalog's current scheme.
+  Status Rebind(std::string_view relation);
+
+  Catalog catalog_;
+  std::map<std::string, Relation, std::less<>> relations_;
+  std::vector<ForeignKey> fks_;
+};
+
+}  // namespace hrdm::storage
+
+#endif  // HRDM_STORAGE_DATABASE_H_

@@ -1,0 +1,100 @@
+#include "util/pretty.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/format.h"
+
+namespace hrdm {
+
+namespace {
+
+/// Renders a grid of cells with a header row as an ASCII table.
+std::string RenderGrid(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> width(header.size());
+  for (size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    line.push_back('\n');
+    return line;
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < width.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  sep.push_back('\n');
+
+  std::string out = sep + render_row(header) + sep;
+  for (const auto& row : rows) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::vector<size_t> KeyOrder(const Relation& r) {
+  std::vector<size_t> order(r.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&r](size_t a, size_t b) {
+    return r.tuple(a).KeyValues() < r.tuple(b).KeyValues();
+  });
+  return order;
+}
+
+}  // namespace
+
+std::string RenderHistory(const Relation& r) {
+  std::vector<std::string> header;
+  header.push_back("lifespan");
+  for (const AttributeDef& a : r.scheme()->attributes()) {
+    header.push_back(a.name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i : KeyOrder(r)) {
+    const Tuple& t = r.tuple(i);
+    std::vector<std::string> row;
+    row.push_back(t.lifespan().ToString());
+    for (size_t c = 0; c < t.arity(); ++c) {
+      row.push_back(t.value(c).ToString());
+    }
+    rows.push_back(std::move(row));
+  }
+  return r.scheme()->name() + "\n" + RenderGrid(header, rows);
+}
+
+std::string RenderSnapshot(const Relation& r, TimePoint t) {
+  std::vector<std::string> header;
+  for (const AttributeDef& a : r.scheme()->attributes()) {
+    header.push_back(a.name);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i : KeyOrder(r)) {
+    const Tuple& tup = r.tuple(i);
+    if (!tup.lifespan().Contains(t)) continue;
+    std::vector<std::string> row;
+    for (size_t c = 0; c < tup.arity(); ++c) {
+      Value v;
+      if (r.materialized()) {
+        v = tup.ValueAt(c, t);
+      } else {
+        auto mv = tup.ModelValueAt(c, t);
+        if (mv.ok()) v = mv.value();
+      }
+      row.push_back(v.absent() ? "-" : v.ToString());
+    }
+    rows.push_back(std::move(row));
+  }
+  std::string title = r.scheme()->name() + " @ t";
+  AppendInt(&title, t);
+  return title + "\n" + RenderGrid(header, rows);
+}
+
+}  // namespace hrdm

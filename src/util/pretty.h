@@ -1,0 +1,32 @@
+#ifndef HRDM_UTIL_PRETTY_H_
+#define HRDM_UTIL_PRETTY_H_
+
+/// \file pretty.h
+/// \brief Human-oriented table rendering of historical relations.
+///
+/// Two views are provided, matching the paper's presentation style:
+///  * `RenderHistory`  — one row per tuple, attribute cells show the
+///    segment-coded temporal function (like Figure 8);
+///  * `RenderSnapshot` — the classical flat table of the relation's state
+///    at one chronon (a time-slice of the 3-D cube of Figure 10).
+
+#include <string>
+
+#include "core/relation.h"
+#include "core/time.h"
+
+namespace hrdm {
+
+/// \brief Renders the full history of `r` as an ASCII table. One row per
+/// tuple, first column the tuple lifespan, then one column per attribute
+/// showing the stored temporal function.
+std::string RenderHistory(const Relation& r);
+
+/// \brief Renders the snapshot of `r` at chronon `t` as a classical table.
+/// Tuples whose lifespan does not contain `t` are omitted; attribute values
+/// are model-level (interpolated). Undefined values render as `-`.
+std::string RenderSnapshot(const Relation& r, TimePoint t);
+
+}  // namespace hrdm
+
+#endif  // HRDM_UTIL_PRETTY_H_

@@ -1,0 +1,61 @@
+#ifndef HRDM_UTIL_RANDOM_H_
+#define HRDM_UTIL_RANDOM_H_
+
+/// \file random.h
+/// \brief Deterministic pseudo-random generator used by the workload
+/// generators, property tests and benchmarks.
+///
+/// HRDM's tests must be reproducible, so all randomness flows through this
+/// seedable splitmix64/xoshiro-style generator rather than std::random_device.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hrdm {
+
+/// \brief A small, fast, seedable PRNG (xoshiro256** with splitmix64
+/// seeding). Not cryptographic; perfectly adequate for workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// \brief Re-seeds the generator deterministically from a single word.
+  void Seed(uint64_t seed);
+
+  /// \brief Next raw 64-bit word.
+  uint64_t Next();
+
+  /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Bernoulli trial with probability `p` of true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// \brief Random lower-case identifier of length `len`.
+  std::string Identifier(size_t len);
+
+  /// \brief Picks a uniformly random element index for a container of the
+  /// given size. Requires size > 0.
+  size_t Index(size_t size) {
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(size) - 1));
+  }
+
+  /// \brief Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hrdm
+
+#endif  // HRDM_UTIL_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hrdm {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kConstraintViolation:
+      return "constraint-violation";
+    case StatusCode::kIncompatibleSchemes:
+      return "incompatible-schemes";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kTypeError:
+      return "type-error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void AbortWithMessage(const char* prefix, const std::string& why) {
+  std::fprintf(stderr, "%s: fatal: %s\n", prefix, why.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace hrdm

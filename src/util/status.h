@@ -1,0 +1,210 @@
+#ifndef HRDM_UTIL_STATUS_H_
+#define HRDM_UTIL_STATUS_H_
+
+/// \file status.h
+/// \brief Error-handling primitives for HRDM: `Status` and `Result<T>`.
+///
+/// HRDM does not throw exceptions across its public API. Every fallible
+/// operation returns either a `Status` (no payload) or a `Result<T>`
+/// (payload-or-error), in the style of RocksDB / Apache Arrow. Status codes
+/// are deliberately coarse; the human-readable message carries the detail.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hrdm {
+
+/// \brief Coarse classification of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// A caller-supplied argument was malformed (bad attribute name, negative
+  /// interval, quantifier mismatch, ...).
+  kInvalidArgument = 1,
+  /// A named entity (relation, attribute, key) does not exist.
+  kNotFound = 2,
+  /// An entity being created already exists.
+  kAlreadyExists = 3,
+  /// A model invariant would be violated (temporal key uniqueness, key
+  /// constant-valuedness, vls containment, referential integrity, ...).
+  kConstraintViolation = 4,
+  /// Two schemes are not union- or merge-compatible (Section 4.1).
+  kIncompatibleSchemes = 5,
+  /// Parse error in the HRQL query language.
+  kParseError = 6,
+  /// Type error: value domain mismatch, non-time attribute where one from
+  /// TT is required, etc.
+  kTypeError = 7,
+  /// Corrupt or truncated serialized data.
+  kCorruption = 8,
+  /// I/O failure talking to the underlying file system.
+  kIoError = 9,
+  /// Anything that indicates a bug in HRDM itself.
+  kInternal = 10,
+};
+
+/// \brief Returns a stable lower-case name for a code (e.g. "ok",
+/// "constraint-violation").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief A cheap, copyable success-or-error value.
+///
+/// An OK status carries no allocation. Error statuses carry a code and a
+/// message. `Status` is annotated nodiscard so silently dropped errors fail
+/// compilation under -Werror-style builds.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IncompatibleSchemes(std::string msg) {
+    return Status(StatusCode::kIncompatibleSchemes, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Renders "code: message" (or "ok").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value of type `T` or an error `Status`.
+///
+/// Mirrors the subset of `absl::StatusOr` / `arrow::Result` that HRDM needs.
+/// Accessing the value of an errored result aborts the process — callers
+/// must check `ok()` first (or use `ValueOr`).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: makes `return some_t;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: makes `return Status::...;` work.
+  /// Constructing a Result from an OK status is a bug and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // An OK status carries no value; this is always a programming error.
+      Abort("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Abort(status_.ToString());
+  }
+  [[noreturn]] static void Abort(const std::string& why);
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const char* prefix, const std::string& why);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const std::string& why) {
+  internal::AbortWithMessage("hrdm::Result", why);
+}
+
+/// \brief Propagates an error status out of the enclosing function.
+#define HRDM_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::hrdm::Status _hrdm_status = (expr);            \
+    if (!_hrdm_status.ok()) return _hrdm_status;     \
+  } while (false)
+
+/// \brief Evaluates a Result-returning expression, propagating errors and
+/// otherwise binding the value to `lhs`.
+#define HRDM_ASSIGN_OR_RETURN(lhs, expr)                \
+  HRDM_ASSIGN_OR_RETURN_IMPL(                           \
+      HRDM_STATUS_CONCAT(_hrdm_result, __LINE__), lhs, expr)
+
+#define HRDM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HRDM_STATUS_CONCAT(a, b) HRDM_STATUS_CONCAT_IMPL(a, b)
+#define HRDM_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace hrdm
+
+#endif  // HRDM_UTIL_STATUS_H_

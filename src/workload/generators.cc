@@ -1,0 +1,328 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+
+namespace hrdm::workload {
+
+namespace {
+
+/// A random lifespan of up to `max_fragments` fragments within [0, horizon).
+Lifespan RandomFragments(Rng* rng, TimePoint horizon, size_t max_fragments) {
+  const size_t n = 1 + static_cast<size_t>(rng->Uniform(
+                           0, static_cast<int64_t>(max_fragments) - 1));
+  std::vector<Interval> ivs;
+  for (size_t i = 0; i < n; ++i) {
+    const TimePoint b = rng->Uniform(0, horizon - 1);
+    const TimePoint e = std::min<TimePoint>(horizon - 1,
+                                            b + rng->Uniform(0, horizon / 3));
+    ivs.push_back(Interval(b, e));
+  }
+  return Lifespan::FromIntervals(std::move(ivs));
+}
+
+/// A stepwise stored history over `domain`: stored change-points roughly
+/// every `period` chronons, values drawn by `next_value`.
+template <typename NextValue>
+Result<TemporalValue> StepHistory(Rng* rng, const Lifespan& domain,
+                                  TimePoint period, NextValue next_value) {
+  std::vector<Segment> segs;
+  for (const Interval& iv : domain.intervals()) {
+    TimePoint t = iv.begin;
+    while (t <= iv.end) {
+      TimePoint seg_end =
+          std::min(iv.end, t + std::max<TimePoint>(0, period - 1 +
+                                                          rng->Uniform(
+                                                              -period / 2,
+                                                              period / 2)));
+      segs.push_back(Segment{Interval(t, seg_end), next_value()});
+      t = seg_end + 1;
+    }
+  }
+  return TemporalValue::FromSegments(std::move(segs));
+}
+
+}  // namespace
+
+Result<Relation> MakePersonnel(Rng* rng, const PersonnelConfig& config) {
+  const TimePoint h = config.horizon;
+  const Lifespan full = Span(0, h - 1);
+  std::vector<AttributeDef> attrs = {
+      {"Name", DomainType::kString, full, InterpolationKind::kDiscrete},
+      {"Salary", DomainType::kInt, full, InterpolationKind::kStepwise},
+      {"Dept", DomainType::kString, full, InterpolationKind::kStepwise},
+  };
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make("emp", std::move(attrs),
+                                             {"Name"}));
+  Relation rel(scheme);
+  for (size_t e = 0; e < config.num_employees; ++e) {
+    // Hire, fire, maybe re-hire: a non-contiguous lifespan.
+    const TimePoint hire = rng->Uniform(0, h / 2);
+    const TimePoint fire = rng->Uniform(hire, h - 1);
+    std::vector<Interval> spans = {Interval(hire, fire)};
+    if (fire + 2 < h - 1 && rng->Chance(config.rehire_probability)) {
+      const TimePoint rehire = rng->Uniform(fire + 2, h - 1);
+      const TimePoint end = rng->Uniform(rehire, h - 1);
+      spans.push_back(Interval(rehire, end));
+    }
+    const Lifespan life = Lifespan::FromIntervals(std::move(spans));
+
+    int64_t salary = rng->Uniform(30, 200) * 1000;
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue salary_tv,
+        StepHistory(rng, life, config.salary_change_period, [&]() {
+          salary += rng->Uniform(0, 10) * 1000;  // salaries never decrease
+          return Value::Int(salary);
+        }));
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue dept_tv,
+        StepHistory(rng, life, config.salary_change_period * 3, [&]() {
+          return Value::String(
+              "dept" + std::to_string(rng->Uniform(
+                           0, static_cast<int64_t>(config.num_departments) -
+                                  1)));
+        }));
+
+    Tuple::Builder b(scheme, life);
+    b.SetConstant("Name", Value::String("emp" + std::to_string(e)));
+    b.Set("Salary", std::move(salary_tv));
+    b.Set("Dept", std::move(dept_tv));
+    HRDM_ASSIGN_OR_RETURN(Tuple t, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(rel.Insert(std::move(t)));
+  }
+  return rel;
+}
+
+Result<Relation> MakeStockMarket(Rng* rng, const StockMarketConfig& config) {
+  const TimePoint h = config.horizon;
+  const Lifespan full = Span(0, h - 1);
+  // The Figure 6 attribute lifespan: collected, dropped, re-adopted.
+  const Lifespan volume_ls = Lifespan::FromIntervals(
+      {Interval(0, config.volume_drop_at - 1),
+       Interval(config.volume_resume_at, h - 1)});
+  std::vector<AttributeDef> attrs = {
+      {"Ticker", DomainType::kString, full, InterpolationKind::kDiscrete},
+      {"Price", DomainType::kDouble, full, InterpolationKind::kLinear},
+      {"DailyVolume", DomainType::kInt, volume_ls,
+       InterpolationKind::kStepwise},
+  };
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make("stocks", std::move(attrs),
+                                             {"Ticker"}));
+  Relation rel(scheme);
+  for (size_t s = 0; s < config.num_tickers; ++s) {
+    const Lifespan life = full;
+    // Sparse price samples; linear interpolation recovers the rest.
+    double price = 10.0 + rng->NextDouble() * 200.0;
+    std::vector<Segment> price_segs;
+    for (TimePoint t = 0; t < h; t += config.price_sample_period) {
+      price = std::max(1.0, price * (0.95 + 0.1 * rng->NextDouble()));
+      price_segs.push_back(
+          Segment{Interval::At(t), Value::Double(price)});
+    }
+    HRDM_ASSIGN_OR_RETURN(TemporalValue price_tv,
+                          TemporalValue::FromSegments(std::move(price_segs)));
+
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue volume_tv,
+        StepHistory(rng, volume_ls, 4, [&]() {
+          return Value::Int(rng->Uniform(1000, 1000000));
+        }));
+
+    Tuple::Builder b(scheme, life);
+    b.SetConstant("Ticker", Value::String("TCK" + std::to_string(s)));
+    b.Set("Price", std::move(price_tv));
+    b.Set("DailyVolume", std::move(volume_tv));
+    HRDM_ASSIGN_OR_RETURN(Tuple t, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(rel.Insert(std::move(t)));
+  }
+  return rel;
+}
+
+Result<storage::Database> MakeEnrollment(Rng* rng,
+                                         const EnrollmentConfig& config) {
+  const TimePoint h = config.horizon;
+  const Lifespan full = Span(0, h - 1);
+  storage::Database db;
+
+  HRDM_RETURN_IF_ERROR(db.CreateRelation(
+      "student",
+      {{"SId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"SName", DomainType::kString, full, InterpolationKind::kStepwise}},
+      {"SId"}));
+  HRDM_RETURN_IF_ERROR(db.CreateRelation(
+      "course",
+      {{"CId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"Title", DomainType::kString, full, InterpolationKind::kStepwise}},
+      {"CId"}));
+  HRDM_RETURN_IF_ERROR(db.CreateRelation(
+      "enroll",
+      {{"EId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"SId", DomainType::kString, full, InterpolationKind::kStepwise},
+       {"CId", DomainType::kString, full, InterpolationKind::kStepwise}},
+      {"EId"}));
+
+  // Students and courses with (possibly fragmented) lifespans.
+  std::vector<Lifespan> student_life(config.num_students);
+  std::vector<Lifespan> course_life(config.num_courses);
+  HRDM_ASSIGN_OR_RETURN(const Relation* students, db.Get("student"));
+  HRDM_ASSIGN_OR_RETURN(const Relation* courses, db.Get("course"));
+  for (size_t s = 0; s < config.num_students; ++s) {
+    student_life[s] = RandomFragments(rng, h, 2);
+    Tuple::Builder b(students->scheme(), student_life[s]);
+    b.SetConstant("SId", Value::String("s" + std::to_string(s)));
+    b.SetConstant("SName", Value::String(rng->Identifier(8)));
+    HRDM_ASSIGN_OR_RETURN(Tuple t, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(db.Insert("student", std::move(t)));
+  }
+  for (size_t c = 0; c < config.num_courses; ++c) {
+    course_life[c] = RandomFragments(rng, h, 2);
+    Tuple::Builder b(courses->scheme(), course_life[c]);
+    b.SetConstant("CId", Value::String("c" + std::to_string(c)));
+    b.SetConstant("Title", Value::String(rng->Identifier(10)));
+    HRDM_ASSIGN_OR_RETURN(Tuple t, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(db.Insert("course", std::move(t)));
+  }
+
+  // Enrollments: lifespan inside student.l ∩ course.l (temporal RI by
+  // construction).
+  HRDM_ASSIGN_OR_RETURN(const Relation* enroll, db.Get("enroll"));
+  size_t made = 0;
+  for (size_t attempt = 0;
+       attempt < config.num_enrollments * 10 && made < config.num_enrollments;
+       ++attempt) {
+    const size_t s = rng->Index(config.num_students);
+    const size_t c = rng->Index(config.num_courses);
+    const Lifespan both = student_life[s].Intersect(course_life[c]);
+    if (both.empty()) continue;
+    // Pick one sub-interval of the common lifespan.
+    const Interval& iv = both.intervals()[rng->Index(both.IntervalCount())];
+    const TimePoint b0 = rng->Uniform(iv.begin, iv.end);
+    const TimePoint e0 = rng->Uniform(b0, iv.end);
+    const Lifespan span = Span(b0, e0);
+    Tuple::Builder b(enroll->scheme(), span);
+    b.SetConstant("EId", Value::String("e" + std::to_string(made)));
+    b.SetConstant("SId", Value::String("s" + std::to_string(s)));
+    b.SetConstant("CId", Value::String("c" + std::to_string(c)));
+    HRDM_ASSIGN_OR_RETURN(Tuple t, std::move(b).Build());
+    HRDM_RETURN_IF_ERROR(db.Insert("enroll", std::move(t)));
+    ++made;
+  }
+
+  HRDM_RETURN_IF_ERROR(db.RegisterForeignKey("enroll", {"SId"}, "student"));
+  HRDM_RETURN_IF_ERROR(db.RegisterForeignKey("enroll", {"CId"}, "course"));
+  return db;
+}
+
+namespace {
+
+Result<SchemePtr> RandomScheme(Rng* rng, const RandomRelationConfig& config) {
+  const Lifespan full = Span(0, config.horizon - 1);
+  std::vector<AttributeDef> attrs;
+  attrs.push_back({"Id", DomainType::kString, full,
+                   InterpolationKind::kDiscrete});
+  for (size_t a = 0; a < config.num_value_attrs; ++a) {
+    Lifespan als = full;
+    if (config.random_attribute_lifespans && rng->Chance(0.5)) {
+      // Carve a random gap into the attribute lifespan (Figure 8).
+      const TimePoint g0 = rng->Uniform(0, config.horizon - 1);
+      const TimePoint g1 =
+          std::min(config.horizon - 1, g0 + rng->Uniform(0, config.horizon / 4));
+      als = full.Difference(Span(g0, g1));
+      if (als.empty()) als = full;
+    }
+    attrs.push_back({"A" + std::to_string(a), DomainType::kInt, als,
+                     InterpolationKind::kStepwise});
+  }
+  if (config.with_time_attribute) {
+    attrs.push_back({"Ref", DomainType::kTime, full,
+                     InterpolationKind::kDiscrete});
+  }
+  return RelationScheme::Make(config.name, std::move(attrs), {"Id"});
+}
+
+Result<Tuple> RandomTupleForKey(Rng* rng, const RandomRelationConfig& config,
+                                const SchemePtr& scheme,
+                                const std::string& key_value,
+                                const Lifespan& life) {
+  Tuple::Builder b(scheme, life);
+  b.SetConstant("Id", Value::String(key_value));
+  for (size_t a = 0; a < config.num_value_attrs; ++a) {
+    const std::string name = "A" + std::to_string(a);
+    const size_t idx = *scheme->IndexOf(name);
+    const Lifespan vls = life.Intersect(scheme->AttributeLifespan(idx));
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue tv,
+        StepHistory(rng, vls, config.value_change_period,
+                    [&]() { return Value::Int(rng->Uniform(0, 100)); }));
+    b.Set(name, std::move(tv));
+  }
+  if (config.with_time_attribute) {
+    const size_t idx = *scheme->IndexOf("Ref");
+    const Lifespan vls = life.Intersect(scheme->AttributeLifespan(idx));
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue tv,
+        StepHistory(rng, vls, config.value_change_period, [&]() {
+          return Value::Time(rng->Uniform(0, config.horizon - 1));
+        }));
+    b.Set("Ref", std::move(tv));
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+Result<Relation> MakeRandomRelation(Rng* rng,
+                                    const RandomRelationConfig& config) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, RandomScheme(rng, config));
+  Relation rel(scheme);
+  const size_t key_space =
+      config.key_space == 0 ? config.num_tuples : config.key_space;
+  std::vector<size_t> keys(key_space);
+  for (size_t i = 0; i < key_space; ++i) keys[i] = i;
+  rng->Shuffle(&keys);
+  const size_t n = std::min(config.num_tuples, key_space);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string key =
+        config.key_prefix + std::to_string(keys[i]);
+    const Lifespan life =
+        RandomFragments(rng, config.horizon, config.max_fragments);
+    HRDM_ASSIGN_OR_RETURN(
+        Tuple t, RandomTupleForKey(rng, config, scheme, key, life));
+    HRDM_RETURN_IF_ERROR(rel.Insert(std::move(t)));
+  }
+  return rel;
+}
+
+Result<std::pair<Relation, Relation>> MakeMergeablePair(
+    Rng* rng, const RandomRelationConfig& config, double overlap) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, RandomScheme(rng, config));
+  Relation r1(scheme), r2(scheme);
+  for (size_t i = 0; i < config.num_tuples; ++i) {
+    const std::string key = config.key_prefix + std::to_string(i);
+    // Master history spanning the horizon; both sides are restrictions of
+    // it, so shared objects never contradict (mergeable by construction).
+    HRDM_ASSIGN_OR_RETURN(
+        Tuple master,
+        RandomTupleForKey(rng, config, scheme, key,
+                          Span(0, config.horizon - 1)));
+    const bool in_both = rng->NextDouble() < overlap;
+    const Lifespan l1 =
+        RandomFragments(rng, config.horizon, config.max_fragments);
+    const Lifespan l2 =
+        RandomFragments(rng, config.horizon, config.max_fragments);
+    if (in_both) {
+      HRDM_RETURN_IF_ERROR(r1.InsertOrDrop(master.Restrict(l1, scheme)));
+      HRDM_RETURN_IF_ERROR(r2.InsertOrDrop(master.Restrict(l2, scheme)));
+    } else if (rng->Chance(0.5)) {
+      HRDM_RETURN_IF_ERROR(r1.InsertOrDrop(master.Restrict(l1, scheme)));
+    } else {
+      HRDM_RETURN_IF_ERROR(r2.InsertOrDrop(master.Restrict(l2, scheme)));
+    }
+  }
+  return std::make_pair(std::move(r1), std::move(r2));
+}
+
+}  // namespace hrdm::workload

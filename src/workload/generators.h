@@ -1,0 +1,121 @@
+#ifndef HRDM_WORKLOAD_GENERATORS_H_
+#define HRDM_WORKLOAD_GENERATORS_H_
+
+/// \file generators.h
+/// \brief Synthetic workload generators for tests, benchmarks and examples.
+///
+/// Three domain workloads mirror the paper's motivating scenarios, plus a
+/// family of random-relation generators for property tests:
+///
+///  * **Personnel** (Section 1): employees are hired, fired and re-hired —
+///    non-contiguous tuple lifespans (reincarnation), stepwise Salary and
+///    Dept histories.
+///  * **Stock market** (Section 2, Figure 6): per-ticker price series with
+///    an evolving scheme — the DailyVolume attribute's lifespan has a gap
+///    where collection was dropped and later resumed.
+///  * **Enrollment** (Section 1): students, courses and an enrollment
+///    relation with temporal referential integrity ("a student can only
+///    take a course at time t if both ... exist ... at time t").
+///
+/// All generators are deterministic given the Rng seed.
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hrdm::workload {
+
+// --- Personnel ---------------------------------------------------------------
+
+struct PersonnelConfig {
+  size_t num_employees = 100;
+  /// Chronons 0 .. horizon-1.
+  TimePoint horizon = 100;
+  /// Probability that a fired employee is later re-hired (reincarnation).
+  double rehire_probability = 0.3;
+  /// Expected chronons between salary changes.
+  TimePoint salary_change_period = 10;
+  size_t num_departments = 5;
+};
+
+/// \brief Builds `emp(Name*: string, Salary: int, Dept: string)` with
+/// stepwise Salary/Dept and hire/fire/rehire lifespans.
+Result<Relation> MakePersonnel(Rng* rng, const PersonnelConfig& config);
+
+// --- Stock market -------------------------------------------------------------
+
+struct StockMarketConfig {
+  size_t num_tickers = 50;
+  TimePoint horizon = 200;
+  /// The Figure 6 story: DailyVolume is collected over
+  /// [0, drop_at-1] and again over [resume_at, horizon-1].
+  TimePoint volume_drop_at = 80;
+  TimePoint volume_resume_at = 140;
+  /// Chronons between stored price samples (linear interpolation fills in).
+  TimePoint price_sample_period = 5;
+};
+
+/// \brief Builds `stocks(Ticker*: string, Price: double linear,
+/// DailyVolume: int)` where DailyVolume's attribute lifespan has the
+/// Figure 6 gap.
+Result<Relation> MakeStockMarket(Rng* rng, const StockMarketConfig& config);
+
+// --- Enrollment -----------------------------------------------------------------
+
+struct EnrollmentConfig {
+  size_t num_students = 60;
+  size_t num_courses = 12;
+  size_t num_enrollments = 150;
+  TimePoint horizon = 100;
+};
+
+/// \brief Builds a database with `student`, `course` and `enroll` relations
+/// and registered temporal foreign keys; every generated enrollment
+/// respects temporal RI by construction.
+Result<storage::Database> MakeEnrollment(Rng* rng,
+                                         const EnrollmentConfig& config);
+
+// --- Random relations (property tests / benches) --------------------------------
+
+struct RandomRelationConfig {
+  std::string name = "r";
+  size_t num_tuples = 20;
+  size_t num_value_attrs = 2;
+  TimePoint horizon = 60;
+  /// Maximum number of lifespan fragments per tuple.
+  size_t max_fragments = 3;
+  /// Expected chronons between value changes within a tuple.
+  TimePoint value_change_period = 8;
+  /// Include a time-valued (TT) attribute "Ref" for dynamic TIME-SLICE /
+  /// TIME-JOIN exercises.
+  bool with_time_attribute = false;
+  /// Give every attribute a full-horizon lifespan when false; carve random
+  /// ALS gaps when true (heterogeneous tuples, Figure 8).
+  bool random_attribute_lifespans = false;
+  /// Prefix for key values (distinct prefixes keep key spaces disjoint or
+  /// overlapping across generated relations).
+  std::string key_prefix = "k";
+  /// Number of distinct key values to draw from (overlap control for
+  /// set-op and join workloads). 0 means num_tuples (all distinct).
+  size_t key_space = 0;
+};
+
+/// \brief A random historical relation
+/// `name(Id*: string, A0..An: int [, Ref: time])`.
+Result<Relation> MakeRandomRelation(Rng* rng,
+                                    const RandomRelationConfig& config);
+
+/// \brief A pair of merge-compatible random relations whose key spaces
+/// overlap by roughly `overlap` (0..1) and whose shared objects have
+/// consistent values on common chronons (so they are mergeable) — the
+/// Figure 11 workload.
+Result<std::pair<Relation, Relation>> MakeMergeablePair(
+    Rng* rng, const RandomRelationConfig& config, double overlap);
+
+}  // namespace hrdm::workload
+
+#endif  // HRDM_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,110 @@
+// Tests for the civil-date calendar over the chronon line.
+
+#include "core/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace hrdm {
+namespace {
+
+TEST(CalendarTest, EpochIsZero) {
+  EXPECT_EQ(*ChrononFromDate({1970, 1, 1}), 0);
+  EXPECT_EQ(DateFromChronon(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CalendarTest, KnownDates) {
+  EXPECT_EQ(*ChrononFromDate({1970, 1, 2}), 1);
+  EXPECT_EQ(*ChrononFromDate({1969, 12, 31}), -1);
+  EXPECT_EQ(*ChrononFromDate({2000, 3, 1}), 11017);
+  EXPECT_EQ(*ChrononFromDate({2026, 6, 13}), 20617);
+}
+
+TEST(CalendarTest, LeapYearHandling) {
+  EXPECT_TRUE(ChrononFromDate({2000, 2, 29}).ok());   // 400-rule leap
+  EXPECT_FALSE(ChrononFromDate({1900, 2, 29}).ok());  // 100-rule non-leap
+  EXPECT_TRUE(ChrononFromDate({2024, 2, 29}).ok());
+  EXPECT_FALSE(ChrononFromDate({2023, 2, 29}).ok());
+  EXPECT_FALSE(ChrononFromDate({2023, 4, 31}).ok());
+  EXPECT_FALSE(ChrononFromDate({2023, 13, 1}).ok());
+  EXPECT_FALSE(ChrononFromDate({2023, 1, 0}).ok());
+}
+
+TEST(CalendarTest, RoundTripSweep) {
+  // Every chronon in a window spanning several leap boundaries round-trips.
+  const TimePoint start = *ChrononFromDate({1999, 12, 20});
+  const TimePoint end = *ChrononFromDate({2001, 1, 10});
+  for (TimePoint t = start; t <= end; ++t) {
+    const CivilDate d = DateFromChronon(t);
+    auto back = ChrononFromDate(d);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, t) << FormatDate(t);
+  }
+}
+
+TEST(CalendarTest, RoundTripRandomWide) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const TimePoint t = rng.Uniform(-1000000, 1000000);  // ±~2700 years
+    auto back = ChrononFromDate(DateFromChronon(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(CalendarTest, ConsecutiveChrononsAreConsecutiveDates) {
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint t = rng.Uniform(-100000, 100000);
+    const CivilDate a = DateFromChronon(t);
+    const CivilDate b = DateFromChronon(t + 1);
+    // b is a's successor: either next day in the month, or the 1st of the
+    // next month/year.
+    if (b.day != 1) {
+      EXPECT_EQ(b.day, a.day + 1);
+      EXPECT_EQ(b.month, a.month);
+      EXPECT_EQ(b.year, a.year);
+    } else if (b.month != 1) {
+      EXPECT_EQ(b.month, a.month + 1);
+      EXPECT_EQ(b.year, a.year);
+    } else {
+      EXPECT_EQ(b.year, a.year + 1);
+      EXPECT_EQ(a.month, 12);
+      EXPECT_EQ(a.day, 31);
+    }
+  }
+}
+
+TEST(CalendarTest, ParseAndFormat) {
+  auto t = ParseDate("2001-05-17");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatDate(*t), "2001-05-17");
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("2001-13-01").ok());
+}
+
+TEST(CalendarTest, DateSpanAndRendering) {
+  auto span = DateSpan("2001-05-17", "2001-05-20");
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span->Cardinality(), 4u);
+  EXPECT_FALSE(DateSpan("2001-05-20", "2001-05-17").ok());
+
+  Lifespan l = span->Union(*DateSpan("2010-01-01", "2010-01-01"));
+  EXPECT_EQ(FormatLifespanAsDates(l),
+            "{[2001-05-17..2001-05-20],[2010-01-01]}");
+  EXPECT_EQ(FormatLifespanAsDates(Lifespan::Empty()), "{}");
+}
+
+TEST(CalendarTest, LifespansWorkAtDateScale) {
+  // An employment lifespan expressed in dates behaves like any lifespan.
+  Lifespan employed = *DateSpan("2001-05-17", "2008-02-29");
+  Lifespan rehired = *DateSpan("2015-01-05", "2020-12-31");
+  Lifespan career = employed.Union(rehired);
+  EXPECT_EQ(career.IntervalCount(), 2u);
+  EXPECT_TRUE(career.Contains(*ParseDate("2003-07-04")));
+  EXPECT_FALSE(career.Contains(*ParseDate("2012-06-01")));
+}
+
+}  // namespace
+}  // namespace hrdm

@@ -1,0 +1,115 @@
+// Unit tests for the classical (snapshot) relational algebra baseline.
+
+#include "classic/classic.h"
+
+#include <gtest/gtest.h>
+
+namespace hrdm::classic {
+namespace {
+
+SnapshotRelation Emp() {
+  SnapshotRelation s({Column{"Name", DomainType::kString},
+                      Column{"Salary", DomainType::kInt},
+                      Column{"Dept", DomainType::kString}});
+  s.InsertRow({Value::String("john"), Value::Int(20), Value::String("t")});
+  s.InsertRow({Value::String("mary"), Value::Int(30), Value::String("t")});
+  s.InsertRow({Value::String("bob"), Value::Int(30), Value::String("s")});
+  return s;
+}
+
+TEST(SnapshotRelationTest, SetSemantics) {
+  SnapshotRelation s({Column{"A", DomainType::kInt}});
+  s.InsertRow({Value::Int(1)});
+  s.InsertRow({Value::Int(1)});  // duplicate collapses
+  s.InsertRow({Value::Int(2)});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains({Value::Int(1)}));
+  EXPECT_FALSE(s.Contains({Value::Int(9)}));
+}
+
+TEST(ClassicAlgebraTest, Select) {
+  auto r = Select(Emp(), "Salary", CompareOp::kGe, Value::Int(30));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_FALSE(Select(Emp(), "Nope", CompareOp::kEq, Value::Int(1)).ok());
+}
+
+TEST(ClassicAlgebraTest, SelectAttr) {
+  SnapshotRelation s({Column{"A", DomainType::kInt},
+                      Column{"B", DomainType::kInt}});
+  s.InsertRow({Value::Int(1), Value::Int(1)});
+  s.InsertRow({Value::Int(1), Value::Int(2)});
+  auto r = SelectAttr(s, "A", CompareOp::kEq, "B");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(ClassicAlgebraTest, ProjectDeduplicates) {
+  auto r = Project(Emp(), {"Dept"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // t, s
+  EXPECT_EQ(r->arity(), 1u);
+}
+
+TEST(ClassicAlgebraTest, SetOps) {
+  SnapshotRelation a({Column{"A", DomainType::kInt}});
+  a.InsertRow({Value::Int(1)});
+  a.InsertRow({Value::Int(2)});
+  SnapshotRelation b({Column{"A", DomainType::kInt}});
+  b.InsertRow({Value::Int(2)});
+  b.InsertRow({Value::Int(3)});
+  EXPECT_EQ(Union(a, b)->size(), 3u);
+  EXPECT_EQ(Intersect(a, b)->size(), 1u);
+  EXPECT_EQ(Difference(a, b)->size(), 1u);
+  SnapshotRelation c({Column{"B", DomainType::kInt}});
+  EXPECT_FALSE(Union(a, c).ok());  // header mismatch
+}
+
+TEST(ClassicAlgebraTest, ProductAndJoin) {
+  SnapshotRelation a({Column{"A", DomainType::kInt}});
+  a.InsertRow({Value::Int(1)});
+  a.InsertRow({Value::Int(2)});
+  SnapshotRelation b({Column{"B", DomainType::kInt}});
+  b.InsertRow({Value::Int(2)});
+  b.InsertRow({Value::Int(3)});
+  EXPECT_EQ(CartesianProduct(a, b)->size(), 4u);
+  EXPECT_EQ(ThetaJoin(a, "A", CompareOp::kEq, b, "B")->size(), 1u);
+  EXPECT_EQ(ThetaJoin(a, "A", CompareOp::kLt, b, "B")->size(), 3u);
+  EXPECT_FALSE(CartesianProduct(a, a).ok());  // non-disjoint
+}
+
+TEST(ClassicAlgebraTest, NaturalJoin) {
+  SnapshotRelation a({Column{"K", DomainType::kInt},
+                      Column{"X", DomainType::kString}});
+  a.InsertRow({Value::Int(1), Value::String("x1")});
+  a.InsertRow({Value::Int(2), Value::String("x2")});
+  SnapshotRelation b({Column{"K", DomainType::kInt},
+                      Column{"Y", DomainType::kString}});
+  b.InsertRow({Value::Int(2), Value::String("y2")});
+  b.InsertRow({Value::Int(3), Value::String("y3")});
+  auto j = NaturalJoin(a, b);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j->size(), 1u);
+  EXPECT_EQ(j->arity(), 3u);  // K, X, Y
+  EXPECT_EQ(j->rows()[0][0], Value::Int(2));
+}
+
+TEST(ClassicAlgebraTest, AbsentCellsNeverMatch) {
+  SnapshotRelation s({Column{"A", DomainType::kInt}});
+  s.InsertRow({Value()});
+  auto r = Select(s, "A", CompareOp::kEq, Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  auto ne = Select(s, "A", CompareOp::kNe, Value::Int(1));
+  ASSERT_TRUE(ne.ok());
+  EXPECT_TRUE(ne->empty());  // absent is not "not equal" either
+}
+
+TEST(ClassicAlgebraTest, ToStringIsDeterministic) {
+  auto s = Emp();
+  EXPECT_EQ(s.ToString(), Emp().ToString());
+  EXPECT_NE(s.ToString().find("john"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hrdm::classic

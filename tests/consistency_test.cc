@@ -1,0 +1,212 @@
+// Operational verification of the Section 5 "consistent extension" claim:
+// every HRDM operator degenerates to its classical counterpart when
+// T = {now}. Phrased with the Snapshot/Lift mappings:
+//
+//     Snapshot(Op_H(Lift(s, now)), now)  ==  Op(s)
+//
+// for every classical relation s and every operator Op. Additionally,
+// SELECT-IF and SELECT-WHEN "reduce to one another and to the traditional
+// SELECT" on T = {now}, and WHEN maps to now/never.
+
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "algebra/timeslice.h"
+#include "algebra/when.h"
+#include "classic/classic.h"
+#include "util/random.h"
+
+namespace hrdm {
+namespace {
+
+using classic::Column;
+using classic::Lift;
+using classic::Row;
+using classic::Snapshot;
+using classic::SnapshotRelation;
+
+constexpr TimePoint kNow = 42;
+
+/// A random classical relation (Id string key + n int columns).
+SnapshotRelation RandomSnapshot(Rng* rng, const std::string& prefix,
+                                size_t rows, size_t cols,
+                                int64_t value_range = 6) {
+  std::vector<Column> columns;
+  columns.push_back(Column{prefix + "Id", DomainType::kString});
+  for (size_t c = 0; c < cols; ++c) {
+    columns.push_back(
+        Column{prefix + "C" + std::to_string(c), DomainType::kInt});
+  }
+  SnapshotRelation s(std::move(columns));
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(Value::String(prefix + std::to_string(i)));
+    for (size_t c = 0; c < cols; ++c) {
+      row.push_back(Value::Int(rng->Uniform(0, value_range)));
+    }
+    s.InsertRow(std::move(row));
+  }
+  return s;
+}
+
+Relation LiftNow(const SnapshotRelation& s, const std::string& key) {
+  auto lifted = Lift(s, kNow, {key});
+  EXPECT_TRUE(lifted.ok()) << lifted.status().ToString();
+  return *lifted;
+}
+
+TEST(ConsistencyTest, LiftThenSnapshotIsIdentity) {
+  Rng rng(1);
+  SnapshotRelation s = RandomSnapshot(&rng, "a", 10, 2);
+  Relation lifted = LiftNow(s, "aId");
+  auto back = Snapshot(lifted, kNow);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsAsSet(s));
+  // And the lifted relation is empty at any other chronon.
+  auto elsewhere = Snapshot(lifted, kNow + 1);
+  ASSERT_TRUE(elsewhere.ok());
+  EXPECT_TRUE(elsewhere->empty());
+}
+
+class ConsistencySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencySeedTest, SelectIfReducesToClassicSelect) {
+  Rng rng(GetParam());
+  SnapshotRelation s = RandomSnapshot(&rng, "a", 12, 2);
+  Relation lifted = LiftNow(s, "aId");
+  const Value threshold = Value::Int(3);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLt, CompareOp::kGe}) {
+    auto classic_sel = classic::Select(s, "aC0", op, threshold);
+    ASSERT_TRUE(classic_sel.ok());
+    Predicate p = Predicate::AttrConst("aC0", op, threshold);
+    for (Quantifier q : {Quantifier::kExists, Quantifier::kForall}) {
+      // On T = {now}, IF and WHEN coincide with the classical select.
+      auto hist_if = SelectIf(lifted, p, q, Lifespan::Point(kNow));
+      ASSERT_TRUE(hist_if.ok());
+      auto snap_if = Snapshot(*hist_if, kNow);
+      ASSERT_TRUE(snap_if.ok());
+      EXPECT_TRUE(snap_if->EqualsAsSet(*classic_sel))
+          << "op=" << CompareOpName(op) << " q=" << QuantifierName(q);
+    }
+    auto hist_when = SelectWhen(lifted, p);
+    ASSERT_TRUE(hist_when.ok());
+    auto snap_when = Snapshot(*hist_when, kNow);
+    ASSERT_TRUE(snap_when.ok());
+    EXPECT_TRUE(snap_when->EqualsAsSet(*classic_sel));
+  }
+}
+
+TEST_P(ConsistencySeedTest, ProjectReduces) {
+  Rng rng(GetParam() * 3 + 1);
+  SnapshotRelation s = RandomSnapshot(&rng, "a", 12, 3);
+  Relation lifted = LiftNow(s, "aId");
+  for (const std::vector<std::string> attrs :
+       {std::vector<std::string>{"aId", "aC1"},
+        std::vector<std::string>{"aC0", "aC2"},
+        std::vector<std::string>{"aC0"}}) {
+    auto classic_proj = classic::Project(s, attrs);
+    ASSERT_TRUE(classic_proj.ok());
+    auto hist = Project(lifted, attrs);
+    ASSERT_TRUE(hist.ok());
+    auto snap = Snapshot(*hist, kNow);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_TRUE(snap->EqualsAsSet(*classic_proj));
+  }
+}
+
+TEST_P(ConsistencySeedTest, SetOpsReduce) {
+  Rng rng(GetParam() * 7 + 2);
+  // Two classical relations over the same header with overlapping rows.
+  SnapshotRelation a = RandomSnapshot(&rng, "a", 10, 2, 2);
+  SnapshotRelation b = RandomSnapshot(&rng, "a", 10, 2, 2);
+  Relation la = LiftNow(a, "aId");
+  Relation lb = LiftNow(b, "aId");
+
+  auto cu = *classic::Union(a, b);
+  auto ci = *classic::Intersect(a, b);
+  auto cd = *classic::Difference(a, b);
+
+  EXPECT_TRUE(Snapshot(*Union(la, lb), kNow)->EqualsAsSet(cu));
+  EXPECT_TRUE(Snapshot(*Intersect(la, lb), kNow)->EqualsAsSet(ci));
+  EXPECT_TRUE(Snapshot(*Difference(la, lb), kNow)->EqualsAsSet(cd));
+}
+
+TEST_P(ConsistencySeedTest, ProductAndJoinsReduce) {
+  Rng rng(GetParam() * 11 + 5);
+  SnapshotRelation a = RandomSnapshot(&rng, "a", 6, 1, 3);
+  SnapshotRelation b = RandomSnapshot(&rng, "b", 6, 1, 3);
+  Relation la = LiftNow(a, "aId");
+  Relation lb = LiftNow(b, "bId");
+
+  auto cp = *classic::CartesianProduct(a, b);
+  auto hp = *CartesianProduct(la, lb);
+  EXPECT_TRUE(Snapshot(hp, kNow)->EqualsAsSet(cp));
+
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLe, CompareOp::kNe}) {
+    auto cj = *classic::ThetaJoin(a, "aC0", op, b, "bC0");
+    auto hj = *ThetaJoin(la, "aC0", op, lb, "bC0");
+    EXPECT_TRUE(Snapshot(hj, kNow)->EqualsAsSet(cj))
+        << CompareOpName(op);
+  }
+}
+
+TEST_P(ConsistencySeedTest, NaturalJoinReduces) {
+  Rng rng(GetParam() * 13 + 7);
+  // Build two classical relations sharing column "K".
+  SnapshotRelation a({{Column{"aId", DomainType::kString}},
+                      {Column{"K", DomainType::kInt}}});
+  SnapshotRelation b({{Column{"bId", DomainType::kString}},
+                      {Column{"K", DomainType::kInt}}});
+  for (int i = 0; i < 8; ++i) {
+    a.InsertRow({Value::String("a" + std::to_string(i)),
+                 Value::Int(rng.Uniform(0, 3))});
+    b.InsertRow({Value::String("b" + std::to_string(i)),
+                 Value::Int(rng.Uniform(0, 3))});
+  }
+  Relation la = LiftNow(a, "aId");
+  Relation lb = LiftNow(b, "bId");
+  auto cj = *classic::NaturalJoin(a, b);
+  auto hj = *NaturalJoin(la, lb);
+  EXPECT_TRUE(Snapshot(hj, kNow)->EqualsAsSet(cj));
+}
+
+TEST(ConsistencyTest, TimeSliceIsIdentityAtNow) {
+  // Section 5: "TIME-SLICE can be viewed as the identity function defined
+  // only for time now".
+  Rng rng(3);
+  SnapshotRelation s = RandomSnapshot(&rng, "a", 8, 2);
+  Relation lifted = LiftNow(s, "aId");
+  auto sliced = TimeSlice(lifted, Lifespan::Point(kNow));
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_TRUE(Snapshot(*sliced, kNow)->EqualsAsSet(s));
+}
+
+TEST(ConsistencyTest, WhenIsNowOrNever) {
+  // Section 5: "WHEN maps a relation either to now or to the empty set,
+  // corresponding to either 'always' or 'never'".
+  Rng rng(4);
+  SnapshotRelation s = RandomSnapshot(&rng, "a", 5, 1);
+  Relation lifted = LiftNow(s, "aId");
+  EXPECT_EQ(When(lifted), Lifespan::Point(kNow));  // "always"
+  Relation empty(lifted.scheme());
+  EXPECT_TRUE(When(empty).empty());  // "never"
+}
+
+TEST(ConsistencyTest, LiftRejectsKeyViolations) {
+  SnapshotRelation s({{Column{"Id", DomainType::kString}},
+                      {Column{"X", DomainType::kInt}}});
+  s.InsertRow({Value::String("a"), Value::Int(1)});
+  s.InsertRow({Value::String("a"), Value::Int(2)});  // duplicate key
+  auto lifted = Lift(s, kNow, {"Id"});
+  EXPECT_FALSE(lifted.ok());
+  EXPECT_EQ(lifted.status().code(), StatusCode::kConstraintViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySeedTest,
+                         ::testing::Values(1u, 2u, 17u, 99u, 31337u));
+
+}  // namespace
+}  // namespace hrdm

@@ -1,0 +1,255 @@
+// Tests for the temporal constraint engine (Sections 1 and 5): point and
+// global FDs, monotonicity, temporal referential integrity, and relation
+// well-formedness.
+
+#include "constraints/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+SchemePtr EmpScheme() {
+  static SchemePtr s = *RelationScheme::Make(
+      "emp",
+      {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Dept", DomainType::kString, kFull, InterpolationKind::kStepwise},
+       {"Mgr", DomainType::kString, kFull, InterpolationKind::kStepwise},
+       {"Salary", DomainType::kInt, kFull, InterpolationKind::kStepwise}},
+      {"Name"});
+  return s;
+}
+
+Tuple Emp(const std::string& name, TimePoint b, TimePoint e,
+          std::vector<Segment> dept, std::vector<Segment> mgr,
+          std::vector<Segment> salary) {
+  Tuple::Builder builder(EmpScheme(), Span(b, e));
+  builder.SetConstant("Name", Value::String(name));
+  builder.Set("Dept", *TemporalValue::FromSegments(std::move(dept)));
+  builder.Set("Mgr", *TemporalValue::FromSegments(std::move(mgr)));
+  builder.Set("Salary", *TemporalValue::FromSegments(std::move(salary)));
+  return *std::move(builder).Build();
+}
+
+TEST(PointFDTest, HoldsWhenDeptDeterminesMgrPointwise) {
+  // Dept -> Mgr at every chronon, even though the mapping changes over
+  // time (tools: ann then bob).
+  Relation r(EmpScheme());
+  ASSERT_TRUE(
+      r.Insert(Emp("john", 0, 19,
+                   {{Interval(0, 19), Value::String("tools")}},
+                   {{Interval(0, 9), Value::String("ann")},
+                    {Interval(10, 19), Value::String("bob")}},
+                   {{Interval(0, 19), Value::Int(10)}}))
+          .ok());
+  ASSERT_TRUE(
+      r.Insert(Emp("mary", 5, 19,
+                   {{Interval(5, 19), Value::String("tools")}},
+                   {{Interval(5, 9), Value::String("ann")},
+                    {Interval(10, 19), Value::String("bob")}},
+                   {{Interval(5, 19), Value::Int(20)}}))
+          .ok());
+  auto v = CheckPointFD(r, {"Dept"}, {"Mgr"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+  // But Dept does NOT globally determine Mgr across time (ann vs bob).
+  auto g = CheckGlobalFD(r, {"Dept"}, {"Mgr"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->empty());
+}
+
+TEST(PointFDTest, DetectsPointViolation) {
+  Relation r(EmpScheme());
+  ASSERT_TRUE(r.Insert(Emp("john", 0, 9,
+                           {{Interval(0, 9), Value::String("tools")}},
+                           {{Interval(0, 9), Value::String("ann")}},
+                           {{Interval(0, 9), Value::Int(10)}}))
+                  .ok());
+  ASSERT_TRUE(r.Insert(Emp("mary", 5, 9,
+                           {{Interval(5, 9), Value::String("tools")}},
+                           {{Interval(5, 9), Value::String("bob")}},
+                           {{Interval(5, 9), Value::Int(20)}}))
+                  .ok());
+  auto v = CheckPointFD(r, {"Dept"}, {"Mgr"});
+  ASSERT_TRUE(v.ok());
+  ASSERT_FALSE(v->empty());
+  EXPECT_NE(v->front().description.find("point FD violated"),
+            std::string::npos);
+}
+
+TEST(GlobalFDTest, HoldsForTimeInvariantMapping) {
+  Relation r(EmpScheme());
+  ASSERT_TRUE(r.Insert(Emp("john", 0, 9,
+                           {{Interval(0, 9), Value::String("tools")}},
+                           {{Interval(0, 9), Value::String("ann")}},
+                           {{Interval(0, 9), Value::Int(10)}}))
+                  .ok());
+  ASSERT_TRUE(r.Insert(Emp("mary", 20, 29,
+                           {{Interval(20, 29), Value::String("tools")}},
+                           {{Interval(20, 29), Value::String("ann")}},
+                           {{Interval(20, 29), Value::Int(20)}}))
+                  .ok());
+  // Same department at *different* chronons still maps to the same
+  // manager — the global FD holds.
+  auto g = CheckGlobalFD(r, {"Dept"}, {"Mgr"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->empty());
+}
+
+TEST(MonotoneTest, SalaryNeverDecreases) {
+  // The paper's "salary must never decrease" constraint.
+  Relation good(EmpScheme());
+  ASSERT_TRUE(good.Insert(Emp("john", 0, 19,
+                              {{Interval(0, 19), Value::String("t")}},
+                              {{Interval(0, 19), Value::String("m")}},
+                              {{Interval(0, 9), Value::Int(10)},
+                               {Interval(10, 19), Value::Int(20)}}))
+                  .ok());
+  auto v = CheckMonotone(good, "Salary", /*non_decreasing=*/true);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+
+  Relation bad(EmpScheme());
+  ASSERT_TRUE(bad.Insert(Emp("mary", 0, 19,
+                             {{Interval(0, 19), Value::String("t")}},
+                             {{Interval(0, 19), Value::String("m")}},
+                             {{Interval(0, 9), Value::Int(20)},
+                              {Interval(10, 19), Value::Int(10)}}))
+                  .ok());
+  auto bv = CheckMonotone(bad, "Salary", true);
+  ASSERT_TRUE(bv.ok());
+  ASSERT_EQ(bv->size(), 1u);
+  EXPECT_NE(bv->front().description.find("decreases"), std::string::npos);
+}
+
+TEST(MonotoneTest, AcrossLifespanGaps) {
+  // A re-hire at lower salary still violates "never decrease" — the
+  // constraint ranges over the whole (fragmented) value lifespan.
+  Relation r(EmpScheme());
+  ASSERT_TRUE(
+      r.Insert(Emp("john", 0, 39,
+                   {{Interval(0, 9), Value::String("t")},
+                    {Interval(30, 39), Value::String("t")}},
+                   {{Interval(0, 9), Value::String("m")},
+                    {Interval(30, 39), Value::String("m")}},
+                   {{Interval(0, 9), Value::Int(50)},
+                    {Interval(30, 39), Value::Int(10)}}))
+          .ok());
+  auto v = CheckMonotone(r, "Salary", true);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 1u);
+}
+
+TEST(MonotoneTest, RequiresOrderedDomain) {
+  Relation r(EmpScheme());
+  auto v = CheckMonotone(r, "Dept", true);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TemporalFKTest, EnrollmentWorkloadIsClean) {
+  Rng rng(7);
+  auto db = workload::MakeEnrollment(&rng, workload::EnrollmentConfig{});
+  ASSERT_TRUE(db.ok());
+  auto violations = db->CheckIntegrity();
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(TemporalFKTest, DetectsTemporalViolation) {
+  // Section 1: "a student can only take a course at time t if both the
+  // student and the course exist in the database at time t." Build a
+  // minimal student/enroll pair where the enrollment outlives the student.
+  storage::Database db;
+  const Lifespan full = Span(0, 99);
+  ASSERT_TRUE(db.CreateRelation(
+                    "student",
+                    {{"SId", DomainType::kString, full,
+                      InterpolationKind::kDiscrete}},
+                    {"SId"})
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation(
+                    "enroll",
+                    {{"EId", DomainType::kString, full,
+                      InterpolationKind::kDiscrete},
+                     {"SId", DomainType::kString, full,
+                      InterpolationKind::kStepwise}},
+                    {"EId"})
+                  .ok());
+  {
+    auto scheme = *db.catalog().Get("student");
+    Tuple::Builder b(scheme, Span(0, 9));
+    b.SetConstant("SId", Value::String("s1"));
+    ASSERT_TRUE(db.Insert("student", *std::move(b).Build()).ok());
+  }
+  {
+    auto scheme = *db.catalog().Get("enroll");
+    Tuple::Builder b(scheme, Span(5, 14));  // outlives the student!
+    b.SetConstant("EId", Value::String("e1"));
+    b.SetConstant("SId", Value::String("s1"));
+    ASSERT_TRUE(db.Insert("enroll", *std::move(b).Build()).ok());
+  }
+  ASSERT_TRUE(db.RegisterForeignKey("enroll", {"SId"}, "student").ok());
+  auto v = db.CheckIntegrity();
+  ASSERT_TRUE(v.ok());
+  ASSERT_FALSE(v->empty());
+  EXPECT_NE(v->front().description.find("temporal RI violated"),
+            std::string::npos);
+}
+
+TEST(WellFormedTest, GeneratorsProduceWellFormedRelations) {
+  Rng rng(11);
+  auto emp = workload::MakePersonnel(&rng, workload::PersonnelConfig{});
+  ASSERT_TRUE(emp.ok());
+  auto v = CheckRelationWellFormed(*emp);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+
+  auto stocks =
+      workload::MakeStockMarket(&rng, workload::StockMarketConfig{});
+  ASSERT_TRUE(stocks.ok());
+  auto sv = CheckRelationWellFormed(*stocks);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_TRUE(sv->empty());
+}
+
+TEST(WellFormedTest, DetectsKeyCollisionsInDerivedRelations) {
+  Relation r(EmpScheme());
+  Tuple a = Emp("john", 0, 9, {{Interval(0, 9), Value::String("t")}},
+                {{Interval(0, 9), Value::String("m")}},
+                {{Interval(0, 9), Value::Int(1)}});
+  Tuple b = Emp("john", 20, 29, {{Interval(20, 29), Value::String("t")}},
+                {{Interval(20, 29), Value::String("m")}},
+                {{Interval(20, 29), Value::Int(2)}});
+  ASSERT_TRUE(r.InsertDedup(a).ok());
+  ASSERT_TRUE(r.InsertDedup(b).ok());  // key collision allowed by dedup
+  auto v = CheckRelationWellFormed(r);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->empty());
+}
+
+TEST(CriticalChrononsTest, CoversAllChangePoints) {
+  Relation r(EmpScheme());
+  ASSERT_TRUE(r.Insert(Emp("john", 0, 19,
+                           {{Interval(0, 9), Value::String("a")},
+                            {Interval(10, 19), Value::String("b")}},
+                           {{Interval(0, 19), Value::String("m")}},
+                           {{Interval(0, 19), Value::Int(1)}}))
+                  .ok());
+  auto pts = CriticalChronons(r, {"Dept"});
+  ASSERT_TRUE(pts.ok());
+  // Must include the tuple birth, the Dept change point and the
+  // past-the-end chronons.
+  for (TimePoint expect : {0, 10, 20}) {
+    EXPECT_NE(std::find(pts->begin(), pts->end(), expect), pts->end())
+        << expect;
+  }
+}
+
+}  // namespace
+}  // namespace hrdm

@@ -1,0 +1,277 @@
+// Tests for the storage engine: catalog, temporal DML (birth / death /
+// reincarnation / assignment), schema evolution (Figure 6), persistence
+// and the change log.
+
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/changelog.h"
+#include "storage/catalog.h"
+
+namespace hrdm::storage {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+std::vector<AttributeDef> EmpAttrs() {
+  return {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+          {"Salary", DomainType::kInt, kFull, InterpolationKind::kStepwise}};
+}
+
+std::vector<Value> Key(const std::string& name) {
+  return {Value::String(name)};
+}
+
+Database MakeEmpDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("emp", EmpAttrs(), {"Name"}).ok());
+  auto scheme = *db.catalog().Get("emp");
+  Tuple::Builder b(scheme, Span(0, 19));
+  b.SetConstant("Name", Value::String("john"));
+  b.SetAt("Salary", 0, Value::Int(10000));
+  EXPECT_TRUE(db.Insert("emp", *std::move(b).Build()).ok());
+  return db;
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog c;
+  ASSERT_TRUE(c.Create("emp", EmpAttrs(), {"Name"}).ok());
+  EXPECT_TRUE(c.Contains("emp"));
+  EXPECT_FALSE(c.Create("emp", EmpAttrs(), {"Name"}).ok());  // duplicate
+  EXPECT_TRUE(c.Get("emp").ok());
+  EXPECT_FALSE(c.Get("nope").ok());
+  ASSERT_TRUE(c.Drop("emp").ok());
+  EXPECT_FALSE(c.Contains("emp"));
+  EXPECT_FALSE(c.Drop("emp").ok());
+}
+
+TEST(CatalogTest, RejectsKeylessBaseRelations) {
+  Catalog c;
+  auto keyless = RelationScheme::Make("d", EmpAttrs(), {});
+  ASSERT_TRUE(keyless.ok());
+  EXPECT_FALSE(c.Register(*keyless).ok());
+}
+
+TEST(CatalogTest, Figure6EvolutionStory) {
+  // Daily-Trading-Volume: collected over [0,t2], dropped, re-adopted at t3.
+  Catalog c;
+  ASSERT_TRUE(c.Create("stocks", EmpAttrs(), {"Name"}).ok());
+  ASSERT_TRUE(c.AddAttribute("stocks",
+                             {"Volume", DomainType::kInt, kFull,
+                              InterpolationKind::kStepwise})
+                  .ok());
+  ASSERT_TRUE(c.CloseAttribute("stocks", "Volume", 50).ok());
+  auto s1 = *c.Get("stocks");
+  EXPECT_EQ(s1->AttributeLifespan(*s1->IndexOf("Volume")).ToString(),
+            "{[0,49]}");
+  ASSERT_TRUE(c.ReopenAttribute("stocks", "Volume", Span(70, 99)).ok());
+  auto s2 = *c.Get("stocks");
+  EXPECT_EQ(s2->AttributeLifespan(*s2->IndexOf("Volume")).ToString(),
+            "{[0,49],[70,99]}");
+  // Key attributes cannot be closed.
+  EXPECT_FALSE(c.CloseAttribute("stocks", "Name", 10).ok());
+}
+
+TEST(DatabaseTest, InsertAndGet) {
+  Database db = MakeEmpDb();
+  auto rel = db.Get("emp");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 1u);
+  EXPECT_FALSE(db.Get("nope").ok());
+}
+
+TEST(DatabaseTest, AssignWritesHistory) {
+  Database db = MakeEmpDb();
+  ASSERT_TRUE(
+      db.Assign("emp", Key("john"), "Salary", Span(10, 19), Value::Int(20000))
+          .ok());
+  const Relation& rel = **db.Get("emp");
+  const Tuple& t = rel.tuple(0);
+  EXPECT_EQ(*t.ModelValueAt(1, 5), Value::Int(10000));
+  EXPECT_EQ(*t.ModelValueAt(1, 15), Value::Int(20000));
+  // Overwrite part of the history.
+  ASSERT_TRUE(
+      db.Assign("emp", Key("john"), "Salary", Span(15, 19), Value::Int(30000))
+          .ok());
+  const Tuple& t2 = (**db.Get("emp")).tuple(0);
+  EXPECT_EQ(*t2.ModelValueAt(1, 12), Value::Int(20000));
+  EXPECT_EQ(*t2.ModelValueAt(1, 17), Value::Int(30000));
+}
+
+TEST(DatabaseTest, AssignValidation) {
+  Database db = MakeEmpDb();
+  // Outside the tuple lifespan.
+  EXPECT_FALSE(
+      db.Assign("emp", Key("john"), "Salary", Span(50, 60), Value::Int(1))
+          .ok());
+  // Key attributes are immutable.
+  EXPECT_FALSE(db.Assign("emp", Key("john"), "Name", Span(0, 5),
+                         Value::String("x"))
+                   .ok());
+  // Unknown tuple.
+  EXPECT_FALSE(
+      db.Assign("emp", Key("ghost"), "Salary", Span(0, 5), Value::Int(1))
+          .ok());
+}
+
+TEST(DatabaseTest, DeathAndReincarnation) {
+  Database db = MakeEmpDb();
+  // Fire john at chronon 10.
+  ASSERT_TRUE(db.EndLifespan("emp", Key("john"), 10).ok());
+  {
+    const Tuple& t = (**db.Get("emp")).tuple(0);
+    EXPECT_EQ(t.lifespan().ToString(), "{[0,9]}");
+  }
+  // Re-hire over [30,49] — the lifespan becomes non-contiguous.
+  ASSERT_TRUE(db.Reincarnate("emp", Key("john"), Span(30, 49)).ok());
+  {
+    const Tuple& t = (**db.Get("emp")).tuple(0);
+    EXPECT_EQ(t.lifespan().ToString(), "{[0,9],[30,49]}");
+    // The key is total on the extended lifespan.
+    EXPECT_EQ(t.value(0).domain(), t.lifespan());
+    // Salary history in the new incarnation starts empty.
+    EXPECT_TRUE(t.ValueAt(1, 35).absent());
+  }
+  ASSERT_TRUE(
+      db.Assign("emp", Key("john"), "Salary", Span(30, 49), Value::Int(500))
+          .ok());
+  EXPECT_EQ(*(**db.Get("emp")).tuple(0).ModelValueAt(1, 40),
+            Value::Int(500));
+}
+
+TEST(DatabaseTest, EndLifespanBeforeBirthRemovesTuple) {
+  Database db = MakeEmpDb();
+  ASSERT_TRUE(db.EndLifespan("emp", Key("john"), 0).ok());
+  EXPECT_TRUE((*db.Get("emp"))->empty());
+}
+
+TEST(DatabaseTest, SchemaEvolutionRebindsTuples) {
+  Database db = MakeEmpDb();
+  ASSERT_TRUE(db.Assign("emp", Key("john"), "Salary", Span(0, 19),
+                        Value::Int(10000))
+                  .ok());
+  // Close Salary at 10: stored history beyond the new ALS is clipped.
+  ASSERT_TRUE(db.CloseAttribute("emp", "Salary", 10).ok());
+  const Relation& rel = **db.Get("emp");
+  EXPECT_EQ(rel.tuple(0).value(1).domain().ToString(), "{[0,9]}");
+  // Reopen and verify assignability over the reopened region.
+  ASSERT_TRUE(db.ReopenAttribute("emp", "Salary", Span(15, 19)).ok());
+  ASSERT_TRUE(
+      db.Assign("emp", Key("john"), "Salary", Span(15, 19), Value::Int(7))
+          .ok());
+  EXPECT_EQ((**db.Get("emp")).tuple(0).ValueAt(1, 16), Value::Int(7));
+  // The closed region [10,14] stays unassignable.
+  EXPECT_FALSE(
+      db.Assign("emp", Key("john"), "Salary", Span(11, 12), Value::Int(7))
+          .ok());
+}
+
+TEST(DatabaseTest, AddAttribute) {
+  Database db = MakeEmpDb();
+  ASSERT_TRUE(db.AddAttribute("emp", {"Dept", DomainType::kString, kFull,
+                                      InterpolationKind::kStepwise})
+                  .ok());
+  const Relation& rel = **db.Get("emp");
+  EXPECT_EQ(rel.scheme()->arity(), 3u);
+  ASSERT_TRUE(db.Assign("emp", Key("john"), "Dept", Span(0, 19),
+                        Value::String("tools"))
+                  .ok());
+  EXPECT_EQ((**db.Get("emp")).tuple(0).ValueAt(2, 5),
+            Value::String("tools"));
+}
+
+TEST(DatabaseTest, SnapshotRoundTrip) {
+  Database db = MakeEmpDb();
+  ASSERT_TRUE(db.CreateRelation(
+                    "dept",
+                    {{"DName", DomainType::kString, kFull,
+                      InterpolationKind::kDiscrete}},
+                    {"DName"})
+                  .ok());
+  ASSERT_TRUE(db.RegisterForeignKey("emp", {"Name"}, "emp").ok());
+  const std::string path = "/tmp/hrdm_database_test.bin";
+  ASSERT_TRUE(db.Save(path).ok());
+  auto loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->RelationNames(), db.RelationNames());
+  EXPECT_TRUE((*loaded->Get("emp"))->EqualsAsSet(**db.Get("emp")));
+  EXPECT_EQ(loaded->foreign_keys().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, DecodeRejectsGarbage) {
+  auto bad = Database::DecodeSnapshot("not a snapshot");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ChangeLogTest, ReplayReproducesDatabase) {
+  LoggedDatabase ldb;
+  ASSERT_TRUE(ldb.CreateRelation("emp", EmpAttrs(), {"Name"}).ok());
+  {
+    auto scheme = *ldb.db().catalog().Get("emp");
+    Tuple::Builder b(scheme, Span(0, 19));
+    b.SetConstant("Name", Value::String("john"));
+    ASSERT_TRUE(ldb.Insert("emp", *std::move(b).Build()).ok());
+  }
+  ASSERT_TRUE(ldb.Assign("emp", Key("john"), "Salary", Span(0, 9),
+                         Value::Int(10))
+                  .ok());
+  ASSERT_TRUE(ldb.EndLifespan("emp", Key("john"), 15).ok());
+  ASSERT_TRUE(ldb.Reincarnate("emp", Key("john"), Span(30, 40)).ok());
+  ASSERT_TRUE(ldb.CloseAttribute("emp", "Salary", 35).ok());
+  ASSERT_TRUE(ldb.ReopenAttribute("emp", "Salary", Span(38, 40)).ok());
+  ASSERT_TRUE(ldb.AddAttribute("emp", {"Dept", DomainType::kString, kFull,
+                                       InterpolationKind::kStepwise})
+                  .ok());
+
+  Database replayed;
+  ASSERT_TRUE(ldb.log().Replay(&replayed).ok());
+  EXPECT_EQ(replayed.EncodeSnapshot(), ldb.db().EncodeSnapshot());
+}
+
+TEST(ChangeLogTest, FailedMutationsAreNotLogged) {
+  LoggedDatabase ldb;
+  ASSERT_TRUE(ldb.CreateRelation("emp", EmpAttrs(), {"Name"}).ok());
+  EXPECT_FALSE(
+      ldb.Assign("emp", Key("ghost"), "Salary", Span(0, 1), Value::Int(1))
+          .ok());
+  EXPECT_EQ(ldb.log().size(), 1u);  // only the CreateRelation
+  Database replayed;
+  EXPECT_TRUE(ldb.log().Replay(&replayed).ok());
+}
+
+TEST(ChangeLogTest, TornTailIsTolerated) {
+  LoggedDatabase ldb;
+  ASSERT_TRUE(ldb.CreateRelation("emp", EmpAttrs(), {"Name"}).ok());
+  {
+    auto scheme = *ldb.db().catalog().Get("emp");
+    Tuple::Builder b(scheme, Span(0, 19));
+    b.SetConstant("Name", Value::String("john"));
+    ASSERT_TRUE(ldb.Insert("emp", *std::move(b).Build()).ok());
+  }
+  std::string encoded = ldb.log().Encode();
+  // Simulate a crash mid-append: cut the final record in half.
+  std::string torn = encoded.substr(0, encoded.size() - 5);
+  auto recovered = ChangeLog::Decode(torn);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), 1u);  // the torn Insert is dropped
+  Database replayed;
+  EXPECT_TRUE(recovered->Replay(&replayed).ok());
+  EXPECT_TRUE((*replayed.Get("emp"))->empty());
+}
+
+TEST(ChangeLogTest, SaveLoadRoundTrip) {
+  LoggedDatabase ldb;
+  ASSERT_TRUE(ldb.CreateRelation("emp", EmpAttrs(), {"Name"}).ok());
+  const std::string path = "/tmp/hrdm_changelog_test.bin";
+  ASSERT_TRUE(ldb.log().SaveTo(path).ok());
+  auto loaded = ChangeLog::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), ldb.log().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hrdm::storage

@@ -1,0 +1,269 @@
+// Tests for the JOIN family (Section 4.6), including the paper's central
+// equivalence JOIN ≡ SELECT-WHEN ∘ × (Section 5) and natural-join
+// commutativity.
+
+#include "algebra/join.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+SchemePtr EmpScheme() {
+  static SchemePtr s = *RelationScheme::Make(
+      "emp",
+      {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Dept", DomainType::kString, kFull, InterpolationKind::kStepwise}},
+      {"Name"});
+  return s;
+}
+
+SchemePtr DeptScheme() {
+  static SchemePtr s = *RelationScheme::Make(
+      "dept",
+      {{"DName", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Mgr", DomainType::kString, kFull, InterpolationKind::kStepwise}},
+      {"DName"});
+  return s;
+}
+
+/// john works in tools [0,9], toys [10,19]; mary in toys [5,14].
+/// tools is managed by ann [0,19]; toys by bob [0,9], carol [10,19].
+struct JoinFixture {
+  Relation emp{EmpScheme()};
+  Relation dept{DeptScheme()};
+
+  JoinFixture() {
+    {
+      Tuple::Builder b(EmpScheme(), Span(0, 19));
+      b.SetConstant("Name", Value::String("john"));
+      b.Set("Dept", *TemporalValue::FromSegments(
+                        {{Interval(0, 9), Value::String("tools")},
+                         {Interval(10, 19), Value::String("toys")}}));
+      EXPECT_TRUE(emp.Insert(*std::move(b).Build()).ok());
+    }
+    {
+      Tuple::Builder b(EmpScheme(), Span(5, 14));
+      b.SetConstant("Name", Value::String("mary"));
+      b.SetConstant("Dept", Value::String("toys"));
+      EXPECT_TRUE(emp.Insert(*std::move(b).Build()).ok());
+    }
+    {
+      Tuple::Builder b(DeptScheme(), Span(0, 19));
+      b.SetConstant("DName", Value::String("tools"));
+      b.SetConstant("Mgr", Value::String("ann"));
+      EXPECT_TRUE(dept.Insert(*std::move(b).Build()).ok());
+    }
+    {
+      Tuple::Builder b(DeptScheme(), Span(0, 19));
+      b.SetConstant("DName", Value::String("toys"));
+      b.Set("Mgr", *TemporalValue::FromSegments(
+                       {{Interval(0, 9), Value::String("bob")},
+                        {Interval(10, 19), Value::String("carol")}}));
+      EXPECT_TRUE(dept.Insert(*std::move(b).Build()).ok());
+    }
+  }
+};
+
+TEST(JoinTest, EquiJoinOverAgreementTimes) {
+  JoinFixture f;
+  auto j = EquiJoin(f.emp, "Dept", f.dept, "DName");
+  ASSERT_TRUE(j.ok());
+  // john–tools on [0,9], john–toys on [10,19], mary–toys on [5,14].
+  ASSERT_EQ(j->size(), 3u);
+  bool seen_john_tools = false, seen_john_toys = false, seen_mary = false;
+  for (const Tuple& t : *j) {
+    const Value name = t.value(*t.scheme()->IndexOf("Name")).ConstantValue();
+    const auto dn = *t.value("DName");
+    if (name == Value::String("john") &&
+        dn.ConstantValue() == Value::String("tools")) {
+      seen_john_tools = true;
+      EXPECT_EQ(t.lifespan().ToString(), "{[0,9]}");
+      // No nulls: every attribute is defined on the joined lifespan only.
+      EXPECT_TRUE((*t.value("Mgr")).ValueAt(15).absent());
+      EXPECT_EQ((*t.value("Mgr")).ValueAt(5), Value::String("ann"));
+    }
+    if (name == Value::String("john") &&
+        dn.ConstantValue() == Value::String("toys")) {
+      seen_john_toys = true;
+      EXPECT_EQ(t.lifespan().ToString(), "{[10,19]}");
+      EXPECT_EQ((*t.value("Mgr")).ValueAt(12), Value::String("carol"));
+    }
+    if (name == Value::String("mary")) {
+      seen_mary = true;
+      EXPECT_EQ(t.lifespan().ToString(), "{[5,14]}");
+    }
+  }
+  EXPECT_TRUE(seen_john_tools && seen_john_toys && seen_mary);
+}
+
+TEST(JoinTest, ThetaJoinWithInequality) {
+  // Join employees to departments whose name differs from the employee's
+  // dept — the complement pairing.
+  JoinFixture f;
+  auto j = ThetaJoin(f.emp, "Dept", CompareOp::kNe, f.dept, "DName");
+  ASSERT_TRUE(j.ok());
+  for (const Tuple& t : *j) {
+    // At every chronon of the result lifespan the two attributes differ.
+    const auto dept_v = *t.value("Dept");
+    const auto dname_v = *t.value("DName");
+    for (TimePoint s : t.lifespan()) {
+      EXPECT_NE(dept_v.ValueAt(s), dname_v.ValueAt(s));
+    }
+  }
+}
+
+TEST(JoinTest, JoinEqualsSelectWhenOfProduct) {
+  // Section 5: "the JOIN operations ... be equivalent to the appropriate
+  // SELECT-WHEN of the Cartesian product, and thus no nulls result".
+  JoinFixture f;
+  auto join_path = EquiJoin(f.emp, "Dept", f.dept, "DName");
+  ASSERT_TRUE(join_path.ok());
+  auto product = CartesianProduct(f.emp, f.dept);
+  ASSERT_TRUE(product.ok());
+  auto select_path = SelectWhen(
+      *product, Predicate::AttrAttr("Dept", CompareOp::kEq, "DName"));
+  ASSERT_TRUE(select_path.ok());
+  EXPECT_TRUE(join_path->EqualsAsSet(*select_path));
+}
+
+TEST(JoinTest, NaturalJoinSharedAttributesOnce) {
+  // Rename Dept/DName into a shared attribute and natural-join.
+  auto emp2_scheme = *RelationScheme::Make(
+      "emp2",
+      {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"D", DomainType::kString, kFull, InterpolationKind::kStepwise}},
+      {"Name"});
+  auto dept2_scheme = *RelationScheme::Make(
+      "dept2",
+      {{"D", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Mgr", DomainType::kString, kFull, InterpolationKind::kStepwise}},
+      {"D"});
+  Relation emp2(emp2_scheme), dept2(dept2_scheme);
+  {
+    Tuple::Builder b(emp2_scheme, Span(0, 9));
+    b.SetConstant("Name", Value::String("john"));
+    b.SetConstant("D", Value::String("tools"));
+    ASSERT_TRUE(emp2.Insert(*std::move(b).Build()).ok());
+  }
+  {
+    Tuple::Builder b(dept2_scheme, Span(5, 19));
+    b.SetConstant("D", Value::String("tools"));
+    b.SetConstant("Mgr", Value::String("ann"));
+    ASSERT_TRUE(dept2.Insert(*std::move(b).Build()).ok());
+  }
+  auto j = NaturalJoin(emp2, dept2);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j->size(), 1u);
+  EXPECT_EQ(j->scheme()->arity(), 3u);  // Name, D, Mgr
+  EXPECT_EQ(j->tuple(0).lifespan().ToString(), "{[5,9]}");
+
+  // Commutativity (Section 5): attribute order differs but content matches.
+  auto ji = NaturalJoin(dept2, emp2);
+  ASSERT_TRUE(ji.ok());
+  ASSERT_EQ(ji->size(), 1u);
+  EXPECT_EQ(ji->tuple(0).lifespan(), j->tuple(0).lifespan());
+  for (const std::string attr : {"Name", "D", "Mgr"}) {
+    EXPECT_EQ(*j->tuple(0).value(attr), *ji->tuple(0).value(attr)) << attr;
+  }
+}
+
+TEST(JoinTest, NaturalJoinNoSharedAttrsIsCommonLifespanProduct) {
+  JoinFixture f;
+  auto j = NaturalJoin(f.emp, f.dept);
+  ASSERT_TRUE(j.ok());
+  // Every emp tuple pairs with every dept tuple over the lifespan overlap.
+  EXPECT_EQ(j->size(), 4u);
+}
+
+TEST(JoinTest, TimeJoinSlicesBySourceImage) {
+  // audit(Id, Ref) where Ref is time-valued; join against dept history:
+  // "what was the state of the referenced department at the referenced
+  // times".
+  auto audit_scheme = *RelationScheme::Make(
+      "audit",
+      {{"Id", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Ref", DomainType::kTime, kFull, InterpolationKind::kDiscrete}},
+      {"Id"});
+  Relation audit(audit_scheme);
+  {
+    Tuple::Builder b(audit_scheme, Span(0, 19));
+    b.SetConstant("Id", Value::String("a1"));
+    b.Set("Ref", *TemporalValue::Constant(Span(0, 19), Value::Time(7)));
+    ASSERT_TRUE(audit.Insert(*std::move(b).Build()).ok());
+  }
+  JoinFixture f;
+  auto j = TimeJoin(audit, "Ref", f.dept);
+  ASSERT_TRUE(j.ok());
+  // Image of Ref = {7}; both dept tuples live at 7.
+  ASSERT_EQ(j->size(), 2u);
+  for (const Tuple& t : *j) {
+    EXPECT_EQ(t.lifespan().ToString(), "{[7]}");
+  }
+}
+
+TEST(JoinTest, TimeJoinRequiresTimeAttribute) {
+  JoinFixture f;
+  auto bad = TimeJoin(f.emp, "Dept", f.dept);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(JoinTest, JoinRequiresDisjointAttributes) {
+  JoinFixture f;
+  auto bad = ThetaJoin(f.emp, "Name", CompareOp::kEq, f.emp, "Name");
+  EXPECT_FALSE(bad.ok());
+}
+
+// Property: JOIN ≡ SELECT-WHEN ∘ × on random workloads.
+class JoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinPropertyTest, JoinSelectWhenProductEquivalence) {
+  Rng rng(GetParam());
+  workload::RandomRelationConfig c1;
+  c1.name = "ra";
+  c1.num_tuples = 8;
+  c1.num_value_attrs = 1;
+  c1.key_prefix = "x";
+  workload::RandomRelationConfig c2 = c1;
+  c2.name = "rb";
+  c2.key_prefix = "y";
+  auto r1 = *workload::MakeRandomRelation(&rng, c1);
+  auto r2 = *workload::MakeRandomRelation(&rng, c2);
+  // Rename rb's attributes to keep the products disjoint.
+  auto rb_scheme = *RelationScheme::Make(
+      "rb2",
+      {{"Id2", DomainType::kString, Span(0, c2.horizon - 1),
+        InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, Span(0, c2.horizon - 1),
+        InterpolationKind::kStepwise}},
+      {"Id2"});
+  Relation rb(rb_scheme);
+  for (const Tuple& t : r2) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    ASSERT_TRUE(
+        rb.Insert(Tuple::FromParts(rb_scheme, t.lifespan(), vals)).ok());
+  }
+
+  auto joined = ThetaJoin(r1, "A0", CompareOp::kLe, rb, "B0");
+  ASSERT_TRUE(joined.ok());
+  auto product = CartesianProduct(r1, rb);
+  ASSERT_TRUE(product.ok());
+  auto filtered =
+      SelectWhen(*product, Predicate::AttrAttr("A0", CompareOp::kLe, "B0"));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(joined->EqualsAsSet(*filtered));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest,
+                         ::testing::Values(3u, 19u, 101u, 5555u));
+
+}  // namespace
+}  // namespace hrdm

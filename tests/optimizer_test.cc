@@ -1,0 +1,210 @@
+// Tests for the rewrite optimizer: every rule must preserve query answers
+// (the Section 5 algebraic identities, verified operationally), plus a
+// documented counterexample for the identity the paper overstates.
+
+#include "query/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/setops.h"
+#include "algebra/timeslice.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm::query {
+namespace {
+
+/// A database with three merge-compatible random relations r0, r1, r2 (all
+/// over Id/A0/A1 + time attribute Ref) with overlapping key spaces.
+storage::Database RandomDb(uint64_t seed) {
+  Rng rng(seed);
+  storage::Database db;
+  for (int i = 0; i < 3; ++i) {
+    workload::RandomRelationConfig config;
+    config.name = "r" + std::to_string(i);
+    config.num_tuples = 10;
+    config.num_value_attrs = 2;
+    config.with_time_attribute = true;
+    config.key_space = 14;  // overlapping keys across relations
+    auto rel = workload::MakeRandomRelation(&rng, config);
+    EXPECT_TRUE(rel.ok());
+    EXPECT_TRUE(db.CreateRelation(rel->scheme()).ok());
+    for (const Tuple& t : *rel) {
+      EXPECT_TRUE(db.Insert(config.name, t).ok());
+    }
+  }
+  return db;
+}
+
+void ExpectSameAnswer(const std::string& hrql, const storage::Database& db) {
+  auto expr = ParseExpr(hrql);
+  ASSERT_TRUE(expr.ok()) << hrql;
+  OptimizerStats stats;
+  ExprPtr optimized = Optimize(*expr, &stats);
+  auto raw = Eval(*expr, db);
+  auto opt = Eval(optimized, db);
+  ASSERT_TRUE(raw.ok()) << hrql << ": " << raw.status().ToString();
+  ASSERT_TRUE(opt.ok()) << optimized->ToString() << ": "
+                        << opt.status().ToString();
+  EXPECT_TRUE(raw->EqualsAsSet(*opt))
+      << "query: " << hrql << "\nrewritten: " << optimized->ToString();
+}
+
+TEST(OptimizerTest, TimesliceFusion) {
+  auto e = *ParseExpr("timeslice(timeslice(r0, {[0,30]}), {[20,50]})");
+  OptimizerStats stats;
+  ExprPtr o = Optimize(e, &stats);
+  EXPECT_EQ(o->ToString(), "timeslice(r0, {[20,30]})");
+  EXPECT_GE(stats.rules_applied, 1);
+}
+
+TEST(OptimizerTest, SelectWhenFusion) {
+  auto e = *ParseExpr(
+      "select_when(select_when(r0, A0 = 1), A1 = 2)");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->ToString(), "select_when(r0, A0 = 1 AND A1 = 2)");
+}
+
+TEST(OptimizerTest, PushTimesliceBelowSelectWhen) {
+  auto e = *ParseExpr("timeslice(select_when(r0, A0 = 1), {[0,9]})");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->ToString(), "select_when(timeslice(r0, {[0,9]}), A0 = 1)");
+}
+
+TEST(OptimizerTest, DistributeOverUnion) {
+  auto e = *ParseExpr("timeslice(union(r0, r1), {[0,9]})");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->ToString(),
+            "union(timeslice(r0, {[0,9]}), timeslice(r1, {[0,9]}))");
+
+  auto s = *ParseExpr("select_when(union(r0, r1), A0 = 1)");
+  ExprPtr so = Optimize(s);
+  EXPECT_EQ(so->ToString(),
+            "union(select_when(r0, A0 = 1), select_when(r1, A0 = 1))");
+}
+
+TEST(OptimizerTest, SelectIfDistributesOverAllSetOps) {
+  for (const char* op : {"union", "intersect", "minus"}) {
+    auto e = *ParseExpr("select_if(" + std::string(op) +
+                        "(r0, r1), A0 = 1, exists, {[0,50]})");
+    ExprPtr o = Optimize(e);
+    EXPECT_EQ(o->ToString(),
+              std::string(op) +
+                  "(select_if(r0, A0 = 1, exists, {[0,50]}), "
+                  "select_if(r1, A0 = 1, exists, {[0,50]}))");
+  }
+  // Without an explicit window the rewrite must NOT fire (the implicit
+  // window LS(r) differs per operand).
+  auto e = *ParseExpr("select_if(union(r0, r1), A0 = 1, exists)");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->kind, ExprKind::kSelectIf);
+}
+
+TEST(OptimizerTest, ProjectFusion) {
+  auto e = *ParseExpr("project(project(r0, Id, A0, A1), Id)");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->ToString(), "project(r0, Id)");
+}
+
+TEST(OptimizerTest, LifespanLiteralFolding) {
+  auto e = *ParseExpr(
+      "timeslice(r0, lunion(lintersect({[0,20]}, {[10,40]}), {[50]}))");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->ToString(), "timeslice(r0, {[10,20],[50]})");
+}
+
+TEST(OptimizerTest, FixpointTerminates) {
+  // Deeply nested rewritable tree converges within the pass bound.
+  std::string q = "r0";
+  for (int i = 0; i < 6; ++i) {
+    q = "timeslice(select_when(" + q + ", A0 = " + std::to_string(i) +
+        "), {[0," + std::to_string(50 - i) + "]})";
+  }
+  auto e = ParseExpr(q);
+  ASSERT_TRUE(e.ok());
+  OptimizerStats stats;
+  ExprPtr o = Optimize(*e, &stats);
+  EXPECT_LE(stats.passes, 16);
+  // After optimization all slices are fused below all selects.
+  EXPECT_EQ(o->kind, ExprKind::kSelectWhen);
+}
+
+// --- Answer preservation (the operational Section 5 identities) ------------
+
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerEquivalenceTest, RewritesPreserveAnswers) {
+  storage::Database db = RandomDb(GetParam());
+  const std::vector<std::string> queries = {
+      "timeslice(timeslice(r0, {[0,30]}), {[20,50]})",
+      "timeslice(select_when(r0, A0 <= 50), {[5,25]})",
+      "select_when(select_when(r0, A0 <= 70), A1 >= 10)",
+      "timeslice(union(r0, r1), {[0,25]})",
+      "select_when(union(r0, r1), A0 <= 40)",
+      "select_if(union(r0, r1), A0 <= 40, exists, {[0,59]})",
+      "select_if(intersect(r0, r1), A0 <= 40, forall, {[0,59]})",
+      "select_if(minus(r0, r1), A0 <= 40, exists, {[0,59]})",
+      "project(project(r0, Id, A0, A1), Id, A0)",
+      "timeslice(select_when(union(r0, r1), A0 <= 30), "
+      "lintersect({[0,40]}, {[10,59]}))",
+      "timeslice(ounion(r0, r1), {[0,30]})",
+      "select_when(ointersect(r0, r1), A0 <= 80)",
+      "timeslice(r2, when(select_when(r0, A0 <= 20)))",
+      "join(project(r0, Id, A0), project(r1, Id2, B0), A0 <= B0)",
+  };
+  for (const std::string& q : queries) {
+    if (q.find("Id2") != std::string::npos) continue;  // needs renaming
+    ExpectSameAnswer(q, db);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 44u, 1234u));
+
+// --- The identity the paper overstates ---------------------------------------
+
+TEST(OptimizerTest, TimesliceDoesNotDistributeOverDifference) {
+  // Two tuples (same key space) that differ overall but become identical
+  // after slicing: distribution over '−' would change the answer, so the
+  // optimizer must not apply it. This refines the paper's blanket claim
+  // that TIME-SLICE distributes over "the binary set-theoretic operators".
+  const Lifespan full = Span(0, 19);
+  auto scheme = *RelationScheme::Make(
+      "d",
+      {{"Id", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"X", DomainType::kInt, full, InterpolationKind::kDiscrete}},
+      {"Id"});
+  Relation r1(scheme), r2(scheme);
+  {
+    Tuple::Builder b(scheme, Span(0, 19));  // long history
+    b.SetConstant("Id", Value::String("a"));
+    b.SetConstant("X", Value::Int(1));
+    ASSERT_TRUE(r1.Insert(*std::move(b).Build()).ok());
+  }
+  {
+    Tuple::Builder b(scheme, Span(0, 9));  // short history, same values
+    b.SetConstant("Id", Value::String("a"));
+    b.SetConstant("X", Value::Int(1));
+    ASSERT_TRUE(r2.Insert(*std::move(b).Build()).ok());
+  }
+  const Lifespan window = Span(0, 9);
+  // LHS: slice(r1 − r2): r1's tuple ∉ r2 (different lifespan), survives,
+  // then sliced to [0,9].
+  auto lhs = *TimeSlice(*Difference(r1, r2), window);
+  EXPECT_EQ(lhs.size(), 1u);
+  // RHS: slice(r1) − slice(r2): after slicing both tuples are identical,
+  // so the difference is empty.
+  auto rhs = *Difference(*TimeSlice(r1, window), *TimeSlice(r2, window));
+  EXPECT_TRUE(rhs.empty());
+  EXPECT_FALSE(lhs.EqualsAsSet(rhs));
+
+  // And the optimizer indeed leaves timeslice-over-minus alone.
+  auto e = *ParseExpr("timeslice(minus(r0, r1), {[0,9]})");
+  ExprPtr o = Optimize(e);
+  EXPECT_EQ(o->kind, ExprKind::kTimeSlice);
+}
+
+}  // namespace
+}  // namespace hrdm::query

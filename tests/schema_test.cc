@@ -1,0 +1,211 @@
+// Tests for RelationScheme = <A, K, ALS, DOM> (Section 3) and scheme
+// derivation (set ops, projection, joins, evolution).
+
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hrdm {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+AttributeDef Attr(std::string name, DomainType type,
+                  Lifespan ls = kFull,
+                  InterpolationKind ik = InterpolationKind::kDiscrete) {
+  return AttributeDef{std::move(name), type, std::move(ls), ik};
+}
+
+TEST(SchemaTest, MakeValidScheme) {
+  auto s = RelationScheme::Make(
+      "emp",
+      {Attr("Name", DomainType::kString), Attr("Salary", DomainType::kInt)},
+      {"Name"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->name(), "emp");
+  EXPECT_EQ((*s)->arity(), 2u);
+  EXPECT_EQ((*s)->key(), std::vector<std::string>{"Name"});
+  EXPECT_EQ((*s)->key_indices(), std::vector<size_t>{0});
+  EXPECT_TRUE((*s)->IsKey(0));
+  EXPECT_FALSE((*s)->IsKey(1));
+  EXPECT_EQ((*s)->SchemeLifespan(), kFull);
+}
+
+TEST(SchemaTest, MakeRejectsBadNames) {
+  EXPECT_FALSE(RelationScheme::Make(
+                   "bad name", {Attr("A", DomainType::kInt)}, {"A"})
+                   .ok());
+  EXPECT_FALSE(RelationScheme::Make(
+                   "r", {Attr("1bad", DomainType::kInt)}, {"1bad"})
+                   .ok());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicatesAndMissingKey) {
+  EXPECT_FALSE(
+      RelationScheme::Make("r",
+                           {Attr("A", DomainType::kInt),
+                            Attr("A", DomainType::kInt)},
+                           {"A"})
+          .ok());
+  auto missing = RelationScheme::Make("r", {Attr("A", DomainType::kInt)},
+                                      {"B"});
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, MakeRejectsNoAttributes) {
+  EXPECT_FALSE(RelationScheme::Make("r", {}, {}).ok());
+}
+
+TEST(SchemaTest, EmptyKeyAllowedForDerivedSchemes) {
+  auto s = RelationScheme::Make("derived", {Attr("A", DomainType::kInt)}, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->key().empty());
+}
+
+TEST(SchemaTest, KeyLifespanMustSpanScheme) {
+  // Section 2: "the lifespan of the key attributes must be the same as the
+  // lifespan of the entire relation schema".
+  auto bad = RelationScheme::Make(
+      "r",
+      {Attr("K", DomainType::kString, Span(0, 49)),
+       Attr("A", DomainType::kInt, Span(0, 99))},
+      {"K"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(SchemaTest, LinearInterpolationRequiresDouble) {
+  auto bad = RelationScheme::Make(
+      "r",
+      {Attr("K", DomainType::kString),
+       Attr("A", DomainType::kInt, kFull, InterpolationKind::kLinear)},
+      {"K"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, UnionAndMergeCompatibility) {
+  auto a = *RelationScheme::Make(
+      "a", {Attr("K", DomainType::kString), Attr("X", DomainType::kInt)},
+      {"K"});
+  auto b = *RelationScheme::Make(
+      "b",
+      {Attr("K", DomainType::kString, Span(10, 20)),
+       Attr("X", DomainType::kInt, Span(10, 20))},
+      {"K"});
+  auto c = *RelationScheme::Make(
+      "c", {Attr("K", DomainType::kString), Attr("X", DomainType::kInt)},
+      {"K", "X"});
+  auto d = *RelationScheme::Make(
+      "d", {Attr("K", DomainType::kString), Attr("Y", DomainType::kInt)},
+      {"K"});
+
+  EXPECT_TRUE(a->UnionCompatibleWith(*b));  // ALS may differ
+  EXPECT_TRUE(a->MergeCompatibleWith(*b));
+  EXPECT_TRUE(a->UnionCompatibleWith(*c));
+  EXPECT_FALSE(a->MergeCompatibleWith(*c));  // different key
+  EXPECT_FALSE(a->UnionCompatibleWith(*d));  // different attribute names
+}
+
+TEST(SchemaTest, CombineUnionAndIntersectLifespans) {
+  auto a = *RelationScheme::Make(
+      "a",
+      {Attr("K", DomainType::kString, Span(0, 49)),
+       Attr("X", DomainType::kInt, Span(0, 49))},
+      {"K"});
+  auto b = *RelationScheme::Make(
+      "b",
+      {Attr("K", DomainType::kString, Span(30, 99)),
+       Attr("X", DomainType::kInt, Span(30, 99))},
+      {"K"});
+  auto u = RelationScheme::Combine("u", *a, *b,
+                                   RelationScheme::LifespanCombine::kUnion);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->AttributeLifespan(1).ToString(), "{[0,99]}");
+  auto i = RelationScheme::Combine(
+      "i", *a, *b, RelationScheme::LifespanCombine::kIntersect);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ((*i)->AttributeLifespan(1).ToString(), "{[30,49]}");
+}
+
+TEST(SchemaTest, ProjectKeepsKeyWhenRetained) {
+  auto s = *RelationScheme::Make(
+      "r",
+      {Attr("K", DomainType::kString), Attr("A", DomainType::kInt),
+       Attr("B", DomainType::kInt)},
+      {"K"});
+  auto p = s->Project({"K", "B"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->arity(), 2u);
+  EXPECT_EQ((*p)->key(), std::vector<std::string>{"K"});
+}
+
+TEST(SchemaTest, ProjectDropsKeyBecomesKeyless) {
+  auto s = *RelationScheme::Make(
+      "r", {Attr("K", DomainType::kString), Attr("A", DomainType::kInt)},
+      {"K"});
+  auto p = s->Project({"A"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE((*p)->key().empty());
+}
+
+TEST(SchemaTest, ProjectRejectsUnknownAndDuplicate) {
+  auto s = *RelationScheme::Make(
+      "r", {Attr("K", DomainType::kString), Attr("A", DomainType::kInt)},
+      {"K"});
+  EXPECT_FALSE(s->Project({"Z"}).ok());
+  EXPECT_FALSE(s->Project({"A", "A"}).ok());
+  EXPECT_FALSE(s->Project({}).ok());
+}
+
+TEST(SchemaTest, JoinSchemeUnionsKeysAndLifespans) {
+  auto a = *RelationScheme::Make(
+      "a",
+      {Attr("K1", DomainType::kString, Span(0, 49)),
+       Attr("X", DomainType::kInt, Span(0, 49))},
+      {"K1"});
+  auto b = *RelationScheme::Make(
+      "b",
+      {Attr("K2", DomainType::kString, Span(20, 99)),
+       Attr("Y", DomainType::kInt, Span(20, 99))},
+      {"K2"});
+  auto j = RelationScheme::JoinScheme("j", *a, *b);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->arity(), 4u);
+  EXPECT_EQ((*j)->key(), (std::vector<std::string>{"K1", "K2"}));
+  // Key lifespans widened to the combined scheme lifespan [0,99].
+  EXPECT_EQ((*j)->AttributeLifespan(0).ToString(), "{[0,99]}");
+}
+
+TEST(SchemaTest, JoinSchemeRejectsConflictingSharedDomains) {
+  auto a = *RelationScheme::Make(
+      "a", {Attr("K", DomainType::kString), Attr("X", DomainType::kInt)},
+      {"K"});
+  auto b = *RelationScheme::Make(
+      "b", {Attr("K", DomainType::kString), Attr("X", DomainType::kString)},
+      {"K"});
+  EXPECT_FALSE(RelationScheme::JoinScheme("j", *a, *b).ok());
+}
+
+TEST(SchemaTest, WithAttributeLifespanEvolvesScheme) {
+  auto s = *RelationScheme::Make(
+      "r", {Attr("K", DomainType::kString), Attr("A", DomainType::kInt)},
+      {"K"});
+  auto evolved = s->WithAttributeLifespan(
+      "A", Lifespan::FromIntervals({Interval(0, 39), Interval(70, 99)}));
+  ASSERT_TRUE(evolved.ok());
+  EXPECT_EQ((*evolved)->AttributeLifespan(1).ToString(), "{[0,39],[70,99]}");
+  // Key still spans the whole scheme lifespan.
+  EXPECT_EQ((*evolved)->AttributeLifespan(0),
+            (*evolved)->SchemeLifespan());
+}
+
+TEST(SchemaTest, ToStringMarksKeys) {
+  auto s = *RelationScheme::Make(
+      "emp", {Attr("Name", DomainType::kString, Span(0, 9))}, {"Name"});
+  EXPECT_EQ(s->ToString(), "emp(Name*: string @{[0,9]})");
+}
+
+}  // namespace
+}  // namespace hrdm

@@ -1,0 +1,195 @@
+// Tests for SELECT-IF and SELECT-WHEN (Section 4.3).
+
+#include "algebra/select.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/when.h"
+
+namespace hrdm {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+SchemePtr EmpScheme() {
+  static SchemePtr s = *RelationScheme::Make(
+      "emp",
+      {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Salary", DomainType::kInt, kFull, InterpolationKind::kStepwise},
+       {"Mgr", DomainType::kString, kFull, InterpolationKind::kStepwise}},
+      {"Name"});
+  return s;
+}
+
+/// john earns 20K over [0,9], 30K over [10,19]; mary earns 30K throughout
+/// [5,24]; bob earns 10K on [0,4].
+Relation PaperEmp() {
+  Relation r(EmpScheme());
+  {
+    Tuple::Builder b(EmpScheme(), Span(0, 19));
+    b.SetConstant("Name", Value::String("john"));
+    b.Set("Salary", *TemporalValue::FromSegments(
+                        {{Interval(0, 9), Value::Int(20000)},
+                         {Interval(10, 19), Value::Int(30000)}}));
+    b.SetConstant("Mgr", Value::String("mary"));
+    EXPECT_TRUE(r.Insert(*std::move(b).Build()).ok());
+  }
+  {
+    Tuple::Builder b(EmpScheme(), Span(5, 24));
+    b.SetConstant("Name", Value::String("mary"));
+    b.SetConstant("Salary", Value::Int(30000));
+    b.SetConstant("Mgr", Value::String("mary"));
+    EXPECT_TRUE(r.Insert(*std::move(b).Build()).ok());
+  }
+  {
+    Tuple::Builder b(EmpScheme(), Span(0, 4));
+    b.SetConstant("Name", Value::String("bob"));
+    b.SetConstant("Salary", Value::Int(10000));
+    b.SetConstant("Mgr", Value::String("john"));
+    EXPECT_TRUE(r.Insert(*std::move(b).Build()).ok());
+  }
+  return r;
+}
+
+TEST(SelectIfTest, ExistsSelectsWholeTuples) {
+  Relation r = PaperEmp();
+  auto sel = SelectIf(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(30000)),
+      Quantifier::kExists);
+  ASSERT_TRUE(sel.ok());
+  // john (at some times) and mary qualify; lifespans unchanged.
+  ASSERT_EQ(sel->size(), 2u);
+  auto john = sel->FindByKey({Value::String("john")});
+  ASSERT_TRUE(john.has_value());
+  EXPECT_EQ(sel->tuple(*john).lifespan().ToString(), "{[0,19]}");
+}
+
+TEST(SelectIfTest, ForallRequiresEveryChronon) {
+  Relation r = PaperEmp();
+  auto sel = SelectIf(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(30000)),
+      Quantifier::kForall);
+  ASSERT_TRUE(sel.ok());
+  // Only mary earns 30K over her entire lifespan.
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ(sel->tuple(0).KeyValues()[0], Value::String("mary"));
+}
+
+TEST(SelectIfTest, WindowRestrictsTheQuantifier) {
+  Relation r = PaperEmp();
+  // Within [10,19] john earns 30K at every chronon.
+  auto sel = SelectIf(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(30000)),
+      Quantifier::kForall, Span(10, 19));
+  ASSERT_TRUE(sel.ok());
+  // john and mary satisfy the criterion throughout the window; bob's
+  // lifespan [0,4] is disjoint from it, so bob qualifies *vacuously* (the
+  // formal Q(s ∈ L ∩ t.l) semantics — see ForallVacuousTruth below).
+  EXPECT_EQ(sel->size(), 3u);
+  EXPECT_TRUE(sel->FindByKey({Value::String("john")}).has_value());
+  EXPECT_TRUE(sel->FindByKey({Value::String("mary")}).has_value());
+}
+
+TEST(SelectIfTest, ForallVacuousTruthOnDisjointWindow) {
+  // The paper's formal definition quantifies over L ∩ t.l; when that set is
+  // empty, forall is vacuously true. bob's lifespan [0,4] is disjoint from
+  // [50,60], so bob is (vacuously) selected.
+  Relation r = PaperEmp();
+  auto sel = SelectIf(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(777)),
+      Quantifier::kForall, Span(50, 60));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 3u);  // everyone, vacuously
+  auto exists = SelectIf(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(777)),
+      Quantifier::kExists, Span(50, 60));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(exists->empty());  // no witness anywhere
+}
+
+TEST(SelectIfTest, UnknownAttributeErrors) {
+  Relation r = PaperEmp();
+  auto sel = SelectIf(
+      r, Predicate::AttrConst("Bonus", CompareOp::kEq, Value::Int(1)),
+      Quantifier::kExists);
+  EXPECT_FALSE(sel.ok());
+  EXPECT_EQ(sel.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SelectWhenTest, PaperJohn30KExample) {
+  // Section 4.3: σ-when(NAME=john AND SAL=30K)(emp) yields one tuple whose
+  // new lifespan is "just those times when John earned 30K".
+  Relation r = PaperEmp();
+  auto sel = SelectWhen(
+      r, Predicate::And(
+             {Predicate::AttrConst("Name", CompareOp::kEq,
+                                   Value::String("john")),
+              Predicate::AttrConst("Salary", CompareOp::kEq,
+                                   Value::Int(30000))}));
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ(sel->tuple(0).lifespan().ToString(), "{[10,19]}");
+  // Values are clipped to the new lifespan.
+  EXPECT_TRUE(sel->tuple(0).ValueAt(1, 5).absent());
+  EXPECT_EQ(sel->tuple(0).ValueAt(1, 12), Value::Int(30000));
+}
+
+TEST(SelectWhenTest, AttrAttrPredicate) {
+  // Employees WHEN they are their own manager.
+  Relation r = PaperEmp();
+  auto sel = SelectWhen(
+      r, Predicate::AttrAttr("Name", CompareOp::kEq, "Mgr"));
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ(sel->tuple(0).KeyValues()[0], Value::String("mary"));
+  EXPECT_EQ(sel->tuple(0).lifespan().ToString(), "{[5,24]}");
+}
+
+TEST(SelectWhenTest, DropsTuplesThatNeverMatch) {
+  Relation r = PaperEmp();
+  auto sel = SelectWhen(
+      r, Predicate::AttrConst("Salary", CompareOp::kGt, Value::Int(50000)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());
+}
+
+TEST(SelectWhenTest, StackedSelectWhenIsConjunction) {
+  // Commutativity of select (Section 5): nesting two SELECT-WHENs equals
+  // one conjunctive SELECT-WHEN, in either order.
+  Relation r = PaperEmp();
+  Predicate p1 = Predicate::AttrConst("Salary", CompareOp::kGe,
+                                      Value::Int(20000));
+  Predicate p2 = Predicate::AttrConst("Mgr", CompareOp::kEq,
+                                      Value::String("mary"));
+  auto a = *SelectWhen(*SelectWhen(r, p1), p2);
+  auto b = *SelectWhen(*SelectWhen(r, p2), p1);
+  auto c = *SelectWhen(r, Predicate::And({p1, p2}));
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  EXPECT_TRUE(a.EqualsAsSet(c));
+}
+
+TEST(SelectWhenTest, WhenComposesWithSelect) {
+  // Section 4.5: WHEN(SELECT-WHEN(...)) answers "when was the condition
+  // satisfied".
+  Relation r = PaperEmp();
+  auto sel = *SelectWhen(
+      r, Predicate::AttrConst("Salary", CompareOp::kEq, Value::Int(30000)));
+  EXPECT_EQ(When(sel).ToString(), "{[5,24]}");  // john [10,19] ∪ mary [5,24]
+}
+
+TEST(SelectTest, SelectWhenSubsetOfSelectIfExists) {
+  // Every tuple surviving SELECT-WHEN corresponds to a tuple selected by
+  // SELECT-IF(∃) with the same key.
+  Relation r = PaperEmp();
+  Predicate p = Predicate::AttrConst("Salary", CompareOp::kGe,
+                                     Value::Int(25000));
+  auto when_sel = *SelectWhen(r, p);
+  auto if_sel = *SelectIf(r, p, Quantifier::kExists);
+  for (const Tuple& t : when_sel) {
+    EXPECT_TRUE(if_sel.FindByKey(t.KeyValues()).has_value());
+  }
+  EXPECT_EQ(when_sel.size(), if_sel.size());
+}
+
+}  // namespace
+}  // namespace hrdm

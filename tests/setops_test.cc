@@ -1,0 +1,262 @@
+// Tests for the set-theoretic and object-based operators (Section 4.1),
+// including an operational reproduction of Figure 11.
+
+#include "algebra/setops.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/when.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+const Lifespan kFull = Span(0, 99);
+
+SchemePtr EmpScheme(const std::string& name = "emp") {
+  return *RelationScheme::Make(
+      name,
+      {{"Name", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Salary", DomainType::kInt, kFull, InterpolationKind::kDiscrete}},
+      {"Name"});
+}
+
+Tuple EmpTuple(const SchemePtr& s, const std::string& name, TimePoint b,
+               TimePoint e, int64_t salary) {
+  Tuple::Builder builder(s, Span(b, e));
+  builder.SetConstant("Name", Value::String(name));
+  builder.SetConstant("Salary", Value::Int(salary));
+  return *std::move(builder).Build();
+}
+
+/// The Figure 11 instance: the same object ("john") recorded over two
+/// different periods in two relations, with consistent values.
+struct Figure11 {
+  SchemePtr scheme = EmpScheme();
+  Relation r1{scheme};
+  Relation r2{scheme};
+
+  Figure11() {
+    // r1 knows john over [0,9]; r2 knows john over [10,19]. Same salary.
+    Tuple::Builder b1(scheme, Span(0, 9));
+    b1.SetConstant("Name", Value::String("john"));
+    b1.SetConstant("Salary", Value::Int(30));
+    EXPECT_TRUE(r1.Insert(*std::move(b1).Build()).ok());
+
+    Tuple::Builder b2(scheme, Span(10, 19));
+    b2.SetConstant("Name", Value::String("john"));
+    b2.SetConstant("Salary", Value::Int(30));
+    EXPECT_TRUE(r2.Insert(*std::move(b2).Build()).ok());
+  }
+};
+
+TEST(SetOpsTest, Figure11StandardUnionIsCounterIntuitive) {
+  Figure11 f;
+  auto u = Union(f.r1, f.r2);
+  ASSERT_TRUE(u.ok());
+  // The standard union keeps TWO tuples for the same object — exactly the
+  // counter-intuitive result the paper criticises.
+  EXPECT_EQ(u->size(), 2u);
+  EXPECT_EQ(u->FindAllByKey({Value::String("john")}).size(), 2u);
+}
+
+TEST(SetOpsTest, Figure11ObjectUnionMergesTheObject) {
+  Figure11 f;
+  auto u = UnionO(f.r1, f.r2);
+  ASSERT_TRUE(u.ok());
+  // r1 +o r2: one tuple whose lifespan is the union of both histories.
+  ASSERT_EQ(u->size(), 1u);
+  EXPECT_EQ(u->tuple(0).lifespan().ToString(), "{[0,19]}");
+  EXPECT_EQ(u->tuple(0).ValueAt(1, 5), Value::Int(30));
+  EXPECT_EQ(u->tuple(0).ValueAt(1, 15), Value::Int(30));
+}
+
+TEST(SetOpsTest, UnionRequiresCompatibility) {
+  Figure11 f;
+  auto other_scheme = *RelationScheme::Make(
+      "x", {{"Z", DomainType::kInt, kFull, InterpolationKind::kDiscrete}},
+      {"Z"});
+  Relation other(other_scheme);
+  auto u = Union(f.r1, other);
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kIncompatibleSchemes);
+}
+
+TEST(SetOpsTest, IntersectKeepsOnlySharedTuples) {
+  SchemePtr s = EmpScheme();
+  Relation r1(s), r2(s);
+  Tuple shared = EmpTuple(s, "a", 0, 9, 1);
+  ASSERT_TRUE(r1.Insert(shared).ok());
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "b", 0, 9, 2)).ok());
+  ASSERT_TRUE(r2.Insert(shared).ok());
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "c", 0, 9, 3)).ok());
+  auto i = Intersect(r1, r2);
+  ASSERT_TRUE(i.ok());
+  ASSERT_EQ(i->size(), 1u);
+  EXPECT_EQ(i->tuple(0).KeyValues()[0], Value::String("a"));
+}
+
+TEST(SetOpsTest, DifferenceRemovesExactMatchesOnly) {
+  SchemePtr s = EmpScheme();
+  Relation r1(s), r2(s);
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "a", 0, 9, 1)).ok());
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "b", 0, 9, 2)).ok());
+  // Same key as "a" but a different history — NOT removed by set minus.
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "a", 0, 5, 1)).ok());
+  auto d = Difference(r1, r2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "b", 0, 9, 2)).ok());
+  auto d2 = Difference(r1, r2);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->size(), 1u);
+}
+
+TEST(SetOpsTest, CartesianProductUnionsLifespans) {
+  SchemePtr s1 = EmpScheme();
+  auto s2 = *RelationScheme::Make(
+      "dept",
+      {{"DName", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"Budget", DomainType::kInt, kFull, InterpolationKind::kDiscrete}},
+      {"DName"});
+  Relation r1(s1), r2(s2);
+  ASSERT_TRUE(r1.Insert(EmpTuple(s1, "a", 0, 9, 1)).ok());
+  Tuple::Builder b(s2, Span(20, 29));
+  b.SetConstant("DName", Value::String("tools"));
+  b.SetConstant("Budget", Value::Int(100));
+  ASSERT_TRUE(r2.Insert(*std::move(b).Build()).ok());
+
+  auto p = CartesianProduct(r1, r2);
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->size(), 1u);
+  const Tuple& t = p->tuple(0);
+  // Section 4.1: the product tuple lives on the UNION of the lifespans...
+  EXPECT_EQ(t.lifespan().ToString(), "{[0,9],[20,29]}");
+  // ...with each side's values undefined outside its own region (the
+  // "null values" of the Section 5 discussion).
+  auto salary = *t.value("Salary");
+  auto budget = *t.value("Budget");
+  EXPECT_EQ(salary.ValueAt(5), Value::Int(1));
+  EXPECT_TRUE(salary.ValueAt(25).absent());
+  EXPECT_TRUE(budget.ValueAt(5).absent());
+  EXPECT_EQ(budget.ValueAt(25), Value::Int(100));
+}
+
+TEST(SetOpsTest, CartesianProductRequiresDisjointAttributes) {
+  Figure11 f;
+  auto p = CartesianProduct(f.r1, f.r2);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(SetOpsTest, IntersectOComputesCommonHistory) {
+  SchemePtr s = EmpScheme();
+  Relation r1(s), r2(s);
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "a", 0, 10, 7)).ok());
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "a", 5, 20, 7)).ok());
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "b", 0, 9, 9)).ok());
+  auto i = IntersectO(r1, r2);
+  ASSERT_TRUE(i.ok());
+  ASSERT_EQ(i->size(), 1u);
+  EXPECT_EQ(i->tuple(0).lifespan().ToString(), "{[5,10]}");
+  EXPECT_EQ(i->tuple(0).ValueAt(1, 7), Value::Int(7));
+}
+
+TEST(SetOpsTest, DifferenceOSubtractsLifespans) {
+  SchemePtr s = EmpScheme();
+  Relation r1(s), r2(s);
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "a", 0, 20, 7)).ok());
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "b", 0, 9, 9)).ok());
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "a", 5, 10, 7)).ok());
+  auto d = DifferenceO(r1, r2);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->size(), 2u);
+  auto idx = d->FindByKey({Value::String("a")});
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(d->tuple(*idx).lifespan().ToString(), "{[0,4],[11,20]}");
+  // b passes through unchanged.
+  auto bidx = d->FindByKey({Value::String("b")});
+  ASSERT_TRUE(bidx.has_value());
+  EXPECT_EQ(d->tuple(*bidx).lifespan().ToString(), "{[0,9]}");
+}
+
+TEST(SetOpsTest, DifferenceOFullOverlapRemovesObject) {
+  SchemePtr s = EmpScheme();
+  Relation r1(s), r2(s);
+  ASSERT_TRUE(r1.Insert(EmpTuple(s, "a", 5, 10, 7)).ok());
+  ASSERT_TRUE(r2.Insert(EmpTuple(s, "a", 0, 20, 7)).ok());
+  auto d = DifferenceO(r1, r2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests on MakeMergeablePair workloads.
+// ---------------------------------------------------------------------------
+
+class SetOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetOpsPropertyTest, ObjectUnionCoversBothAndMergesKeys) {
+  Rng rng(GetParam());
+  workload::RandomRelationConfig config;
+  config.num_tuples = 15;
+  auto pair = workload::MakeMergeablePair(&rng, config, 0.6);
+  ASSERT_TRUE(pair.ok());
+  const auto& [r1, r2] = *pair;
+  auto u = UnionO(r1, r2);
+  ASSERT_TRUE(u.ok());
+  // LS(r1 ∪o r2) = LS(r1) ∪ LS(r2).
+  EXPECT_EQ(When(*u), When(r1).Union(When(r2)));
+  // One tuple per object key (everything mergeable by construction).
+  for (const Tuple& t : *u) {
+    EXPECT_EQ(u->FindAllByKey(t.KeyValues()).size(), 1u);
+  }
+}
+
+TEST_P(SetOpsPropertyTest, ObjectIntersectionIsLowerBound) {
+  Rng rng(GetParam() * 17 + 3);
+  workload::RandomRelationConfig config;
+  config.num_tuples = 15;
+  auto pair = workload::MakeMergeablePair(&rng, config, 0.7);
+  ASSERT_TRUE(pair.ok());
+  const auto& [r1, r2] = *pair;
+  auto i = IntersectO(r1, r2);
+  ASSERT_TRUE(i.ok());
+  for (const Tuple& t : *i) {
+    auto i1 = r1.FindByKey(t.KeyValues());
+    auto i2 = r2.FindByKey(t.KeyValues());
+    ASSERT_TRUE(i1.has_value());
+    ASSERT_TRUE(i2.has_value());
+    // t.l = t1.l ∩ t2.l per the paper.
+    EXPECT_EQ(t.lifespan(),
+              r1.tuple(*i1).lifespan().Intersect(r2.tuple(*i2).lifespan()));
+  }
+}
+
+TEST_P(SetOpsPropertyTest, StandardOpsSetLaws) {
+  Rng rng(GetParam() * 31 + 11);
+  workload::RandomRelationConfig config;
+  config.num_tuples = 12;
+  auto pair = workload::MakeMergeablePair(&rng, config, 0.4);
+  ASSERT_TRUE(pair.ok());
+  const auto& [r1, r2] = *pair;
+
+  auto u12 = *Union(r1, r2);
+  auto u21 = *Union(r2, r1);
+  EXPECT_TRUE(u12.EqualsAsSet(u21));  // commutativity
+
+  auto i12 = *Intersect(r1, r2);
+  auto i21 = *Intersect(r2, r1);
+  EXPECT_TRUE(i12.EqualsAsSet(i21));
+
+  // r1 − r2 and r1 ∩ r2 partition r1 (at the model level).
+  auto d = *Difference(r1, r2);
+  auto m1 = *MaterializeRelation(r1);
+  EXPECT_EQ(d.size() + i12.size(), m1.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOpsPropertyTest,
+                         ::testing::Values(1u, 5u, 99u, 2024u));
+
+}  // namespace
+}  // namespace hrdm

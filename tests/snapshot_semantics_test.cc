@@ -1,0 +1,174 @@
+// The pointwise-semantics property suite: the deepest correctness check in
+// the repository.
+//
+// HRDM's operators are defined pointwise over chronons, so for *arbitrary*
+// historical relations (not just the T={now} degenerate case of
+// consistency_test.cc) the following commutation must hold at every
+// chronon t:
+//
+//     Snapshot(Op_H(r...), t)  ==  Op_classic(Snapshot(r, t)...)
+//
+// for SELECT-WHEN, TIME-SLICE, PROJECT, ∪, θ-JOIN and NATURAL-JOIN. We
+// verify it on random heterogeneous relations at every critical chronon
+// (where any value or lifespan changes) plus probes in between.
+
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "algebra/timeslice.h"
+#include "classic/classic.h"
+#include "constraints/constraints.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm {
+namespace {
+
+using classic::Snapshot;
+using classic::SnapshotRelation;
+
+/// Chronons worth probing: every change point of r (and r2) plus midpoints.
+std::vector<TimePoint> Probes(const Relation& r, const Relation* r2 = nullptr) {
+  auto pts = *CriticalChronons(r, {});
+  if (r2 != nullptr) {
+    auto more = *CriticalChronons(*r2, {});
+    pts.insert(pts.end(), more.begin(), more.end());
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  // Cap the probe count to keep the suite fast.
+  if (pts.size() > 60) {
+    std::vector<TimePoint> sampled;
+    for (size_t i = 0; i < pts.size(); i += pts.size() / 60 + 1) {
+      sampled.push_back(pts[i]);
+    }
+    pts = std::move(sampled);
+  }
+  return pts;
+}
+
+Relation MakeRandom(uint64_t seed, const std::string& name,
+                    const std::string& key_prefix, size_t attrs = 2) {
+  Rng rng(seed);
+  workload::RandomRelationConfig config;
+  config.name = name;
+  config.num_tuples = 10;
+  config.num_value_attrs = attrs;
+  config.random_attribute_lifespans = true;
+  config.key_prefix = key_prefix;
+  return *workload::MakeRandomRelation(&rng, config);
+}
+
+class SnapshotSemanticsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotSemanticsTest, SelectWhenCommutes) {
+  Relation r = MakeRandom(GetParam(), "r", "k");
+  Predicate p = Predicate::AttrConst("A0", CompareOp::kLe, Value::Int(50));
+  auto selected = *SelectWhen(r, p);
+  for (TimePoint t : Probes(r)) {
+    auto lhs = *Snapshot(selected, t);
+    auto rhs = *classic::Select(*Snapshot(r, t), "A0", CompareOp::kLe,
+                                Value::Int(50));
+    EXPECT_TRUE(lhs.EqualsAsSet(rhs)) << "t=" << t;
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, TimeSliceCommutes) {
+  Relation r = MakeRandom(GetParam() * 3 + 1, "r", "k");
+  const Lifespan window =
+      Lifespan::FromIntervals({Interval(5, 25), Interval(40, 50)});
+  auto sliced = *TimeSlice(r, window);
+  for (TimePoint t : Probes(r)) {
+    auto lhs = *Snapshot(sliced, t);
+    if (window.Contains(t)) {
+      EXPECT_TRUE(lhs.EqualsAsSet(*Snapshot(r, t))) << "t=" << t;
+    } else {
+      EXPECT_TRUE(lhs.empty()) << "t=" << t;
+    }
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, ProjectCommutes) {
+  Relation r = MakeRandom(GetParam() * 5 + 2, "r", "k");
+  auto projected = *Project(r, {"Id", "A1"});
+  for (TimePoint t : Probes(r)) {
+    auto lhs = *Snapshot(projected, t);
+    auto rhs = *classic::Project(*Snapshot(r, t), {"Id", "A1"});
+    EXPECT_TRUE(lhs.EqualsAsSet(rhs)) << "t=" << t;
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, UnionCommutes) {
+  // Same key space so histories genuinely collide.
+  Relation r1 = MakeRandom(GetParam() * 7 + 3, "r1", "k");
+  Relation r2 = MakeRandom(GetParam() * 7 + 4, "r1", "k");
+  auto unioned = *Union(r1, r2);
+  for (TimePoint t : Probes(r1, &r2)) {
+    auto lhs = *Snapshot(unioned, t);
+    auto rhs = *classic::Union(*Snapshot(r1, t), *Snapshot(r2, t));
+    EXPECT_TRUE(lhs.EqualsAsSet(rhs)) << "t=" << t;
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, ObjectUnionSnapshotsLikeUnion) {
+  // ∪ₒ differs from ∪ only in tuple *packaging* (merged objects); at any
+  // single chronon the visible rows are identical when the operands are
+  // mergeable.
+  Rng rng(GetParam() * 11 + 5);
+  workload::RandomRelationConfig config;
+  config.num_tuples = 12;
+  auto pair = *workload::MakeMergeablePair(&rng, config, 0.6);
+  const auto& [r1, r2] = pair;
+  auto std_union = *Union(r1, r2);
+  auto obj_union = *UnionO(r1, r2);
+  for (TimePoint t : Probes(r1, &r2)) {
+    auto a = *Snapshot(std_union, t);
+    auto b = *Snapshot(obj_union, t);
+    EXPECT_TRUE(a.EqualsAsSet(b)) << "t=" << t;
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, ThetaJoinCommutes) {
+  Relation r1 = MakeRandom(GetParam() * 13 + 6, "ra", "x", 1);
+  // Disjoint attribute names for the second operand.
+  auto scheme2 = *RelationScheme::Make(
+      "rb",
+      {{"Id2", DomainType::kString, Span(0, 59),
+        InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
+      {"Id2"});
+  Relation r2(scheme2);
+  Relation src = MakeRandom(GetParam() * 13 + 7, "rb_src", "y", 1);
+  for (const Tuple& t : src) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    ASSERT_TRUE(
+        r2.Insert(Tuple::FromParts(scheme2, t.lifespan(), vals)).ok());
+  }
+  auto joined = *ThetaJoin(r1, "A0", CompareOp::kLe, r2, "B0");
+  for (TimePoint t : Probes(r1, &r2)) {
+    auto lhs = *Snapshot(joined, t);
+    auto rhs = *classic::ThetaJoin(*Snapshot(r1, t), "A0", CompareOp::kLe,
+                                   *Snapshot(r2, t), "B0");
+    // The historical join clips *all* attributes to the matching lifespan,
+    // so rows agree exactly.
+    EXPECT_TRUE(lhs.EqualsAsSet(rhs)) << "t=" << t;
+  }
+}
+
+TEST_P(SnapshotSemanticsTest, WhenIsExactlyTheNonEmptySnapshots) {
+  Relation r = MakeRandom(GetParam() * 17 + 8, "r", "k");
+  const Lifespan ls = r.LS();
+  for (TimePoint t : Probes(r)) {
+    auto snap = *Snapshot(r, t);
+    EXPECT_EQ(!snap.empty(), ls.Contains(t)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotSemanticsTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace hrdm
