@@ -8,16 +8,6 @@ namespace hrdm {
 
 namespace {
 
-Status RequireDisjointAttributes(const Relation& r1, const Relation& r2) {
-  for (const AttributeDef& a : r2.scheme()->attributes()) {
-    if (r1.scheme()->IndexOf(a.name).has_value()) {
-      return Status::IncompatibleSchemes(
-          "join requires disjoint attributes; both operands have " + a.name);
-    }
-  }
-  return Status::OK();
-}
-
 /// Builds the concatenated tuple (left values then right-only values, in
 /// result-scheme order) restricted to lifespan `l`. `right_src[i]` maps
 /// result attribute i to an index in t2 (or npos for left attributes).
@@ -55,16 +45,43 @@ void BuildSourceMaps(const SchemePtr& scheme, const RelationScheme& s1,
 
 }  // namespace
 
+Result<SchemePtr> ThetaJoinScheme(const SchemePtr& s1, std::string_view attr_a,
+                                  const SchemePtr& s2, std::string_view attr_b,
+                                  std::string result_name) {
+  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(*s1, *s2, "join"));
+  HRDM_RETURN_IF_ERROR(s1->RequireIndex(attr_a).status());
+  HRDM_RETURN_IF_ERROR(s2->RequireIndex(attr_b).status());
+  return RelationScheme::JoinScheme(std::move(result_name), *s1, *s2);
+}
+
+Result<SchemePtr> NaturalJoinScheme(const SchemePtr& s1, const SchemePtr& s2,
+                                    std::string result_name) {
+  return RelationScheme::JoinScheme(std::move(result_name), *s1, *s2);
+}
+
+Result<SchemePtr> TimeJoinScheme(const SchemePtr& s1, std::string_view attr_a,
+                                 const SchemePtr& s2,
+                                 std::string result_name) {
+  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(*s1, *s2, "join"));
+  HRDM_ASSIGN_OR_RETURN(size_t ia, s1->RequireIndex(attr_a));
+  if (s1->attribute(ia).type != DomainType::kTime) {
+    return Status::TypeError(
+        "TIME-JOIN requires a time-valued attribute (DOM(A) in TT); " +
+        std::string(attr_a) + " is " +
+        std::string(DomainTypeName(s1->attribute(ia).type)));
+  }
+  return RelationScheme::JoinScheme(std::move(result_name), *s1, *s2);
+}
+
 Result<Relation> ThetaJoin(const Relation& r1, std::string_view attr_a,
                            CompareOp op, const Relation& r2,
                            std::string_view attr_b, std::string result_name) {
-  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      ThetaJoinScheme(r1.scheme(), attr_a, r2.scheme(), attr_b,
+                      std::move(result_name)));
   HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
   HRDM_ASSIGN_OR_RETURN(size_t ib, r2.scheme()->RequireIndex(attr_b));
-  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
-                        RelationScheme::JoinScheme(std::move(result_name),
-                                                   *r1.scheme(),
-                                                   *r2.scheme()));
   std::vector<size_t> left_src, right_src;
   BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
 
@@ -103,10 +120,9 @@ Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2,
       shared.emplace_back(*i, j);
     }
   }
-  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
-                        RelationScheme::JoinScheme(std::move(result_name),
-                                                   *r1.scheme(),
-                                                   *r2.scheme()));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      NaturalJoinScheme(r1.scheme(), r2.scheme(), std::move(result_name)));
   std::vector<size_t> left_src, right_src;
   BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
 
@@ -133,18 +149,11 @@ Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2,
 
 Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
                           const Relation& r2, std::string result_name) {
-  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(r1, r2));
+  HRDM_ASSIGN_OR_RETURN(
+      SchemePtr scheme,
+      TimeJoinScheme(r1.scheme(), attr_a, r2.scheme(),
+                     std::move(result_name)));
   HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
-  if (r1.scheme()->attribute(ia).type != DomainType::kTime) {
-    return Status::TypeError(
-        "TIME-JOIN requires a time-valued attribute (DOM(A) in TT); " +
-        std::string(attr_a) + " is " +
-        std::string(DomainTypeName(r1.scheme()->attribute(ia).type)));
-  }
-  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
-                        RelationScheme::JoinScheme(std::move(result_name),
-                                                   *r1.scheme(),
-                                                   *r2.scheme()));
   std::vector<size_t> left_src, right_src;
   BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
 

@@ -62,6 +62,25 @@ Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
                           const Relation& r2,
                           std::string result_name = "timejoin_result");
 
+// --- scheme kernels (shared by the whole-relation API above and the
+// --- plan layer in query/plan.h) ---------------------------------------------
+
+/// \brief Result scheme + precondition checks of the θ-join (disjoint
+/// attributes, both join attributes resolvable).
+Result<SchemePtr> ThetaJoinScheme(const SchemePtr& s1, std::string_view attr_a,
+                                  const SchemePtr& s2, std::string_view attr_b,
+                                  std::string result_name = "join_result");
+
+/// \brief Result scheme of the natural join (shared attributes appear once).
+Result<SchemePtr> NaturalJoinScheme(const SchemePtr& s1, const SchemePtr& s2,
+                                    std::string result_name = "njoin_result");
+
+/// \brief Result scheme + precondition checks of the time-join (disjoint
+/// attributes, `attr_a` time-valued).
+Result<SchemePtr> TimeJoinScheme(const SchemePtr& s1, std::string_view attr_a,
+                                 const SchemePtr& s2,
+                                 std::string result_name = "timejoin_result");
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_JOIN_H_

@@ -4,24 +4,35 @@
 
 namespace hrdm {
 
+Result<std::vector<size_t>> ProjectSourceIndices(
+    const RelationScheme& in_scheme, const RelationScheme& out_scheme) {
+  std::vector<size_t> src;
+  src.reserve(out_scheme.arity());
+  for (const AttributeDef& a : out_scheme.attributes()) {
+    HRDM_ASSIGN_OR_RETURN(size_t idx, in_scheme.RequireIndex(a.name));
+    src.push_back(idx);
+  }
+  return src;
+}
+
+TuplePtr ProjectTuple(const Tuple& t, const SchemePtr& out_scheme,
+                      const std::vector<size_t>& src) {
+  std::vector<TemporalValue> values;
+  values.reserve(src.size());
+  for (size_t idx : src) values.push_back(t.value(idx));
+  return std::make_shared<const Tuple>(
+      Tuple::FromParts(out_scheme, t.lifespan(), std::move(values)));
+}
+
 Result<Relation> Project(const Relation& r,
                          const std::vector<std::string>& attrs) {
   HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, r.scheme()->Project(attrs));
-  // Precompute source indices in result-attribute order.
-  std::vector<size_t> src;
-  src.reserve(attrs.size());
-  for (const AttributeDef& a : scheme->attributes()) {
-    HRDM_ASSIGN_OR_RETURN(size_t idx, r.scheme()->RequireIndex(a.name));
-    src.push_back(idx);
-  }
+  HRDM_ASSIGN_OR_RETURN(std::vector<size_t> src,
+                        ProjectSourceIndices(*r.scheme(), *scheme));
   HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
   Relation out(scheme);
   for (const Tuple& t : m) {
-    std::vector<TemporalValue> values;
-    values.reserve(src.size());
-    for (size_t idx : src) values.push_back(t.value(idx));
-    HRDM_RETURN_IF_ERROR(out.InsertDedup(
-        Tuple::FromParts(scheme, t.lifespan(), std::move(values))));
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(ProjectTuple(t, scheme, src)));
   }
   out.set_materialized(true);
   return out;

@@ -27,6 +27,19 @@ namespace hrdm {
 Result<Relation> Project(const Relation& r,
                          const std::vector<std::string>& attrs);
 
+// --- per-tuple kernels (shared by the whole-relation API above and the
+// --- streaming cursors in query/plan.h) --------------------------------------
+
+/// \brief Source-attribute indices of `out_scheme`'s attributes within
+/// `in_scheme`, in result-attribute order.
+Result<std::vector<size_t>> ProjectSourceIndices(
+    const RelationScheme& in_scheme, const RelationScheme& out_scheme);
+
+/// \brief Projection kernel: `t` narrowed to `out_scheme` via `src` (from
+/// ProjectSourceIndices). Lifespan unchanged, so never null.
+TuplePtr ProjectTuple(const Tuple& t, const SchemePtr& out_scheme,
+                      const std::vector<size_t>& src);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_PROJECT_H_

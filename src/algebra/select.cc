@@ -4,23 +4,40 @@
 
 namespace hrdm {
 
+Result<bool> SelectIfMatches(const Tuple& t, const Predicate& p, Quantifier q,
+                             const Lifespan* window) {
+  // With no explicit window the scope is the whole tuple lifespan: any
+  // window ⊇ LS(r) intersects down to `t.l`, so the per-tuple kernel never
+  // needs the (blocking) relation lifespan.
+  const Lifespan scope =
+      window ? window->Intersect(t.lifespan()) : t.lifespan();
+  HRDM_ASSIGN_OR_RETURN(Lifespan holds, p.TimesWhere(t, ValueView::kStored));
+  if (q == Quantifier::kExists) {
+    return holds.Overlaps(scope);
+  }
+  // forall: every chronon of the scope satisfies the criterion.
+  // Vacuously true on an empty scope, per the formal definition.
+  return holds.ContainsAll(scope);
+}
+
+Result<TuplePtr> SelectWhenTuple(const TuplePtr& t, const Predicate& p,
+                                 const SchemePtr& out_scheme) {
+  HRDM_ASSIGN_OR_RETURN(Lifespan holds, p.TimesWhere(*t, ValueView::kStored));
+  // New lifespan: exactly the chronons when the criterion is met; values
+  // restricted to match. Empty results are dropped (the object is never
+  // selected).
+  Tuple restricted = t->Restrict(holds, out_scheme);
+  if (restricted.lifespan().empty()) return TuplePtr();
+  return std::make_shared<const Tuple>(std::move(restricted));
+}
+
 Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q,
                           const Lifespan& window) {
   HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
   Relation out(r.scheme());
   out.set_materialized(true);
-  for (const Tuple& t : m) {
-    const Lifespan scope = window.Intersect(t.lifespan());
-    HRDM_ASSIGN_OR_RETURN(Lifespan holds,
-                          p.TimesWhere(t, ValueView::kStored));
-    bool selected;
-    if (q == Quantifier::kExists) {
-      selected = holds.Overlaps(scope);
-    } else {
-      // forall: every chronon of the scope satisfies the criterion.
-      // Vacuously true on an empty scope, per the formal definition.
-      selected = holds.ContainsAll(scope);
-    }
+  for (const TuplePtr& t : m.tuple_ptrs()) {
+    HRDM_ASSIGN_OR_RETURN(bool selected, SelectIfMatches(*t, p, q, &window));
     if (selected) {
       HRDM_RETURN_IF_ERROR(out.InsertDedup(t));
     }
@@ -36,13 +53,12 @@ Result<Relation> SelectIf(const Relation& r, const Predicate& p,
 Result<Relation> SelectWhen(const Relation& r, const Predicate& p) {
   HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
   Relation out(r.scheme());
-  for (const Tuple& t : m) {
-    HRDM_ASSIGN_OR_RETURN(Lifespan holds,
-                          p.TimesWhere(t, ValueView::kStored));
-    // New lifespan: exactly the chronons when the criterion is met; values
-    // restricted to match. Empty results are dropped (the object is never
-    // selected).
-    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(holds, r.scheme())));
+  for (const TuplePtr& t : m.tuple_ptrs()) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr selected,
+                          SelectWhenTuple(t, p, r.scheme()));
+    if (selected) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(selected)));
+    }
   }
   out.set_materialized(true);
   return out;

@@ -44,6 +44,22 @@ Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q);
 /// to exactly the chronons when they do.
 Result<Relation> SelectWhen(const Relation& r, const Predicate& p);
 
+// --- per-tuple kernels (shared by the whole-relation API above and the
+// --- streaming cursors in query/plan.h) --------------------------------------
+
+/// \brief SELECT-IF filter kernel: whether tuple `t` is selected. With
+/// `window == nullptr` the quantifier ranges over the whole tuple lifespan
+/// (the paper's `L = T` case — any window ⊇ LS(r) is equivalent).
+/// `t` must be materialized.
+Result<bool> SelectIfMatches(const Tuple& t, const Predicate& p, Quantifier q,
+                             const Lifespan* window);
+
+/// \brief SELECT-WHEN restriction kernel: `t` restricted to the chronons
+/// where `p` holds, or null when that restriction is empty (the object is
+/// never selected). `t` must be materialized.
+Result<TuplePtr> SelectWhenTuple(const TuplePtr& t, const Predicate& p,
+                                 const SchemePtr& out_scheme);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_SELECT_H_

@@ -41,6 +41,30 @@ std::optional<size_t> FindMergeable(const Relation& r, const Tuple& t) {
 
 }  // namespace
 
+Status RequireDisjointAttributes(const RelationScheme& s1,
+                                 const RelationScheme& s2,
+                                 std::string_view op_label) {
+  for (const AttributeDef& a : s2.attributes()) {
+    if (s1.IndexOf(a.name).has_value()) {
+      return Status::IncompatibleSchemes(
+          std::string(op_label) +
+          " requires disjoint attributes; both operands have " + a.name);
+    }
+  }
+  return Status::OK();
+}
+
+TuplePtr ProductTuple(const Tuple& t1, const Tuple& t2,
+                      const SchemePtr& out_scheme) {
+  Lifespan l = t1.lifespan().Union(t2.lifespan());
+  std::vector<TemporalValue> values;
+  values.reserve(t1.arity() + t2.arity());
+  for (size_t i = 0; i < t1.arity(); ++i) values.push_back(t1.value(i));
+  for (size_t i = 0; i < t2.arity(); ++i) values.push_back(t2.value(i));
+  return std::make_shared<const Tuple>(
+      Tuple::FromParts(out_scheme, std::move(l), std::move(values)));
+}
+
 Result<Relation> MaterializeRelation(const Relation& r) {
   if (r.materialized()) return r;
   Relation out(r.scheme());
@@ -94,8 +118,8 @@ Result<Relation> Difference(const Relation& r1, const Relation& r2) {
   HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
   HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
   Relation out(r1.scheme());
-  for (const Tuple& t : m1) {
-    if (!m2.FindStructural(t).has_value()) {
+  for (const TuplePtr& t : m1.tuple_ptrs()) {
+    if (!m2.FindStructural(*t).has_value()) {
       HRDM_RETURN_IF_ERROR(out.InsertDedup(t));
     }
   }
@@ -105,15 +129,8 @@ Result<Relation> Difference(const Relation& r1, const Relation& r2) {
 
 Result<Relation> CartesianProduct(const Relation& r1, const Relation& r2,
                                   std::string result_name) {
-  // Attribute sets must be disjoint (the paper's precondition).
-  for (const AttributeDef& a : r2.scheme()->attributes()) {
-    if (r1.scheme()->IndexOf(a.name).has_value()) {
-      return Status::IncompatibleSchemes(
-          "Cartesian product requires disjoint attributes; both operands "
-          "have " +
-          a.name);
-    }
-  }
+  HRDM_RETURN_IF_ERROR(RequireDisjointAttributes(
+      *r1.scheme(), *r2.scheme(), "Cartesian product"));
   HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                         RelationScheme::JoinScheme(std::move(result_name),
                                                    *r1.scheme(),
@@ -121,21 +138,9 @@ Result<Relation> CartesianProduct(const Relation& r1, const Relation& r2,
   Relation out(scheme);
   HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
   HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
-  const size_t left_arity = r1.scheme()->arity();
-  const size_t right_arity = r2.scheme()->arity();
   for (const Tuple& t1 : m1) {
     for (const Tuple& t2 : m2) {
-      // Section 4.1/5: product tuples live on the *union* of the operand
-      // lifespans; each side's values stay on their own (now partial)
-      // domains — the "null values" the paper discusses are plain
-      // undefinedness here.
-      Lifespan l = t1.lifespan().Union(t2.lifespan());
-      std::vector<TemporalValue> values;
-      values.reserve(left_arity + right_arity);
-      for (size_t i = 0; i < left_arity; ++i) values.push_back(t1.value(i));
-      for (size_t i = 0; i < right_arity; ++i) values.push_back(t2.value(i));
-      HRDM_RETURN_IF_ERROR(out.InsertDedup(
-          Tuple::FromParts(scheme, std::move(l), std::move(values))));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(ProductTuple(t1, t2, scheme)));
     }
   }
   out.set_materialized(true);
@@ -201,6 +206,69 @@ Result<Relation> IntersectO(const Relation& r1, const Relation& r2) {
   }
   out.set_materialized(true);
   return out;
+}
+
+Result<SchemePtr> SetOpScheme(SetOpKind kind, const SchemePtr& s1,
+                              const SchemePtr& s2) {
+  const bool object_based = kind == SetOpKind::kUnionO ||
+                            kind == SetOpKind::kIntersectO ||
+                            kind == SetOpKind::kDifferenceO;
+  if (object_based) {
+    if (!s1->MergeCompatibleWith(*s2)) {
+      return Status::IncompatibleSchemes(s1->name() + " and " + s2->name() +
+                                         " are not merge-compatible");
+    }
+  } else if (!s1->UnionCompatibleWith(*s2)) {
+    return Status::IncompatibleSchemes(s1->name() + " and " + s2->name() +
+                                       " are not union-compatible");
+  }
+  switch (kind) {
+    case SetOpKind::kUnion:
+      return RelationScheme::Combine("union_result", *s1, *s2,
+                                     RelationScheme::LifespanCombine::kUnion);
+    case SetOpKind::kIntersect:
+      return RelationScheme::Combine(
+          "intersect_result", *s1, *s2,
+          RelationScheme::LifespanCombine::kIntersect);
+    case SetOpKind::kDifference:
+      return s1;
+    case SetOpKind::kUnionO:
+      return RelationScheme::Combine("uniono_result", *s1, *s2,
+                                     RelationScheme::LifespanCombine::kUnion);
+    case SetOpKind::kIntersectO:
+      return RelationScheme::Combine(
+          "intersecto_result", *s1, *s2,
+          RelationScheme::LifespanCombine::kIntersect);
+    case SetOpKind::kDifferenceO:
+      return s1;
+  }
+  return Status::Internal("unhandled set-op kind");
+}
+
+Result<Relation> ApplySetOp(SetOpKind kind, const Relation& r1,
+                            const Relation& r2) {
+  switch (kind) {
+    case SetOpKind::kUnion:
+      return Union(r1, r2);
+    case SetOpKind::kIntersect:
+      return Intersect(r1, r2);
+    case SetOpKind::kDifference:
+      return Difference(r1, r2);
+    case SetOpKind::kUnionO:
+      return UnionO(r1, r2);
+    case SetOpKind::kIntersectO:
+      return IntersectO(r1, r2);
+    case SetOpKind::kDifferenceO:
+      return DifferenceO(r1, r2);
+  }
+  return Status::Internal("unhandled set-op kind");
+}
+
+Result<SchemePtr> ProductScheme(const SchemePtr& s1, const SchemePtr& s2,
+                                std::string result_name) {
+  HRDM_RETURN_IF_ERROR(
+      RequireDisjointAttributes(*s1, *s2, "Cartesian product"));
+  return RelationScheme::JoinScheme(std::move(result_name), *s1, *s2);
 }
 
 Result<Relation> DifferenceO(const Relation& r1, const Relation& r2) {

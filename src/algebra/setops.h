@@ -66,6 +66,48 @@ Result<Relation> IntersectO(const Relation& r1, const Relation& r2);
 /// values restricted accordingly. Requires merge compatibility.
 Result<Relation> DifferenceO(const Relation& r1, const Relation& r2);
 
+// --- per-tuple kernels (shared by the whole-relation API above and the
+// --- streaming cursors in query/plan.h) --------------------------------------
+
+/// \brief The six set operators, as a value (used by the plan layer's
+/// SetOpCursor to dispatch without AST knowledge).
+enum class SetOpKind : uint8_t {
+  kUnion,
+  kIntersect,
+  kDifference,
+  kUnionO,
+  kIntersectO,
+  kDifferenceO,
+};
+
+/// \brief Result scheme of `kind` applied to operands on `s1`/`s2`,
+/// including the union-/merge-compatibility checks — exactly the errors the
+/// whole-relation operator would raise.
+Result<SchemePtr> SetOpScheme(SetOpKind kind, const SchemePtr& s1,
+                              const SchemePtr& s2);
+
+/// \brief Dispatches to the corresponding whole-relation operator.
+Result<Relation> ApplySetOp(SetOpKind kind, const Relation& r1,
+                            const Relation& r2);
+
+/// \brief Errors unless the attribute sets of `s1` and `s2` are disjoint
+/// (the precondition of × and the joins). `op_label` names the operator in
+/// the error message ("Cartesian product", "join", ...).
+Status RequireDisjointAttributes(const RelationScheme& s1,
+                                 const RelationScheme& s2,
+                                 std::string_view op_label);
+
+/// \brief Result scheme of `r1 × r2` (disjointness check included).
+Result<SchemePtr> ProductScheme(const SchemePtr& s1, const SchemePtr& s2,
+                                std::string result_name = "product");
+
+/// \brief Cartesian-product kernel: the concatenated tuple `t1 × t2` on the
+/// *union* of the operand lifespans (Section 4.1/5 — each side's values
+/// stay on their own, now partial, domains; the paper's "null values" are
+/// plain undefinedness here).
+TuplePtr ProductTuple(const Tuple& t1, const Tuple& t2,
+                      const SchemePtr& out_scheme);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_SETOPS_H_

@@ -4,11 +4,39 @@
 
 namespace hrdm {
 
+TuplePtr TimeSliceTuple(const TuplePtr& t, const Lifespan& l,
+                        const SchemePtr& out_scheme) {
+  Tuple restricted = t->Restrict(l, out_scheme);
+  if (restricted.lifespan().empty()) return TuplePtr();
+  return std::make_shared<const Tuple>(std::move(restricted));
+}
+
+Result<TuplePtr> DynSliceTuple(const TuplePtr& t, size_t attr_idx,
+                               const SchemePtr& out_scheme) {
+  HRDM_ASSIGN_OR_RETURN(Lifespan image, t->value(attr_idx).TimeImage());
+  return TimeSliceTuple(t, image, out_scheme);
+}
+
+Result<size_t> DynSliceAttrIndex(const RelationScheme& scheme,
+                                 std::string_view attr) {
+  HRDM_ASSIGN_OR_RETURN(size_t idx, scheme.RequireIndex(attr));
+  if (scheme.attribute(idx).type != DomainType::kTime) {
+    return Status::TypeError(
+        "dynamic TIME-SLICE requires a time-valued attribute (DOM(A) in "
+        "TT); " +
+        std::string(attr) + " is " +
+        std::string(DomainTypeName(scheme.attribute(idx).type)));
+  }
+  return idx;
+}
+
 Result<Relation> TimeSlice(const Relation& r, const Lifespan& l) {
   HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
   Relation out(r.scheme());
-  for (const Tuple& t : m) {
-    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(l, r.scheme())));
+  for (const TuplePtr& t : m.tuple_ptrs()) {
+    if (TuplePtr sliced = TimeSliceTuple(t, l, r.scheme())) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(sliced)));
+    }
   }
   out.set_materialized(true);
   return out;
@@ -19,19 +47,14 @@ Result<Relation> TimeSliceAt(const Relation& r, TimePoint t) {
 }
 
 Result<Relation> TimeSliceDynamic(const Relation& r, std::string_view attr) {
-  HRDM_ASSIGN_OR_RETURN(size_t idx, r.scheme()->RequireIndex(attr));
-  if (r.scheme()->attribute(idx).type != DomainType::kTime) {
-    return Status::TypeError(
-        "dynamic TIME-SLICE requires a time-valued attribute (DOM(A) in "
-        "TT); " +
-        std::string(attr) + " is " +
-        std::string(DomainTypeName(r.scheme()->attribute(idx).type)));
-  }
+  HRDM_ASSIGN_OR_RETURN(size_t idx, DynSliceAttrIndex(*r.scheme(), attr));
   HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
   Relation out(r.scheme());
-  for (const Tuple& t : m) {
-    HRDM_ASSIGN_OR_RETURN(Lifespan image, t.value(idx).TimeImage());
-    HRDM_RETURN_IF_ERROR(out.InsertDedup(t.Restrict(image, r.scheme())));
+  for (const TuplePtr& t : m.tuple_ptrs()) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr sliced, DynSliceTuple(t, idx, r.scheme()));
+    if (sliced) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(sliced)));
+    }
   }
   out.set_materialized(true);
   return out;

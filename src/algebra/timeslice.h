@@ -37,6 +37,24 @@ Result<Relation> TimeSliceAt(const Relation& r, TimePoint t);
 /// time-valued (DomainType::kTime).
 Result<Relation> TimeSliceDynamic(const Relation& r, std::string_view attr);
 
+// --- per-tuple kernels (shared by the whole-relation API above and the
+// --- streaming cursors in query/plan.h) --------------------------------------
+
+/// \brief Static slice kernel: `t|_l` rebound to `out_scheme`, or null when
+/// the restricted lifespan is empty. `t` must be materialized.
+TuplePtr TimeSliceTuple(const TuplePtr& t, const Lifespan& l,
+                        const SchemePtr& out_scheme);
+
+/// \brief Dynamic slice kernel: `t` restricted to the image of its own
+/// value of attribute `attr_idx` (pre-resolved and checked time-valued by
+/// the caller), or null when empty. `t` must be materialized.
+Result<TuplePtr> DynSliceTuple(const TuplePtr& t, size_t attr_idx,
+                               const SchemePtr& out_scheme);
+
+/// \brief Resolves and type-checks the dynamic-slice attribute.
+Result<size_t> DynSliceAttrIndex(const RelationScheme& scheme,
+                                 std::string_view attr);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_TIMESLICE_H_

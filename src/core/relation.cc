@@ -15,17 +15,18 @@ void Relation::IndexTuple(const Tuple& t, size_t idx) {
   struct_index_[t.Hash()].push_back(idx);
 }
 
-Status Relation::Insert(Tuple t) {
-  if (t.scheme() != scheme_ && !t.scheme()->SameStructure(*scheme_)) {
+Status Relation::Insert(TuplePtr t) {
+  if (!t) return Status::InvalidArgument("cannot insert null tuple");
+  if (t->scheme() != scheme_ && !t->scheme()->SameStructure(*scheme_)) {
     return Status::IncompatibleSchemes(
-        "tuple scheme " + t.scheme()->name() +
+        "tuple scheme " + t->scheme()->name() +
         " does not match relation scheme " + scheme_->name());
   }
-  if (t.lifespan().empty()) {
+  if (t->lifespan().empty()) {
     return Status::InvalidArgument("cannot insert tuple with empty lifespan");
   }
   if (!scheme_->key().empty()) {
-    const std::vector<Value> key = t.KeyValues();
+    const std::vector<Value> key = t->KeyValues();
     if (FindByKey(key).has_value()) {
       std::string key_str;
       for (const Value& v : key) {
@@ -36,29 +37,31 @@ Status Relation::Insert(Tuple t) {
           "temporal key violation in " + scheme_->name() + ": key (" +
           key_str + ") already present");
     }
-  } else if (FindStructural(t).has_value()) {
+  } else if (FindStructural(*t).has_value()) {
     return Status::ConstraintViolation(
         "duplicate tuple in keyless relation " + scheme_->name());
   }
-  IndexTuple(t, tuples_.size());
+  IndexTuple(*t, tuples_.size());
   tuples_.push_back(std::move(t));
   return Status::OK();
 }
 
-Status Relation::InsertOrDrop(Tuple t) {
-  if (t.lifespan().empty()) return Status::OK();
+Status Relation::InsertOrDrop(TuplePtr t) {
+  if (!t) return Status::InvalidArgument("cannot insert null tuple");
+  if (t->lifespan().empty()) return Status::OK();
   return Insert(std::move(t));
 }
 
-Status Relation::InsertDedup(Tuple t) {
-  if (t.lifespan().empty()) return Status::OK();
-  if (t.scheme() != scheme_ && !t.scheme()->SameStructure(*scheme_)) {
+Status Relation::InsertDedup(TuplePtr t) {
+  if (!t) return Status::InvalidArgument("cannot insert null tuple");
+  if (t->lifespan().empty()) return Status::OK();
+  if (t->scheme() != scheme_ && !t->scheme()->SameStructure(*scheme_)) {
     return Status::IncompatibleSchemes(
-        "tuple scheme " + t.scheme()->name() +
+        "tuple scheme " + t->scheme()->name() +
         " does not match relation scheme " + scheme_->name());
   }
-  if (FindStructural(t).has_value()) return Status::OK();
-  IndexTuple(t, tuples_.size());
+  if (FindStructural(*t).has_value()) return Status::OK();
+  IndexTuple(*t, tuples_.size());
   tuples_.push_back(std::move(t));
   return Status::OK();
 }
@@ -76,29 +79,30 @@ void RemoveIndexEntry(std::unordered_map<uint64_t, std::vector<size_t>>* map,
 
 }  // namespace
 
-Status Relation::ReplaceAt(size_t idx, Tuple t) {
+Status Relation::ReplaceAt(size_t idx, TuplePtr t) {
+  if (!t) return Status::InvalidArgument("ReplaceAt: null tuple");
   if (idx >= tuples_.size()) {
     return Status::InvalidArgument("ReplaceAt: index out of range");
   }
-  if (t.scheme() != scheme_ && !t.scheme()->SameStructure(*scheme_)) {
+  if (t->scheme() != scheme_ && !t->scheme()->SameStructure(*scheme_)) {
     return Status::IncompatibleSchemes("ReplaceAt: scheme mismatch");
   }
-  if (t.lifespan().empty()) {
+  if (t->lifespan().empty()) {
     return Status::InvalidArgument("ReplaceAt: empty lifespan (use EraseAt)");
   }
   if (!scheme_->key().empty()) {
-    auto existing = FindByKey(t.KeyValues());
+    auto existing = FindByKey(t->KeyValues());
     if (existing.has_value() && *existing != idx) {
       return Status::ConstraintViolation(
           "ReplaceAt: key already used by another tuple");
     }
   }
-  const Tuple& old = tuples_[idx];
+  const Tuple& old = *tuples_[idx];
   if (!scheme_->key().empty()) {
     RemoveIndexEntry(&key_index_, KeyHashOf(old.KeyValues()), idx);
   }
   RemoveIndexEntry(&struct_index_, old.Hash(), idx);
-  IndexTuple(t, idx);
+  IndexTuple(*t, idx);
   tuples_[idx] = std::move(t);
   return Status::OK();
 }
@@ -112,7 +116,7 @@ Status Relation::EraseAt(size_t idx) {
   key_index_.clear();
   struct_index_.clear();
   for (size_t i = 0; i < tuples_.size(); ++i) {
-    IndexTuple(tuples_[i], i);
+    IndexTuple(*tuples_[i], i);
   }
   return Status::OK();
 }
@@ -130,7 +134,7 @@ std::optional<size_t> Relation::FindByKey(
   auto it = key_index_.find(KeyHashOf(key));
   if (it == key_index_.end()) return std::nullopt;
   for (size_t idx : it->second) {
-    if (tuples_[idx].KeyValues() == key) return idx;
+    if (tuples_[idx]->KeyValues() == key) return idx;
   }
   return std::nullopt;
 }
@@ -141,7 +145,7 @@ std::vector<size_t> Relation::FindAllByKey(
   auto it = key_index_.find(KeyHashOf(key));
   if (it == key_index_.end()) return out;
   for (size_t idx : it->second) {
-    if (tuples_[idx].KeyValues() == key) out.push_back(idx);
+    if (tuples_[idx]->KeyValues() == key) out.push_back(idx);
   }
   return out;
 }
@@ -150,15 +154,15 @@ std::optional<size_t> Relation::FindStructural(const Tuple& t) const {
   auto it = struct_index_.find(t.Hash());
   if (it == struct_index_.end()) return std::nullopt;
   for (size_t idx : it->second) {
-    if (tuples_[idx] == t) return idx;
+    if (*tuples_[idx] == t) return idx;
   }
   return std::nullopt;
 }
 
 Lifespan Relation::LS() const {
   Lifespan ls;
-  for (const Tuple& t : tuples_) {
-    ls = ls.Union(t.lifespan());
+  for (const TuplePtr& t : tuples_) {
+    ls = ls.Union(t->lifespan());
   }
   return ls;
 }
@@ -166,8 +170,8 @@ Lifespan Relation::LS() const {
 bool Relation::EqualsAsSet(const Relation& other) const {
   if (!scheme_->SameStructure(*other.scheme_)) return false;
   if (size() != other.size()) return false;
-  for (const Tuple& t : tuples_) {
-    if (!other.FindStructural(t).has_value()) return false;
+  for (const TuplePtr& t : tuples_) {
+    if (!other.FindStructural(*t).has_value()) return false;
   }
   // Sizes equal and this ⊆ other; if `this` held duplicates they would have
   // been rejected on insert, so the sets are equal.
@@ -176,7 +180,8 @@ bool Relation::EqualsAsSet(const Relation& other) const {
 
 size_t Relation::ApproxBytes() const {
   size_t bytes = 0;
-  for (const Tuple& t : tuples_) {
+  for (const TuplePtr& tp : tuples_) {
+    const Tuple& t = *tp;
     bytes += t.lifespan().IntervalCount() * sizeof(Interval);
     for (size_t i = 0; i < t.arity(); ++i) {
       for (const Segment& s : t.value(i).segments()) {
@@ -198,14 +203,14 @@ std::string Relation::ToString() const {
   std::vector<size_t> order(tuples_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-    const auto ka = tuples_[a].KeyValues();
-    const auto kb = tuples_[b].KeyValues();
+    const auto ka = tuples_[a]->KeyValues();
+    const auto kb = tuples_[b]->KeyValues();
     if (ka != kb) return ka < kb;
-    return tuples_[a].Hash() < tuples_[b].Hash();
+    return tuples_[a]->Hash() < tuples_[b]->Hash();
   });
   for (size_t i : order) {
     out += "  ";
-    out += tuples_[i].ToString();
+    out += tuples_[i]->ToString();
     out.push_back('\n');
   }
   return out;

@@ -31,10 +31,44 @@ namespace hrdm {
 
 /// \brief A finite set of historical tuples over one scheme.
 ///
-/// Relations own their tuples. Tuple order is insertion order and carries
-/// no semantics; `EqualsAsSet` compares relations as the sets they are.
+/// Relations hold their tuples as shared immutable pointers (`TuplePtr`),
+/// so copying a `Relation` is copy-on-write: the tuple vector and indexes
+/// are duplicated, the tuples themselves are shared. Tuple order is
+/// insertion order and carries no semantics; `EqualsAsSet` compares
+/// relations as the sets they are.
 class Relation {
  public:
+  /// \brief Const iterator yielding `const Tuple&` over shared storage.
+  class const_iterator {
+   public:
+    using base_iterator = std::vector<TuplePtr>::const_iterator;
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    const_iterator() = default;
+    explicit const_iterator(base_iterator it) : it_(it) {}
+
+    const Tuple& operator*() const { return **it_; }
+    const Tuple* operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++it_;
+      return old;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    base_iterator it_;
+  };
+
   /// \brief The empty relation on `scheme`.
   explicit Relation(SchemePtr scheme) : scheme_(std::move(scheme)) {}
 
@@ -48,22 +82,33 @@ class Relation {
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
-  const Tuple& tuple(size_t i) const { return tuples_[i]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return *tuples_[i]; }
 
-  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
-  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+  /// \brief Shared handle to the tuple at `i` (zero-copy scan path).
+  const TuplePtr& tuple_ptr(size_t i) const { return tuples_[i]; }
+
+  /// \brief The underlying shared tuple handles, in insertion order.
+  const std::vector<TuplePtr>& tuple_ptrs() const { return tuples_; }
+
+  const_iterator begin() const { return const_iterator(tuples_.begin()); }
+  const_iterator end() const { return const_iterator(tuples_.end()); }
 
   /// \brief Inserts a tuple. Errors:
   ///  * the tuple's scheme is not structurally identical to the relation's;
   ///  * empty tuple lifespan (an "object" that never exists);
   ///  * temporal key violation: an existing tuple has the same key vector
   ///    (keyed schemes only; keyless schemes reject exact duplicates).
-  Status Insert(Tuple t);
+  Status Insert(TuplePtr t);
+  Status Insert(Tuple t) {
+    return Insert(std::make_shared<const Tuple>(std::move(t)));
+  }
 
   /// \brief Inserts, dropping empty-lifespan tuples silently (used by the
   /// algebra, whose restrictions legitimately produce empty tuples).
-  Status InsertOrDrop(Tuple t);
+  Status InsertOrDrop(TuplePtr t);
+  Status InsertOrDrop(Tuple t) {
+    return InsertOrDrop(std::make_shared<const Tuple>(std::move(t)));
+  }
 
   /// \brief Set-semantics insert used by the algebra: drops empty-lifespan
   /// tuples and structural duplicates silently, and — unlike Insert — does
@@ -71,7 +116,10 @@ class Relation {
   /// operators legitimately produce relations violating the key condition
   /// (that is exactly the Figure 11 critique motivating the object-based
   /// operators), so derived relations are plain sets of tuples.
-  Status InsertDedup(Tuple t);
+  Status InsertDedup(TuplePtr t);
+  Status InsertDedup(Tuple t) {
+    return InsertDedup(std::make_shared<const Tuple>(std::move(t)));
+  }
 
   /// \brief Index of a structurally identical tuple, if present.
   std::optional<size_t> FindStructural(const Tuple& t) const;
@@ -79,7 +127,10 @@ class Relation {
   /// \brief Replaces the tuple at `idx` (storage-engine update path).
   /// Enforces the same invariants as Insert, except that the outgoing
   /// tuple's key is free for reuse.
-  Status ReplaceAt(size_t idx, Tuple t);
+  Status ReplaceAt(size_t idx, Tuple t) {
+    return ReplaceAt(idx, std::make_shared<const Tuple>(std::move(t)));
+  }
+  Status ReplaceAt(size_t idx, TuplePtr t);
 
   /// \brief Removes the tuple at `idx`. Indices of later tuples shift down
   /// by one (O(n) reindex; updates are rare relative to scans).
@@ -122,7 +173,7 @@ class Relation {
   void IndexTuple(const Tuple& t, size_t idx);
 
   SchemePtr scheme_;
-  std::vector<Tuple> tuples_;
+  std::vector<TuplePtr> tuples_;
   /// KeyHash -> indices of tuples with that hash (collision chain).
   std::unordered_map<uint64_t, std::vector<size_t>> key_index_;
   /// Structural Tuple::Hash -> indices (for set-semantics dedup).

@@ -24,6 +24,7 @@
 ///    well-defined at every chronon of the tuple's lifespan).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -170,6 +171,11 @@ class Tuple {
   Lifespan lifespan_;
   std::vector<TemporalValue> values_;
 };
+
+/// \brief Shared immutable tuple handle. Relations and cursors pass tuples
+/// by pointer so that copying a relation (or flowing a tuple through a
+/// pipeline) never duplicates the underlying temporal functions.
+using TuplePtr = std::shared_ptr<const Tuple>;
 
 }  // namespace hrdm
 

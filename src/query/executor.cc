@@ -7,6 +7,7 @@
 #include "algebra/timeslice.h"
 #include "algebra/when.h"
 #include "query/parser.h"
+#include "query/plan.h"
 
 namespace hrdm::query {
 
@@ -16,85 +17,199 @@ Resolver DatabaseResolver(const storage::Database& db) {
 
 Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
   if (!expr) return Status::InvalidArgument("null expression");
-  switch (expr->kind) {
-    case ExprKind::kRelationRef: {
-      HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
-      return *rel;
-    }
-    case ExprKind::kSelectIf: {
-      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
-      if (expr->window) {
-        HRDM_ASSIGN_OR_RETURN(Lifespan window,
-                              EvalLifespan(expr->window, resolver));
-        return SelectIf(input, *expr->predicate, expr->quantifier, window);
-      }
-      return SelectIf(input, *expr->predicate, expr->quantifier);
-    }
-    case ExprKind::kSelectWhen: {
-      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
-      return SelectWhen(input, *expr->predicate);
-    }
-    case ExprKind::kProject: {
-      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
-      return Project(input, expr->attrs);
-    }
-    case ExprKind::kTimeSlice: {
-      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
-      HRDM_ASSIGN_OR_RETURN(Lifespan window,
-                            EvalLifespan(expr->window, resolver));
-      return TimeSlice(input, window);
-    }
-    case ExprKind::kDynSlice: {
-      HRDM_ASSIGN_OR_RETURN(Relation input, Eval(expr->left, resolver));
-      return TimeSliceDynamic(input, expr->attr_a);
-    }
-    case ExprKind::kUnion:
-    case ExprKind::kIntersect:
-    case ExprKind::kDifference:
-    case ExprKind::kUnionO:
-    case ExprKind::kIntersectO:
-    case ExprKind::kDifferenceO:
-    case ExprKind::kProduct: {
-      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
-      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
-      switch (expr->kind) {
-        case ExprKind::kUnion:
-          return Union(l, r);
-        case ExprKind::kIntersect:
-          return Intersect(l, r);
-        case ExprKind::kDifference:
-          return Difference(l, r);
-        case ExprKind::kUnionO:
-          return UnionO(l, r);
-        case ExprKind::kIntersectO:
-          return IntersectO(l, r);
-        case ExprKind::kDifferenceO:
-          return DifferenceO(l, r);
-        default:
-          return CartesianProduct(l, r);
-      }
-    }
-    case ExprKind::kThetaJoin: {
-      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
-      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
-      return ThetaJoin(l, expr->attr_a, expr->op, r, expr->attr_b);
-    }
-    case ExprKind::kNaturalJoin: {
-      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
-      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
-      return NaturalJoin(l, r);
-    }
-    case ExprKind::kTimeJoin: {
-      HRDM_ASSIGN_OR_RETURN(Relation l, Eval(expr->left, resolver));
-      HRDM_ASSIGN_OR_RETURN(Relation r, Eval(expr->right, resolver));
-      return TimeJoin(l, expr->attr_a, r);
-    }
+  if (expr->kind == ExprKind::kRelationRef) {
+    // A bare reference is the stored relation itself, unmaterialized —
+    // copy-on-write makes this copy O(#tuples) pointer bumps, not a deep
+    // copy of every temporal value.
+    HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
+    return *rel;
   }
-  return Status::Internal("unhandled expression kind");
+  HRDM_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(expr, resolver));
+  return plan.Drain();
 }
 
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db) {
   return Eval(expr, DatabaseResolver(db));
+}
+
+namespace {
+
+/// The original recursive interpreter. Every child is evaluated to a whole
+/// Relation; `stats` counts each child relation while it is live.
+Result<Relation> EvalMat(const ExprPtr& expr, const Resolver& resolver,
+                         EvalStats* stats);
+
+/// Counts an operator's output relation while its children are still live
+/// (they genuinely coexist inside the operator), then releases the
+/// children.
+Result<Relation> Finish(Result<Relation> out, size_t children_tuples,
+                        EvalStats* stats) {
+  if (stats) {
+    if (out.ok()) stats->OnRelation(out->size());
+    stats->OnRelease(children_tuples);
+  }
+  return out;
+}
+
+Result<Lifespan> EvalLifespanMat(const LsExprPtr& expr,
+                                 const Resolver& resolver, EvalStats* stats) {
+  if (!expr) return Status::InvalidArgument("null lifespan expression");
+  switch (expr->kind) {
+    case LsExprKind::kLiteral:
+      return expr->literal;
+    case LsExprKind::kWhen: {
+      HRDM_ASSIGN_OR_RETURN(Relation rel,
+                            EvalMat(expr->relation, resolver, stats));
+      Lifespan ls = When(rel);
+      if (stats) stats->OnRelease(rel.size());
+      return ls;
+    }
+    case LsExprKind::kUnion:
+    case LsExprKind::kIntersect:
+    case LsExprKind::kDifference: {
+      HRDM_ASSIGN_OR_RETURN(Lifespan l,
+                            EvalLifespanMat(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(Lifespan r,
+                            EvalLifespanMat(expr->right, resolver, stats));
+      switch (expr->kind) {
+        case LsExprKind::kUnion:
+          return l.Union(r);
+        case LsExprKind::kIntersect:
+          return l.Intersect(r);
+        default:
+          return l.Difference(r);
+      }
+    }
+  }
+  return Status::Internal("unhandled lifespan expression kind");
+}
+
+Result<Relation> EvalMat(const ExprPtr& expr, const Resolver& resolver,
+                         EvalStats* stats) {
+  if (!expr) return Status::InvalidArgument("null expression");
+  Result<Relation> result = [&]() -> Result<Relation> {
+    switch (expr->kind) {
+      case ExprKind::kRelationRef: {
+        HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
+        return Finish(*rel, 0, stats);
+      }
+      case ExprKind::kSelectIf: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        Result<Relation> out = Status::Internal("unset");
+        if (expr->window) {
+          HRDM_ASSIGN_OR_RETURN(
+              Lifespan window, EvalLifespanMat(expr->window, resolver, stats));
+          out = SelectIf(input, *expr->predicate, expr->quantifier, window);
+        } else {
+          out = SelectIf(input, *expr->predicate, expr->quantifier);
+        }
+        return Finish(std::move(out), input.size(), stats);
+      }
+      case ExprKind::kSelectWhen: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        Result<Relation> out = SelectWhen(input, *expr->predicate);
+        return Finish(std::move(out), input.size(), stats);
+      }
+      case ExprKind::kProject: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        Result<Relation> out = Project(input, expr->attrs);
+        return Finish(std::move(out), input.size(), stats);
+      }
+      case ExprKind::kTimeSlice: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(
+            Lifespan window, EvalLifespanMat(expr->window, resolver, stats));
+        Result<Relation> out = TimeSlice(input, window);
+        return Finish(std::move(out), input.size(), stats);
+      }
+      case ExprKind::kDynSlice: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        Result<Relation> out = TimeSliceDynamic(input, expr->attr_a);
+        return Finish(std::move(out), input.size(), stats);
+      }
+      case ExprKind::kUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kDifference:
+      case ExprKind::kUnionO:
+      case ExprKind::kIntersectO:
+      case ExprKind::kDifferenceO:
+      case ExprKind::kProduct: {
+        HRDM_ASSIGN_OR_RETURN(Relation l, EvalMat(expr->left, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(Relation r,
+                              EvalMat(expr->right, resolver, stats));
+        Result<Relation> out = [&]() -> Result<Relation> {
+          switch (expr->kind) {
+            case ExprKind::kUnion:
+              return Union(l, r);
+            case ExprKind::kIntersect:
+              return Intersect(l, r);
+            case ExprKind::kDifference:
+              return Difference(l, r);
+            case ExprKind::kUnionO:
+              return UnionO(l, r);
+            case ExprKind::kIntersectO:
+              return IntersectO(l, r);
+            case ExprKind::kDifferenceO:
+              return DifferenceO(l, r);
+            default:
+              return CartesianProduct(l, r);
+          }
+        }();
+        return Finish(std::move(out), l.size() + r.size(), stats);
+      }
+      case ExprKind::kThetaJoin: {
+        HRDM_ASSIGN_OR_RETURN(Relation l, EvalMat(expr->left, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(Relation r,
+                              EvalMat(expr->right, resolver, stats));
+        Result<Relation> out =
+            ThetaJoin(l, expr->attr_a, expr->op, r, expr->attr_b);
+        return Finish(std::move(out), l.size() + r.size(), stats);
+      }
+      case ExprKind::kNaturalJoin: {
+        HRDM_ASSIGN_OR_RETURN(Relation l, EvalMat(expr->left, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(Relation r,
+                              EvalMat(expr->right, resolver, stats));
+        Result<Relation> out = NaturalJoin(l, r);
+        return Finish(std::move(out), l.size() + r.size(), stats);
+      }
+      case ExprKind::kTimeJoin: {
+        HRDM_ASSIGN_OR_RETURN(Relation l, EvalMat(expr->left, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(Relation r,
+                              EvalMat(expr->right, resolver, stats));
+        Result<Relation> out = TimeJoin(l, expr->attr_a, r);
+        return Finish(std::move(out), l.size() + r.size(), stats);
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }();
+  return result;
+}
+
+}  // namespace
+
+Result<Relation> EvalMaterializing(const ExprPtr& expr,
+                                   const Resolver& resolver,
+                                   EvalStats* stats) {
+  Result<Relation> result = EvalMat(expr, resolver, stats);
+  if (result.ok() && stats) {
+    // The root output is the answer, not an intermediate.
+    stats->intermediate_tuples -= result->size() < stats->intermediate_tuples
+                                      ? result->size()
+                                      : stats->intermediate_tuples;
+    stats->OnRelease(result->size());
+  }
+  return result;
+}
+
+Result<Relation> EvalMaterializing(const ExprPtr& expr,
+                                   const storage::Database& db,
+                                   EvalStats* stats) {
+  return EvalMaterializing(expr, DatabaseResolver(db), stats);
 }
 
 Result<Lifespan> EvalLifespan(const LsExprPtr& expr,

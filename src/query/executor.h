@@ -4,12 +4,26 @@
 /// \file executor.h
 /// \brief Evaluation of HRQL query trees against a database.
 ///
-/// The executor is a direct, recursive interpreter: each AST node maps to
-/// the corresponding operator in src/algebra. Because the algebra is
-/// multi-sorted, evaluation comes in two flavors — `Eval` for
-/// relation-sorted and `EvalLifespan` for lifespan-sorted expressions
-/// (where `when(e)` first evaluates `e` and then applies Ω).
+/// Two execution strategies share the algebra's per-tuple kernels:
+///
+///  * **Streaming** (the default, `Eval`): the tree is lowered to a
+///    physical plan of Volcano-style cursors (query/plan.h) and drained.
+///    Unary pipelines (`timeslice` → `select_*` → `project` chains, the
+///    shape the optimizer produces) stream end-to-end without materializing
+///    any intermediate relation; blocking operators buffer internally.
+///
+///  * **Materializing** (`EvalMaterializing`): the original recursive
+///    interpreter — each AST node evaluates its children to whole
+///    `Relation`s and applies the corresponding src/algebra operator. Kept
+///    as the semantic reference and performance baseline
+///    (bench/bench_executor.cc); `Eval` is property-tested equal to it in
+///    tests/plan_test.cc.
+///
+/// Because the algebra is multi-sorted, evaluation comes in two flavors —
+/// `Eval` for relation-sorted and `EvalLifespan` for lifespan-sorted
+/// expressions (where `when(e)` first evaluates `e` and then applies Ω).
 
+#include <cstdint>
 #include <functional>
 #include <string_view>
 
@@ -26,9 +40,43 @@ using Resolver = std::function<Result<const Relation*>(std::string_view)>;
 /// \brief Wraps a Database as a Resolver.
 Resolver DatabaseResolver(const storage::Database& db);
 
-/// \brief Evaluates a relation-sorted expression.
+/// \brief Counters for the materializing interpreter (the baseline the
+/// plan layer's PlanStats is compared against).
+struct EvalStats {
+  /// Total tuples held by intermediate (non-root) relations produced
+  /// during evaluation, including materialized scan leaves.
+  size_t intermediate_tuples = 0;
+  /// Tuples in currently-live relations during evaluation.
+  size_t live_tuples = 0;
+  /// Peak of `live_tuples` — the materializing analogue of
+  /// PlanStats::peak_buffered.
+  size_t peak_live_tuples = 0;
+
+  void OnRelation(size_t n) {
+    intermediate_tuples += n;
+    live_tuples += n;
+    if (live_tuples > peak_live_tuples) peak_live_tuples = live_tuples;
+  }
+  void OnRelease(size_t n) { live_tuples -= n < live_tuples ? n : live_tuples; }
+};
+
+/// \brief Evaluates a relation-sorted expression by lowering it to a
+/// streaming physical plan (query/plan.h). A bare relation reference
+/// returns a copy-on-write copy of the stored relation (no tuple is
+/// duplicated).
 Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver);
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db);
+
+/// \brief Evaluates via the materializing recursive interpreter: every
+/// operator node materializes a whole intermediate `Relation`. `stats`, if
+/// non-null, receives intermediate-relation counters (root output
+/// excluded from `intermediate_tuples`).
+Result<Relation> EvalMaterializing(const ExprPtr& expr,
+                                   const Resolver& resolver,
+                                   EvalStats* stats = nullptr);
+Result<Relation> EvalMaterializing(const ExprPtr& expr,
+                                   const storage::Database& db,
+                                   EvalStats* stats = nullptr);
 
 /// \brief Evaluates a lifespan-sorted expression.
 Result<Lifespan> EvalLifespan(const LsExprPtr& expr, const Resolver& resolver);

@@ -1,0 +1,430 @@
+#include "query/plan.h"
+
+#include <utility>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/timeslice.h"
+
+namespace hrdm::query {
+
+namespace {
+
+/// Runs a cursor to completion into a set-semantics Relation (the
+/// whole-relation operators' output contract). Blocking cursors hand over
+/// their buffered result directly.
+Result<Relation> DrainCursor(Cursor* cursor) {
+  HRDM_ASSIGN_OR_RETURN(std::optional<Relation> whole,
+                        cursor->TakeBuffered());
+  if (whole) return std::move(*whole);
+  Relation out(cursor->scheme());
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, cursor->Next());
+    if (!t) break;
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(t)));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+/// Evaluates a lifespan-sorted window expression against the same stats
+/// block as the enclosing plan, so the relations a `when(e)` subquery
+/// materializes are visible in `peak_buffered` (they are genuine
+/// intermediate materializations — the materializing interpreter counts
+/// them too).
+Result<Lifespan> EvalWindow(const LsExprPtr& expr,
+                            const PlanResolver& resolver, PlanStats* stats) {
+  if (!expr) return Status::InvalidArgument("null lifespan expression");
+  switch (expr->kind) {
+    case LsExprKind::kLiteral:
+      return expr->literal;
+    case LsExprKind::kWhen: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr cursor,
+                            LowerExpr(expr->relation, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(Relation rel, DrainCursor(cursor.get()));
+      stats->OnBuffer(rel.size());
+      Lifespan ls = rel.LS();  // Ω(r) = LS(r), §4.5
+      stats->OnRelease(rel.size());
+      return ls;
+    }
+    case LsExprKind::kUnion:
+    case LsExprKind::kIntersect:
+    case LsExprKind::kDifference: {
+      HRDM_ASSIGN_OR_RETURN(Lifespan l,
+                            EvalWindow(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(Lifespan r,
+                            EvalWindow(expr->right, resolver, stats));
+      switch (expr->kind) {
+        case LsExprKind::kUnion:
+          return l.Union(r);
+        case LsExprKind::kIntersect:
+          return l.Intersect(r);
+        default:
+          return l.Difference(r);
+      }
+    }
+  }
+  return Status::Internal("unhandled lifespan expression kind");
+}
+
+}  // namespace
+
+// --- ScanCursor --------------------------------------------------------------
+
+ScanCursor::ScanCursor(const Relation& rel, PlanStats* stats)
+    : Cursor(rel.scheme(), stats),
+      tuples_(rel.tuple_ptrs()),
+      materialized_(rel.materialized()) {}
+
+Result<TuplePtr> ScanCursor::Next() {
+  if (pos_ >= tuples_.size()) return TuplePtr();
+  ++stats_->tuples_scanned;
+  const TuplePtr& t = tuples_[pos_++];
+  if (materialized_) return t;
+  // Representation → model mapping (Figure 9), one tuple at a time: the
+  // streaming analogue of MaterializeRelation.
+  HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
+  return std::make_shared<const Tuple>(std::move(m));
+}
+
+// --- SelectIfCursor ----------------------------------------------------------
+
+SelectIfCursor::SelectIfCursor(CursorPtr child, Predicate predicate,
+                               Quantifier quantifier,
+                               std::optional<Lifespan> window,
+                               PlanStats* stats)
+    : Cursor(child->scheme(), stats),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      quantifier_(quantifier),
+      window_(std::move(window)) {}
+
+Result<TuplePtr> SelectIfCursor::Next() {
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
+    if (!t) return TuplePtr();
+    HRDM_ASSIGN_OR_RETURN(
+        bool selected,
+        SelectIfMatches(*t, predicate_, quantifier_,
+                        window_ ? &*window_ : nullptr));
+    if (selected) return t;
+  }
+}
+
+// --- SelectWhenCursor --------------------------------------------------------
+
+SelectWhenCursor::SelectWhenCursor(CursorPtr child, Predicate predicate,
+                                   PlanStats* stats)
+    : Cursor(child->scheme(), stats),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Result<TuplePtr> SelectWhenCursor::Next() {
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
+    if (!t) return TuplePtr();
+    HRDM_ASSIGN_OR_RETURN(TuplePtr selected,
+                          SelectWhenTuple(t, predicate_, scheme_));
+    if (selected) return selected;
+  }
+}
+
+// --- ProjectCursor -----------------------------------------------------------
+
+ProjectCursor::ProjectCursor(CursorPtr child, SchemePtr out_scheme,
+                             std::vector<size_t> src, PlanStats* stats)
+    : Cursor(std::move(out_scheme), stats),
+      child_(std::move(child)),
+      src_(std::move(src)) {}
+
+Result<TuplePtr> ProjectCursor::Next() {
+  HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
+  if (!t) return TuplePtr();
+  return ProjectTuple(*t, scheme_, src_);
+}
+
+// --- TimeSliceCursor ---------------------------------------------------------
+
+TimeSliceCursor::TimeSliceCursor(CursorPtr child, Lifespan window,
+                                 PlanStats* stats)
+    : Cursor(child->scheme(), stats),
+      child_(std::move(child)),
+      window_(std::move(window)) {}
+
+TimeSliceCursor::TimeSliceCursor(CursorPtr child, size_t attr_idx,
+                                 PlanStats* stats)
+    : Cursor(child->scheme(), stats),
+      child_(std::move(child)),
+      attr_idx_(attr_idx) {}
+
+Result<TuplePtr> TimeSliceCursor::Next() {
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
+    if (!t) return TuplePtr();
+    TuplePtr sliced;
+    if (window_) {
+      sliced = TimeSliceTuple(t, *window_, scheme_);
+    } else {
+      HRDM_ASSIGN_OR_RETURN(sliced, DynSliceTuple(t, attr_idx_, scheme_));
+    }
+    if (sliced) return sliced;
+  }
+}
+
+// --- ProductJoinCursor -------------------------------------------------------
+
+ProductJoinCursor::ProductJoinCursor(CursorPtr left, CursorPtr right,
+                                     SchemePtr out_scheme, PlanStats* stats)
+    : Cursor(std::move(out_scheme), stats),
+      left_(std::move(left)),
+      right_(std::move(right)) {}
+
+ProductJoinCursor::~ProductJoinCursor() {
+  stats_->OnRelease(right_buffer_.size());
+}
+
+Result<TuplePtr> ProductJoinCursor::Next() {
+  if (!primed_) {
+    primed_ = true;
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, right_->Next());
+      if (!t) break;
+      right_buffer_.push_back(std::move(t));
+      stats_->OnBuffer(1);
+    }
+  }
+  if (right_buffer_.empty()) {
+    // The product is empty, but the left side must still be evaluated so
+    // its runtime errors surface exactly as in the materializing path
+    // (which evaluates both operands before applying the operator).
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, left_->Next());
+      if (!t) return TuplePtr();
+    }
+  }
+  while (true) {
+    if (!current_left_ || right_pos_ >= right_buffer_.size()) {
+      HRDM_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_) return TuplePtr();
+      right_pos_ = 0;
+    }
+    return ProductTuple(*current_left_, *right_buffer_[right_pos_++],
+                        scheme_);
+  }
+}
+
+// --- SetOpCursor -------------------------------------------------------------
+
+SetOpCursor::SetOpCursor(CursorPtr left, CursorPtr right,
+                         SchemePtr out_scheme, WholeRelationOp op,
+                         PlanStats* stats)
+    : Cursor(std::move(out_scheme), stats),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      op_(std::move(op)) {}
+
+SetOpCursor::~SetOpCursor() {
+  if (result_) stats_->OnRelease(result_->size());
+}
+
+Status SetOpCursor::Prime() {
+  primed_ = true;
+  HRDM_ASSIGN_OR_RETURN(Relation l, DrainCursor(left_.get()));
+  stats_->OnBuffer(l.size());
+  HRDM_ASSIGN_OR_RETURN(Relation r, DrainCursor(right_.get()));
+  stats_->OnBuffer(r.size());
+  HRDM_ASSIGN_OR_RETURN(Relation result, op_(l, r));
+  stats_->OnBuffer(result.size());
+  stats_->OnRelease(l.size() + r.size());
+  result_ = std::move(result);
+  return Status::OK();
+}
+
+Result<TuplePtr> SetOpCursor::Next() {
+  if (!primed_) {
+    HRDM_RETURN_IF_ERROR(Prime());
+  }
+  if (!result_ || pos_ >= result_->size()) return TuplePtr();
+  return result_->tuple_ptr(pos_++);
+}
+
+Result<std::optional<Relation>> SetOpCursor::TakeBuffered() {
+  if (pos_ != 0) return std::optional<Relation>();  // already being pulled
+  if (!primed_) {
+    HRDM_RETURN_IF_ERROR(Prime());
+  }
+  if (!result_) return std::optional<Relation>();  // already taken
+  Relation out = std::move(*result_);
+  result_.reset();
+  stats_->OnRelease(out.size());
+  return std::optional<Relation>(std::move(out));
+}
+
+// --- lowering ----------------------------------------------------------------
+
+Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
+                            PlanStats* stats) {
+  if (!expr) return Status::InvalidArgument("null expression");
+  switch (expr->kind) {
+    case ExprKind::kRelationRef: {
+      HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
+      // Copy-on-write: the scan shares the stored tuples.
+      return CursorPtr(new ScanCursor(*rel, stats));
+    }
+    case ExprKind::kSelectIf: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats));
+      std::optional<Lifespan> window;
+      if (expr->window) {
+        HRDM_ASSIGN_OR_RETURN(Lifespan w,
+                              EvalWindow(expr->window, resolver, stats));
+        window = std::move(w);
+      }
+      return CursorPtr(new SelectIfCursor(std::move(child), *expr->predicate,
+                                          expr->quantifier,
+                                          std::move(window), stats));
+    }
+    case ExprKind::kSelectWhen: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats));
+      return CursorPtr(
+          new SelectWhenCursor(std::move(child), *expr->predicate, stats));
+    }
+    case ExprKind::kProject: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(SchemePtr out_scheme,
+                            child->scheme()->Project(expr->attrs));
+      HRDM_ASSIGN_OR_RETURN(
+          std::vector<size_t> src,
+          ProjectSourceIndices(*child->scheme(), *out_scheme));
+      return CursorPtr(new ProjectCursor(std::move(child),
+                                         std::move(out_scheme),
+                                         std::move(src), stats));
+    }
+    case ExprKind::kTimeSlice: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(Lifespan window,
+                            EvalWindow(expr->window, resolver, stats));
+      return CursorPtr(
+          new TimeSliceCursor(std::move(child), std::move(window), stats));
+    }
+    case ExprKind::kDynSlice: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(size_t idx,
+                            DynSliceAttrIndex(*child->scheme(), expr->attr_a));
+      return CursorPtr(new TimeSliceCursor(std::move(child), idx, stats));
+    }
+    case ExprKind::kProduct: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr left,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(CursorPtr right,
+                            LowerExpr(expr->right, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                            ProductScheme(left->scheme(), right->scheme()));
+      return CursorPtr(new ProductJoinCursor(std::move(left),
+                                             std::move(right),
+                                             std::move(scheme), stats));
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO: {
+      SetOpKind kind;
+      switch (expr->kind) {
+        case ExprKind::kUnion:       kind = SetOpKind::kUnion; break;
+        case ExprKind::kIntersect:   kind = SetOpKind::kIntersect; break;
+        case ExprKind::kDifference:  kind = SetOpKind::kDifference; break;
+        case ExprKind::kUnionO:      kind = SetOpKind::kUnionO; break;
+        case ExprKind::kIntersectO:  kind = SetOpKind::kIntersectO; break;
+        default:                     kind = SetOpKind::kDifferenceO; break;
+      }
+      HRDM_ASSIGN_OR_RETURN(CursorPtr left,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(CursorPtr right,
+                            LowerExpr(expr->right, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(
+          SchemePtr scheme,
+          SetOpScheme(kind, left->scheme(), right->scheme()));
+      return CursorPtr(new SetOpCursor(
+          std::move(left), std::move(right), std::move(scheme),
+          [kind](const Relation& r1, const Relation& r2) {
+            return ApplySetOp(kind, r1, r2);
+          },
+          stats));
+    }
+    case ExprKind::kThetaJoin: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr left,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(CursorPtr right,
+                            LowerExpr(expr->right, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                            ThetaJoinScheme(left->scheme(), expr->attr_a,
+                                            right->scheme(), expr->attr_b));
+      return CursorPtr(new SetOpCursor(
+          std::move(left), std::move(right), std::move(scheme),
+          [a = expr->attr_a, op = expr->op, b = expr->attr_b](
+              const Relation& r1, const Relation& r2) {
+            return ThetaJoin(r1, a, op, r2, b);
+          },
+          stats));
+    }
+    case ExprKind::kNaturalJoin: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr left,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(CursorPtr right,
+                            LowerExpr(expr->right, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(
+          SchemePtr scheme,
+          NaturalJoinScheme(left->scheme(), right->scheme()));
+      return CursorPtr(new SetOpCursor(
+          std::move(left), std::move(right), std::move(scheme),
+          [](const Relation& r1, const Relation& r2) {
+            return NaturalJoin(r1, r2);
+          },
+          stats));
+    }
+    case ExprKind::kTimeJoin: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr left,
+                            LowerExpr(expr->left, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(CursorPtr right,
+                            LowerExpr(expr->right, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                            TimeJoinScheme(left->scheme(), expr->attr_a,
+                                           right->scheme()));
+      return CursorPtr(new SetOpCursor(
+          std::move(left), std::move(right), std::move(scheme),
+          [a = expr->attr_a](const Relation& r1, const Relation& r2) {
+            return TimeJoin(r1, a, r2);
+          },
+          stats));
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Plan> Plan::Lower(const ExprPtr& expr, const PlanResolver& resolver) {
+  auto stats = std::make_unique<PlanStats>();
+  HRDM_ASSIGN_OR_RETURN(CursorPtr root,
+                        LowerExpr(expr, resolver, stats.get()));
+  return Plan(std::move(stats), std::move(root));
+}
+
+Result<TuplePtr> Plan::Next() {
+  HRDM_ASSIGN_OR_RETURN(TuplePtr t, root_->Next());
+  if (t) ++stats_->tuples_returned;
+  return t;
+}
+
+Result<Relation> Plan::Drain() {
+  HRDM_ASSIGN_OR_RETURN(Relation out, DrainCursor(root_.get()));
+  stats_->tuples_returned += out.size();
+  return out;
+}
+
+}  // namespace hrdm::query

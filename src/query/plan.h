@@ -1,0 +1,262 @@
+#ifndef HRDM_QUERY_PLAN_H_
+#define HRDM_QUERY_PLAN_H_
+
+/// \file plan.h
+/// \brief The physical execution layer: Volcano-style cursor pipelines.
+///
+/// Sits between the optimizer and the algebra. A query tree is *lowered*
+/// to a tree of cursors, each pulling `std::shared_ptr<const Tuple>` from
+/// its child one tuple at a time — no intermediate `Relation` is ever
+/// materialized along a unary pipeline (the shape the optimizer's push-down
+/// rules produce: `project(select_when(timeslice(r, L), p), X)` streams
+/// end-to-end with O(1) in-flight tuples).
+///
+/// Cursors reuse the algebra's per-tuple kernels (SelectIfMatches,
+/// SelectWhenTuple, TimeSliceTuple, ProjectTuple, ProductTuple, ...), so
+/// the streaming and whole-relation paths share one implementation of the
+/// paper's semantics. Interpolation (representation → model mapping,
+/// Figure 9) happens once, per tuple, at the scan leaf.
+///
+/// Blocking operators buffer internally and account for every buffered
+/// tuple in `PlanStats`:
+///  * `SetOpCursor` — the set-theoretic/object-based operators and the
+///    θ-/natural/time joins need both whole inputs (structural/mergeable
+///    lookups, pairwise matching), so it drains both children, applies the
+///    whole-relation operator, and streams (or surrenders) the result;
+///  * `ProductJoinCursor` — buffers only its *right* input and streams the
+///    left, so `r × s` holds |s| tuples, not |r × s|.
+///
+/// `PlanStats::peak_buffered` is the peak intermediate tuple count: 0 for a
+/// fully streaming pipeline. tests/plan_test.cc asserts this, and
+/// bench/bench_executor.cc tracks it against the materializing interpreter.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "algebra/setops.h"
+#include "core/relation.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace hrdm::query {
+
+/// \brief Resolves a base-relation name to a stored relation (mirrors
+/// executor.h's Resolver; redeclared here to avoid a circular include).
+using PlanResolver = std::function<Result<const Relation*>(std::string_view)>;
+
+/// \brief Execution counters shared by every cursor of one physical plan.
+struct PlanStats {
+  /// Tuples pulled out of base-relation scan leaves.
+  size_t tuples_scanned = 0;
+  /// Tuples produced by the root cursor.
+  size_t tuples_returned = 0;
+  /// Intermediate tuples currently buffered by blocking operators.
+  size_t buffered_now = 0;
+  /// Peak of `buffered_now` over the plan's lifetime — the peak
+  /// intermediate tuple count. 0 for a fully streaming (unary) pipeline.
+  size_t peak_buffered = 0;
+
+  void OnBuffer(size_t n) {
+    buffered_now += n;
+    if (buffered_now > peak_buffered) peak_buffered = buffered_now;
+  }
+  void OnRelease(size_t n) { buffered_now -= n < buffered_now ? n : buffered_now; }
+};
+
+/// \brief A pull-based physical operator. `Next` yields the next tuple of
+/// this operator's output, or a null `TuplePtr` at end of stream. Every
+/// tuple flowing between cursors is materialized (model-level) and bound to
+/// `scheme()`.
+class Cursor {
+ public:
+  Cursor(SchemePtr scheme, PlanStats* stats)
+      : scheme_(std::move(scheme)), stats_(stats) {}
+  virtual ~Cursor() = default;
+
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// \brief Pulls the next output tuple; null at end of stream.
+  virtual Result<TuplePtr> Next() = 0;
+
+  /// \brief Blocking cursors that already hold their entire output as a
+  /// set-semantics Relation may surrender it wholesale, so a draining
+  /// consumer does not re-deduplicate an already-deduplicated result.
+  /// Returns nullopt (the default) when the cursor must be pulled
+  /// tuple-by-tuple; only valid before the first Next().
+  virtual Result<std::optional<Relation>> TakeBuffered() {
+    return std::optional<Relation>();
+  }
+
+  /// \brief The output scheme, known at plan-build time.
+  const SchemePtr& scheme() const { return scheme_; }
+
+ protected:
+  SchemePtr scheme_;
+  PlanStats* stats_;  // owned by the enclosing Plan; never null
+};
+
+using CursorPtr = std::unique_ptr<Cursor>;
+
+// --- cursors -----------------------------------------------------------------
+
+/// \brief Leaf: streams a relation's tuples without copying them. Holds
+/// only the shared tuple handles (not the relation's key/structural
+/// indexes), so the scan is safe even if the stored relation is later
+/// mutated and construction is O(#tuples) pointer bumps.
+/// Non-materialized inputs are interpolated one tuple at a time.
+class ScanCursor : public Cursor {
+ public:
+  ScanCursor(const Relation& rel, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  std::vector<TuplePtr> tuples_;
+  bool materialized_;
+  size_t pos_ = 0;
+};
+
+/// \brief SELECT-IF: pure tuple filter (whole tuples pass or are dropped).
+class SelectIfCursor : public Cursor {
+ public:
+  SelectIfCursor(CursorPtr child, Predicate predicate, Quantifier quantifier,
+                 std::optional<Lifespan> window, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr child_;
+  Predicate predicate_;
+  Quantifier quantifier_;
+  std::optional<Lifespan> window_;
+};
+
+/// \brief SELECT-WHEN: restricts each tuple to the chronons where the
+/// criterion holds; tuples that never satisfy it are dropped.
+class SelectWhenCursor : public Cursor {
+ public:
+  SelectWhenCursor(CursorPtr child, Predicate predicate, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr child_;
+  Predicate predicate_;
+};
+
+/// \brief PROJECT: narrows each tuple to the projected attributes.
+class ProjectCursor : public Cursor {
+ public:
+  ProjectCursor(CursorPtr child, SchemePtr out_scheme,
+                std::vector<size_t> src, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr child_;
+  std::vector<size_t> src_;
+};
+
+/// \brief TIME-SLICE, static (`T_L`) or dynamic (`T_@A`): restricts each
+/// tuple to the window (resp. the image of its own value of A); tuples
+/// whose restricted lifespan is empty are dropped.
+class TimeSliceCursor : public Cursor {
+ public:
+  /// Static slice.
+  TimeSliceCursor(CursorPtr child, Lifespan window, PlanStats* stats);
+  /// Dynamic slice on attribute `attr_idx` (pre-checked time-valued).
+  TimeSliceCursor(CursorPtr child, size_t attr_idx, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr child_;
+  std::optional<Lifespan> window_;  // static mode
+  size_t attr_idx_ = 0;             // dynamic mode
+};
+
+/// \brief Cartesian product: streams the left input against a buffered
+/// right input (|right| buffered tuples, counted in PlanStats).
+class ProductJoinCursor : public Cursor {
+ public:
+  ProductJoinCursor(CursorPtr left, CursorPtr right, SchemePtr out_scheme,
+                    PlanStats* stats);
+  ~ProductJoinCursor() override;
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr left_;
+  CursorPtr right_;
+  bool primed_ = false;
+  std::vector<TuplePtr> right_buffer_;
+  TuplePtr current_left_;
+  size_t right_pos_ = 0;
+};
+
+/// \brief Blocking binary operator: drains both children into relations,
+/// applies a whole-relation algebra operator, then streams the result.
+/// Used for the set-theoretic/object-based operators and the joins, whose
+/// semantics need both whole inputs.
+class SetOpCursor : public Cursor {
+ public:
+  /// The algebra operator to apply to the two drained inputs.
+  using WholeRelationOp =
+      std::function<Result<Relation>(const Relation&, const Relation&)>;
+
+  SetOpCursor(CursorPtr left, CursorPtr right, SchemePtr out_scheme,
+              WholeRelationOp op, PlanStats* stats);
+  ~SetOpCursor() override;
+  Result<TuplePtr> Next() override;
+  Result<std::optional<Relation>> TakeBuffered() override;
+
+ private:
+  Status Prime();
+
+  CursorPtr left_;
+  CursorPtr right_;
+  WholeRelationOp op_;
+  bool primed_ = false;
+  std::optional<Relation> result_;
+  size_t pos_ = 0;
+};
+
+// --- plans -------------------------------------------------------------------
+
+/// \brief A lowered physical plan: owns the cursor tree and its stats.
+class Plan {
+ public:
+  /// \brief Lowers a relation-sorted query tree to a cursor pipeline.
+  /// Scheme computation and compatibility checks happen here, eagerly;
+  /// lifespan-sorted windows are evaluated eagerly too (they are
+  /// parameters, not streams). Per-tuple errors (e.g. a predicate naming an
+  /// unknown attribute) surface on `Next`.
+  static Result<Plan> Lower(const ExprPtr& expr, const PlanResolver& resolver);
+
+  /// \brief Pulls the next root tuple; null at end of stream.
+  Result<TuplePtr> Next();
+
+  /// \brief Runs the plan to completion into a set-semantics `Relation`
+  /// (structural duplicates collapsed, empty-lifespan tuples dropped),
+  /// marked materialized — exactly the contract of the whole-relation
+  /// algebra operators.
+  Result<Relation> Drain();
+
+  const SchemePtr& scheme() const { return root_->scheme(); }
+  const PlanStats& stats() const { return *stats_; }
+
+ private:
+  Plan(std::unique_ptr<PlanStats> stats, CursorPtr root)
+      : stats_(std::move(stats)), root_(std::move(root)) {}
+
+  std::unique_ptr<PlanStats> stats_;  // address-stable; outlives root_
+  CursorPtr root_;
+};
+
+/// \brief Lowers `expr` onto an existing stats block (used by Plan::Lower
+/// and by tests that compose cursors directly).
+Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
+                            PlanStats* stats);
+
+}  // namespace hrdm::query
+
+#endif  // HRDM_QUERY_PLAN_H_

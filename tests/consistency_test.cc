@@ -103,7 +103,7 @@ TEST_P(ConsistencySeedTest, ProjectReduces) {
   Rng rng(GetParam() * 3 + 1);
   SnapshotRelation s = RandomSnapshot(&rng, "a", 12, 3);
   Relation lifted = LiftNow(s, "aId");
-  for (const std::vector<std::string> attrs :
+  for (const std::vector<std::string>& attrs :
        {std::vector<std::string>{"aId", "aC1"},
         std::vector<std::string>{"aC0", "aC2"},
         std::vector<std::string>{"aC0"}}) {
