@@ -1,151 +1,225 @@
-// Experiment C5 (Sections 4.6 and 5): the JOIN family, and the
-// JOIN vs SELECT-WHEN∘× plan comparison.
+// Experiment C5 (Sections 4.6 and 5): physical join strategies.
 //
-// Shape to check (paper): the direct join evaluates the θ condition pair-
-// wise and only materializes matching lifespans ("no nulls result"); the
-// equivalent ×-then-SELECT-WHEN plan materializes |r1|·|r2| wide tuples
-// first and must win nowhere. Both produce identical answers (see
-// join_test.cc); here we measure the cost gap.
+// Shape to check: on selective equi-joins the hash strategy must beat the
+// product (nested-loop) strategy by avoiding the |r1|·|r2| pair space —
+// ≥5× at the larger sizes — while PlanStats confirms it buffers only its
+// build side; the TIME-JOIN merge strategy must beat nested loop by
+// frontier pruning. All strategies return identical answers (the
+// differential suite asserts that; here we measure the cost gap).
+//
+// Like bench_executor this is a self-contained harness (no
+// google-benchmark): it emits machine-readable BENCH_join.json in the same
+// shape as BENCH_executor.json (per-path ops/sec, result tuples, peak
+// intermediate tuples) so later PRs can track the perf trajectory.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "algebra/join.h"
-#include "algebra/select.h"
-#include "algebra/setops.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/plan.h"
 #include "util/random.h"
-#include "workload/generators.h"
 
 namespace hrdm {
 namespace {
 
-/// Two relations with disjoint attribute names whose A0/B0 values match
-/// with probability controlled by the value range.
-std::pair<Relation, Relation> MakeJoinPair(int tuples, uint64_t seed) {
+using Clock = std::chrono::steady_clock;
+using query::JoinStrategy;
+
+constexpr TimePoint kHorizon = 200;
+
+/// Builds `lft(LId*, LV, Ref)` and `rgt(RId*, RV)` with `tuples` rows each.
+/// LV/RV are constant ints drawn from [0, value_space): the expected number
+/// of equi-matching pairs is |l|·|r| / value_space, so value_space IS the
+/// selectivity knob. Ref is a time value for the TIME-JOIN workloads.
+storage::Database MakeJoinDb(size_t tuples, int64_t value_space,
+                             uint64_t seed) {
   Rng rng(seed);
-  workload::RandomRelationConfig c;
-  c.name = "ja";
-  c.num_tuples = static_cast<size_t>(tuples);
-  c.num_value_attrs = 1;
-  c.key_prefix = "x";
-  Relation r1 = *workload::MakeRandomRelation(&rng, c);
-  auto scheme2 = *RelationScheme::Make(
-      "jb",
-      {{"Id2", DomainType::kString, Span(0, 59),
-        InterpolationKind::kDiscrete},
-       {"B0", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
-      {"Id2"});
-  Relation r2(scheme2);
-  Relation src = *workload::MakeRandomRelation(&rng, c);
-  for (const Tuple& t : src) {
-    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
-    (void)r2.Insert(Tuple::FromParts(scheme2, t.lifespan(), vals));
+  storage::Database db;
+  const Lifespan full = Span(0, kHorizon - 1);
+  auto lft = *RelationScheme::Make(
+      "lft",
+      {{"LId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"LV", DomainType::kInt, full, InterpolationKind::kStepwise},
+       {"Ref", DomainType::kTime, full, InterpolationKind::kStepwise}},
+      {"LId"});
+  auto rgt = *RelationScheme::Make(
+      "rgt",
+      {{"RId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"RV", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"RId"});
+  (void)db.CreateRelation(lft);
+  (void)db.CreateRelation(rgt);
+  for (size_t i = 0; i < tuples; ++i) {
+    const TimePoint b = rng.Uniform(0, kHorizon - 40);
+    const TimePoint e = b + rng.Uniform(10, 39);
+    {
+      Tuple::Builder tb(lft, Span(b, e));
+      tb.SetConstant("LId", Value::String("l" + std::to_string(i)));
+      tb.SetConstant("LV", Value::Int(rng.Uniform(0, value_space - 1)));
+      tb.SetConstant("Ref", Value::Time(rng.Uniform(0, kHorizon - 1)));
+      (void)db.Insert("lft", *std::move(tb).Build());
+    }
+    {
+      Tuple::Builder tb(rgt, Span(b, e));
+      tb.SetConstant("RId", Value::String("r" + std::to_string(i)));
+      tb.SetConstant("RV", Value::Int(rng.Uniform(0, value_space - 1)));
+      (void)db.Insert("rgt", *std::move(tb).Build());
+    }
   }
-  return {std::move(r1), std::move(r2)};
+  return db;
 }
 
-void BM_EquiJoin(benchmark::State& state) {
-  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 1);
-  size_t matches = 0;
-  for (auto _ : state) {
-    auto j = EquiJoin(r1, "A0", r2, "B0");
-    matches = j->size();
-    benchmark::DoNotOptimize(j);
-  }
-  state.counters["matches"] = static_cast<double>(matches);
-}
-BENCHMARK(BM_EquiJoin)->Arg(30)->Arg(100)->Arg(300);
+struct PathResult {
+  double ops_per_sec = 0;
+  size_t result_tuples = 0;
+  size_t peak_intermediate = 0;
+  size_t pairs_tested = 0;
+};
 
-void BM_ThetaJoinLe(benchmark::State& state) {
-  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ThetaJoin(r1, "A0", CompareOp::kLe, r2, "B0"));
+/// Runs `hrql` under a forced strategy `iterations` times.
+PathResult RunStrategy(const storage::Database& db, const std::string& hrql,
+                       JoinStrategy strategy, int iterations) {
+  PathResult out;
+  auto expr = query::ParseExpr(hrql);
+  if (!expr.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 expr.status().ToString().c_str());
+    return out;
   }
+  const query::Resolver resolver = query::DatabaseResolver(db);
+  query::PlanOptions options;
+  options.force_join_strategy = strategy;
+  {
+    // Warm-up + stats from one instrumented run.
+    auto plan = query::Plan::Lower(*expr, resolver, options);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "lowering failed: %s\n",
+                   plan.status().ToString().c_str());
+      return out;
+    }
+    auto warm = plan->Drain();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "eval failed: %s\n",
+                   warm.status().ToString().c_str());
+      return out;
+    }
+    out.result_tuples = warm->size();
+    out.peak_intermediate = plan->stats().peak_buffered;
+    out.pairs_tested = plan->stats().join_pairs_tested;
+  }
+  const auto start = Clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    auto plan = query::Plan::Lower(*expr, resolver, options);
+    auto r = plan->Drain();
+    if (!r.ok() || r->size() != out.result_tuples) std::abort();
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  out.ops_per_sec = iterations / elapsed.count();
+  return out;
 }
-BENCHMARK(BM_ThetaJoinLe)->Arg(30)->Arg(100)->Arg(300);
 
-void BM_JoinDirect(benchmark::State& state) {
-  // The direct plan of the JOIN ≡ SELECT-WHEN ∘ × equivalence.
-  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(EquiJoin(r1, "A0", r2, "B0"));
-  }
-}
-BENCHMARK(BM_JoinDirect)->Arg(30)->Arg(100);
+struct Workload {
+  std::string name;
+  std::string hrql;
+  size_t tuples;
+  int64_t value_space;       // selectivity knob (0 = n/a)
+  JoinStrategy optimized;    // what the chooser picks for this shape
+  int product_iterations;    // the O(n²) baseline gets fewer
+  int optimized_iterations;
+  PathResult product;
+  PathResult strategy;
+  double speedup = 0;
+};
 
-void BM_JoinViaProductSelectWhen(benchmark::State& state) {
-  // The naive plan: materialize ×, then SELECT-WHEN.
-  auto [r1, r2] = MakeJoinPair(static_cast<int>(state.range(0)), 3);
-  Predicate p = Predicate::AttrAttr("A0", CompareOp::kEq, "B0");
-  for (auto _ : state) {
-    auto product = CartesianProduct(r1, r2);
-    benchmark::DoNotOptimize(SelectWhen(*product, p));
-  }
+void AppendPathJson(std::string* json, const char* key, const PathResult& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"ops_per_sec\": %.2f, \"result_tuples\": "
+                "%zu, \"peak_intermediate_tuples\": %zu, "
+                "\"pairs_tested\": %zu}",
+                key, p.ops_per_sec, p.result_tuples, p.peak_intermediate,
+                p.pairs_tested);
+  *json += buf;
 }
-BENCHMARK(BM_JoinViaProductSelectWhen)->Arg(30)->Arg(100);
-
-void BM_NaturalJoin(benchmark::State& state) {
-  // Shared attribute D: classic emp/dept shape.
-  Rng rng(4);
-  const Lifespan full = Span(0, 59);
-  auto emp_scheme = *RelationScheme::Make(
-      "emp",
-      {{"Name", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"D", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"Name"});
-  auto dept_scheme = *RelationScheme::Make(
-      "dept",
-      {{"D", DomainType::kInt, full, InterpolationKind::kDiscrete},
-       {"Mgr", DomainType::kString, full, InterpolationKind::kStepwise}},
-      {"D"});
-  Relation emp(emp_scheme), dept(dept_scheme);
-  const int n = static_cast<int>(state.range(0));
-  for (int i = 0; i < n; ++i) {
-    Tuple::Builder b(emp_scheme, Span(rng.Uniform(0, 30), 59));
-    b.SetConstant("Name", Value::String("e" + std::to_string(i)));
-    b.SetConstant("D", Value::Int(rng.Uniform(0, 19)));
-    (void)emp.Insert(*std::move(b).Build());
-  }
-  for (int i = 0; i < 20; ++i) {
-    Tuple::Builder b(dept_scheme, full);
-    b.SetConstant("D", Value::Int(i));
-    b.SetConstant("Mgr", Value::String(rng.Identifier(6)));
-    (void)dept.Insert(*std::move(b).Build());
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(NaturalJoin(emp, dept));
-  }
-}
-BENCHMARK(BM_NaturalJoin)->Arg(100)->Arg(400);
-
-void BM_TimeJoin(benchmark::State& state) {
-  Rng rng(5);
-  workload::RandomRelationConfig c;
-  c.name = "audit";
-  c.num_tuples = static_cast<size_t>(state.range(0));
-  c.num_value_attrs = 0;
-  c.with_time_attribute = true;
-  c.key_prefix = "a";
-  Relation audit = *workload::MakeRandomRelation(&rng, c);
-  auto scheme2 = *RelationScheme::Make(
-      "hist",
-      {{"HId", DomainType::kString, Span(0, 59),
-        InterpolationKind::kDiscrete},
-       {"V", DomainType::kInt, Span(0, 59), InterpolationKind::kStepwise}},
-      {"HId"});
-  Relation hist(scheme2);
-  for (int i = 0; i < 50; ++i) {
-    Tuple::Builder b(scheme2, Span(0, 59));
-    b.SetConstant("HId", Value::String("h" + std::to_string(i)));
-    b.SetConstant("V", Value::Int(rng.Uniform(0, 99)));
-    (void)hist.Insert(*std::move(b).Build());
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TimeJoin(audit, "Ref", hist));
-  }
-}
-BENCHMARK(BM_TimeJoin)->Arg(50)->Arg(200);
 
 }  // namespace
 }  // namespace hrdm
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace hrdm;
+  using query::JoinStrategy;
+
+  std::vector<Workload> workloads = {
+      // Selectivity sweep at a fixed size: the hash win grows as the value
+      // space widens (fewer matching pairs for the same pair space).
+      {"equijoin_dense_1k", "join(lft, rgt, LV = RV)", 1000, 8,
+       JoinStrategy::kHash, 3, 3, {}, {}, 0},
+      {"equijoin_mid_1k", "join(lft, rgt, LV = RV)", 1000, 128,
+       JoinStrategy::kHash, 3, 10, {}, {}, 0},
+      {"equijoin_selective_1k", "join(lft, rgt, LV = RV)", 1000, 2048,
+       JoinStrategy::kHash, 3, 20, {}, {}, 0},
+      // Size sweep at high selectivity: the acceptance shape.
+      {"equijoin_selective_3k", "join(lft, rgt, LV = RV)", 3000, 8192,
+       JoinStrategy::kHash, 1, 10, {}, {}, 0},
+      {"equijoin_selective_10k", "join(lft, rgt, LV = RV)", 10000, 32768,
+       JoinStrategy::kHash, 1, 5, {}, {}, 0},
+      // TIME-JOIN: merge frontier vs nested loop.
+      {"timejoin_1k", "timejoin(lft, rgt, Ref)", 1000, 64,
+       JoinStrategy::kMerge, 3, 3, {}, {}, 0},
+      {"timejoin_3k", "timejoin(lft, rgt, Ref)", 3000, 64,
+       JoinStrategy::kMerge, 1, 2, {}, {}, 0},
+  };
+
+  std::string json = "{\n  \"benchmark\": \"join\",\n  \"workloads\": [\n";
+  bool first = true;
+  for (Workload& w : workloads) {
+    auto db = MakeJoinDb(w.tuples, w.value_space, /*seed=*/1);
+    w.product = RunStrategy(db, w.hrql, JoinStrategy::kNestedLoop,
+                            w.product_iterations);
+    w.strategy = RunStrategy(db, w.hrql, w.optimized,
+                             w.optimized_iterations);
+    w.speedup = w.product.ops_per_sec > 0
+                    ? w.strategy.ops_per_sec / w.product.ops_per_sec
+                    : 0;
+
+    std::printf(
+        "%-24s %6zu x %-6zu | product %9.2f ops/s (%10zu pairs) | "
+        "%-5s %9.2f ops/s (%9zu pairs, peak %6zu) | %.2fx\n",
+        w.name.c_str(), w.tuples, w.tuples, w.product.ops_per_sec,
+        w.product.pairs_tested,
+        std::string(query::JoinStrategyName(w.optimized)).c_str(),
+        w.strategy.ops_per_sec, w.strategy.pairs_tested,
+        w.strategy.peak_intermediate, w.speedup);
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\n      \"name\": \"" + w.name + "\",\n";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "      \"tuples\": %zu,\n      \"value_space\": %lld,\n"
+                  "      \"strategy\": \"%s\",\n",
+                  w.tuples, static_cast<long long>(w.value_space),
+                  std::string(query::JoinStrategyName(w.optimized)).c_str());
+    json += buf;
+    AppendPathJson(&json, "product", w.product);
+    json += ",\n";
+    AppendPathJson(&json, "optimized", w.strategy);
+    std::snprintf(buf, sizeof(buf), ",\n      \"speedup\": %.3f\n    }",
+                  w.speedup);
+    json += buf;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_join.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_join.json\n");
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_join.json\n");
+  return 0;
+}

@@ -1,49 +1,108 @@
 #include "algebra/join.h"
 
-#include "algebra/setops.h"
-
+#include <cstring>
 #include <vector>
+
+#include "algebra/setops.h"
 
 namespace hrdm {
 
 namespace {
 
-/// Builds the concatenated tuple (left values then right-only values, in
-/// result-scheme order) restricted to lifespan `l`. `right_src[i]` maps
-/// result attribute i to an index in t2 (or npos for left attributes).
-Tuple ConcatRestricted(const SchemePtr& scheme, const Tuple& t1,
-                       const Tuple& t2, const std::vector<size_t>& left_src,
-                       const std::vector<size_t>& right_src,
-                       const Lifespan& l) {
-  constexpr size_t kNone = static_cast<size_t>(-1);
-  std::vector<TemporalValue> values;
-  values.reserve(scheme->arity());
-  for (size_t i = 0; i < scheme->arity(); ++i) {
-    const TemporalValue& src = left_src[i] != kNone ? t1.value(left_src[i])
-                                                    : t2.value(right_src[i]);
-    values.push_back(src.Restrict(l));
-  }
-  return Tuple::FromParts(scheme, l, std::move(values));
-}
+constexpr size_t kNone = static_cast<size_t>(-1);
 
-/// Computes the attribute source maps for a JoinScheme of r1 and r2.
-void BuildSourceMaps(const SchemePtr& scheme, const RelationScheme& s1,
-                     const RelationScheme& s2, std::vector<size_t>* left_src,
-                     std::vector<size_t>* right_src) {
-  constexpr size_t kNone = static_cast<size_t>(-1);
-  left_src->assign(scheme->arity(), kNone);
-  right_src->assign(scheme->arity(), kNone);
-  for (size_t i = 0; i < scheme->arity(); ++i) {
-    const std::string& name = scheme->attribute(i).name;
+}  // namespace
+
+// --- JoinAssembly ------------------------------------------------------------
+
+JoinAssembly::JoinAssembly(SchemePtr scheme, const RelationScheme& s1,
+                           const RelationScheme& s2)
+    : scheme_(std::move(scheme)) {
+  left_src_.assign(scheme_->arity(), kNone);
+  right_src_.assign(scheme_->arity(), kNone);
+  for (size_t i = 0; i < scheme_->arity(); ++i) {
+    const std::string& name = scheme_->attribute(i).name;
     if (auto idx = s1.IndexOf(name)) {
-      (*left_src)[i] = *idx;
+      left_src_[i] = *idx;
     } else if (auto idx2 = s2.IndexOf(name)) {
-      (*right_src)[i] = *idx2;
+      right_src_[i] = *idx2;
     }
   }
 }
 
-}  // namespace
+Tuple JoinAssembly::Assemble(const Tuple& t1, const Tuple& t2,
+                             const Lifespan& l) const {
+  std::vector<TemporalValue> values;
+  values.reserve(scheme_->arity());
+  for (size_t i = 0; i < scheme_->arity(); ++i) {
+    const TemporalValue& src = left_src_[i] != kNone
+                                   ? t1.value(left_src_[i])
+                                   : t2.value(right_src_[i]);
+    values.push_back(src.Restrict(l));
+  }
+  return Tuple::FromParts(scheme_, l, std::move(values));
+}
+
+// --- per-pair lifespan kernels -----------------------------------------------
+
+Result<Lifespan> ThetaJoinPairLifespan(const Tuple& t1, size_t attr_a,
+                                       CompareOp op, const Tuple& t2,
+                                       size_t attr_b) {
+  // t.l = { s | t_r1(A)(s) θ t_r2(B)(s) } — where both are defined and the
+  // comparison holds.
+  return t1.value(attr_a).TimesWhereMatches(op, t2.value(attr_b));
+}
+
+Lifespan NaturalJoinPairLifespan(
+    const Tuple& t1, const Tuple& t2,
+    const std::vector<std::pair<size_t, size_t>>& shared) {
+  // Chronons where every shared attribute agrees (model level); with no
+  // shared attributes, the common lifespan t1.l ∩ t2.l.
+  Lifespan l = t1.lifespan().Intersect(t2.lifespan());
+  for (const auto& [i, j] : shared) {
+    if (l.empty()) break;
+    l = l.Intersect(t1.value(i).AgreementWith(t2.value(j)));
+  }
+  return l;
+}
+
+Result<Lifespan> TimeJoinPairLifespan(const Tuple& t1, size_t attr_a,
+                                      const Tuple& t2) {
+  // Join of the dynamic TIME-SLICEs: both sides restricted to the image of
+  // t1(A), over their common lifespan.
+  HRDM_ASSIGN_OR_RETURN(Lifespan image, t1.value(attr_a).TimeImage());
+  return image.Intersect(t1.lifespan()).Intersect(t2.lifespan());
+}
+
+std::vector<std::pair<size_t, size_t>> SharedAttributes(
+    const RelationScheme& s1, const RelationScheme& s2) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t j = 0; j < s2.arity(); ++j) {
+    if (auto i = s1.IndexOf(s2.attribute(j).name)) {
+      shared.emplace_back(*i, j);
+    }
+  }
+  return shared;
+}
+
+uint64_t JoinKeyDigest(const Value& v) {
+  if (v.absent()) return 0x9e3779b97f4a7c15ULL;
+  // kInt and kDouble inter-compare numerically (Compare), so both digest
+  // through the double view; +0.0/-0.0 compare equal and are normalized.
+  // Digest collisions are harmless (the exact kernel re-checks), digest
+  // *misses* between Compare-equal values would lose matches — hence the
+  // shared numeric path.
+  if (v.IsType(DomainType::kInt) || v.IsType(DomainType::kDouble)) {
+    double d = v.AsNumeric();
+    if (d == 0.0) d = 0.0;  // collapse -0.0
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits * 0xff51afd7ed558ccdULL ^ 0x2545f4914f6cdd1dULL;
+  }
+  return v.Hash();
+}
+
+// --- schemes -----------------------------------------------------------------
 
 Result<SchemePtr> ThetaJoinScheme(const SchemePtr& s1, std::string_view attr_a,
                                   const SchemePtr& s2, std::string_view attr_b,
@@ -73,6 +132,8 @@ Result<SchemePtr> TimeJoinScheme(const SchemePtr& s1, std::string_view attr_a,
   return RelationScheme::JoinScheme(std::move(result_name), *s1, *s2);
 }
 
+// --- whole-relation joins ----------------------------------------------------
+
 Result<Relation> ThetaJoin(const Relation& r1, std::string_view attr_a,
                            CompareOp op, const Relation& r2,
                            std::string_view attr_b, std::string result_name) {
@@ -82,22 +143,17 @@ Result<Relation> ThetaJoin(const Relation& r1, std::string_view attr_a,
                       std::move(result_name)));
   HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
   HRDM_ASSIGN_OR_RETURN(size_t ib, r2.scheme()->RequireIndex(attr_b));
-  std::vector<size_t> left_src, right_src;
-  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+  const JoinAssembly assembly(scheme, *r1.scheme(), *r2.scheme());
 
   HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
   HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
   Relation out(scheme);
   for (const Tuple& t1 : m1) {
-    const TemporalValue& va = t1.value(ia);
     for (const Tuple& t2 : m2) {
-      const TemporalValue& vb = t2.value(ib);
-      // t.l = { s | t_r1(A)(s) θ t_r2(B)(s) } — where both are defined and
-      // the comparison holds.
-      HRDM_ASSIGN_OR_RETURN(Lifespan l, va.TimesWhereMatches(op, vb));
+      HRDM_ASSIGN_OR_RETURN(Lifespan l,
+                            ThetaJoinPairLifespan(t1, ia, op, t2, ib));
       if (l.empty()) continue;
-      HRDM_RETURN_IF_ERROR(out.InsertDedup(
-          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(assembly.Assemble(t1, t2, l)));
     }
   }
   out.set_materialized(true);
@@ -114,33 +170,21 @@ Result<Relation> EquiJoin(const Relation& r1, std::string_view attr_a,
 Result<Relation> NaturalJoin(const Relation& r1, const Relation& r2,
                              std::string result_name) {
   // Shared attribute names X (checked for equal domains by JoinScheme).
-  std::vector<std::pair<size_t, size_t>> shared;  // (idx in r1, idx in r2)
-  for (size_t j = 0; j < r2.scheme()->arity(); ++j) {
-    if (auto i = r1.scheme()->IndexOf(r2.scheme()->attribute(j).name)) {
-      shared.emplace_back(*i, j);
-    }
-  }
+  const std::vector<std::pair<size_t, size_t>> shared =
+      SharedAttributes(*r1.scheme(), *r2.scheme());
   HRDM_ASSIGN_OR_RETURN(
       SchemePtr scheme,
       NaturalJoinScheme(r1.scheme(), r2.scheme(), std::move(result_name)));
-  std::vector<size_t> left_src, right_src;
-  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+  const JoinAssembly assembly(scheme, *r1.scheme(), *r2.scheme());
 
   HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
   HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
   Relation out(scheme);
   for (const Tuple& t1 : m1) {
     for (const Tuple& t2 : m2) {
-      // Chronons where every shared attribute agrees (model level); with no
-      // shared attributes, the common lifespan t1.l ∩ t2.l.
-      Lifespan l = t1.lifespan().Intersect(t2.lifespan());
-      for (const auto& [i, j] : shared) {
-        if (l.empty()) break;
-        l = l.Intersect(t1.value(i).AgreementWith(t2.value(j)));
-      }
+      Lifespan l = NaturalJoinPairLifespan(t1, t2, shared);
       if (l.empty()) continue;
-      HRDM_RETURN_IF_ERROR(out.InsertDedup(
-          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(assembly.Assemble(t1, t2, l)));
     }
   }
   out.set_materialized(true);
@@ -154,21 +198,16 @@ Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
       TimeJoinScheme(r1.scheme(), attr_a, r2.scheme(),
                      std::move(result_name)));
   HRDM_ASSIGN_OR_RETURN(size_t ia, r1.scheme()->RequireIndex(attr_a));
-  std::vector<size_t> left_src, right_src;
-  BuildSourceMaps(scheme, *r1.scheme(), *r2.scheme(), &left_src, &right_src);
+  const JoinAssembly assembly(scheme, *r1.scheme(), *r2.scheme());
 
   HRDM_ASSIGN_OR_RETURN(Relation m1, MaterializeRelation(r1));
   HRDM_ASSIGN_OR_RETURN(Relation m2, MaterializeRelation(r2));
   Relation out(scheme);
   for (const Tuple& t1 : m1) {
-    HRDM_ASSIGN_OR_RETURN(Lifespan image, t1.value(ia).TimeImage());
     for (const Tuple& t2 : m2) {
-      // Join of the dynamic TIME-SLICEs: both sides restricted to the image
-      // of t1(A), over their common lifespan.
-      Lifespan l = image.Intersect(t1.lifespan()).Intersect(t2.lifespan());
+      HRDM_ASSIGN_OR_RETURN(Lifespan l, TimeJoinPairLifespan(t1, ia, t2));
       if (l.empty()) continue;
-      HRDM_RETURN_IF_ERROR(out.InsertDedup(
-          ConcatRestricted(scheme, t1, t2, left_src, right_src, l)));
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(assembly.Assemble(t1, t2, l)));
     }
   }
   out.set_materialized(true);

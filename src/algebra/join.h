@@ -29,8 +29,11 @@
 ///    pair, both tuples are restricted to `L = image(t1(A))`, joined over
 ///    the common remaining lifespan `t1.l ∩ L ∩ t2.l`.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/relation.h"
 #include "core/value.h"
@@ -80,6 +83,69 @@ Result<SchemePtr> NaturalJoinScheme(const SchemePtr& s1, const SchemePtr& s2,
 Result<SchemePtr> TimeJoinScheme(const SchemePtr& s1, std::string_view attr_a,
                                  const SchemePtr& s2,
                                  std::string result_name = "timejoin_result");
+
+// --- joined-tuple assembly kernel --------------------------------------------
+//
+// One implementation of the paper's joined-tuple semantics, shared by the
+// whole-relation joins above and every physical join cursor in
+// query/plan.h: given a pair (t1, t2) and the lifespan over which the join
+// condition holds, the joined tuple is the concatenation of the operands'
+// attributes (in result-scheme order, shared attributes once) with every
+// value restricted to that lifespan — "and thus no nulls result".
+
+/// \brief Precomputed attribute source maps from a join result scheme back
+/// into the two operand schemes, plus the assembly step itself.
+class JoinAssembly {
+ public:
+  /// \brief Maps each result attribute to its source column in `s1`
+  /// (preferred, covers shared natural-join attributes) or `s2`.
+  JoinAssembly(SchemePtr scheme, const RelationScheme& s1,
+               const RelationScheme& s2);
+
+  const SchemePtr& scheme() const { return scheme_; }
+
+  /// \brief The joined tuple of (t1, t2) restricted to lifespan `l`
+  /// (which must be the chronons where the join condition holds).
+  Tuple Assemble(const Tuple& t1, const Tuple& t2, const Lifespan& l) const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<size_t> left_src_;   // result attr -> index in t1, or npos
+  std::vector<size_t> right_src_;  // result attr -> index in t2, or npos
+};
+
+// --- per-pair lifespan kernels -----------------------------------------------
+
+/// \brief θ-JOIN: `{ s | t1(A)(s) θ t2(B)(s) }` — where both functions are
+/// defined and the comparison holds. Comparison type errors propagate.
+Result<Lifespan> ThetaJoinPairLifespan(const Tuple& t1, size_t attr_a,
+                                       CompareOp op, const Tuple& t2,
+                                       size_t attr_b);
+
+/// \brief NATURAL-JOIN: the chronons of `t1.l ∩ t2.l` where every shared
+/// attribute pair agrees; with no shared attributes, the common lifespan
+/// (the degenerate-product case).
+Lifespan NaturalJoinPairLifespan(
+    const Tuple& t1, const Tuple& t2,
+    const std::vector<std::pair<size_t, size_t>>& shared);
+
+/// \brief TIME-JOIN: `image(t1(A)) ∩ t1.l ∩ t2.l` — the join of the dynamic
+/// TIME-SLICEs of both sides. Errors if `attr_a` is not time-valued.
+Result<Lifespan> TimeJoinPairLifespan(const Tuple& t1, size_t attr_a,
+                                      const Tuple& t2);
+
+/// \brief The attribute-name intersection of two schemes, as index pairs
+/// `(index in s1, index in s2)` — the NATURAL-JOIN equality columns.
+std::vector<std::pair<size_t, size_t>> SharedAttributes(
+    const RelationScheme& s1, const RelationScheme& s2);
+
+/// \brief Equality digest of a join value: any two values that can satisfy
+/// `v = w` under `Compare` produce the same digest (kInt/kDouble are
+/// digested through their common numeric view, so `5 = 5.0` collides as it
+/// must). Digest equality does NOT imply value equality — callers always
+/// re-check with the exact per-pair kernel. Absent values digest to a fixed
+/// sentinel (they can never match, and the exact check drops them).
+uint64_t JoinKeyDigest(const Value& v);
 
 }  // namespace hrdm
 

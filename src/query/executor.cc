@@ -15,7 +15,18 @@ Resolver DatabaseResolver(const storage::Database& db) {
   return [&db](std::string_view name) { return db.Get(name); };
 }
 
-Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
+CardinalityFn CatalogCardinality(const storage::Catalog& catalog) {
+  return [&catalog](std::string_view name) -> std::optional<size_t> {
+    auto stats = catalog.Stats(name);
+    if (!stats) return std::nullopt;
+    return stats->tuple_count;
+  };
+}
+
+namespace {
+
+Result<Relation> EvalStreaming(const ExprPtr& expr, const Resolver& resolver,
+                               const PlanOptions& options) {
   if (!expr) return Status::InvalidArgument("null expression");
   if (expr->kind == ExprKind::kRelationRef) {
     // A bare reference is the stored relation itself, unmaterialized —
@@ -24,12 +35,22 @@ Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
     HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
     return *rel;
   }
-  HRDM_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(expr, resolver));
+  HRDM_ASSIGN_OR_RETURN(Plan plan, Plan::Lower(expr, resolver, options));
   return plan.Drain();
 }
 
+}  // namespace
+
+Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
+  // No catalog in sight: the planner falls back to exact stored sizes
+  // through the resolver for its join-strategy cardinalities.
+  return EvalStreaming(expr, resolver, PlanOptions{});
+}
+
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db) {
-  return Eval(expr, DatabaseResolver(db));
+  PlanOptions options;
+  options.cardinality = CatalogCardinality(db.catalog());
+  return EvalStreaming(expr, DatabaseResolver(db), options);
 }
 
 namespace {

@@ -29,6 +29,7 @@
 
 #include "core/relation.h"
 #include "query/ast.h"
+#include "query/optimizer.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -39,6 +40,11 @@ using Resolver = std::function<Result<const Relation*>(std::string_view)>;
 
 /// \brief Wraps a Database as a Resolver.
 Resolver DatabaseResolver(const storage::Database& db);
+
+/// \brief Cardinality source reading the catalog's relation stats — feeds
+/// the optimizer's join-strategy chooser when evaluating against a
+/// Database. The catalog must outlive the returned function.
+CardinalityFn CatalogCardinality(const storage::Catalog& catalog);
 
 /// \brief Counters for the materializing interpreter (the baseline the
 /// plan layer's PlanStats is compared against).

@@ -1,6 +1,135 @@
 #include "query/optimizer.h"
 
+#include <algorithm>
+
+#include "algebra/join.h"
+
 namespace hrdm::query {
+
+namespace {
+
+/// Estimate used for base relations the cardinality source does not know.
+constexpr size_t kDefaultCardinality = 64;
+
+/// Saturating product (cardinality estimates must not overflow).
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > static_cast<size_t>(-1) / b) return static_cast<size_t>(-1);
+  return a * b;
+}
+
+/// True if values of the two domains can ever satisfy `=` under Compare:
+/// same type, or both numeric (kInt/kDouble inter-compare). This is the
+/// hash-join eligibility test — incomparable domains keep the nested-loop
+/// strategy so the per-pair type error surfaces exactly as in the
+/// whole-relation operator.
+bool EqComparable(DomainType a, DomainType b) {
+  auto numeric = [](DomainType t) {
+    return t == DomainType::kInt || t == DomainType::kDouble;
+  };
+  return a == b || (numeric(a) && numeric(b));
+}
+
+}  // namespace
+
+std::string_view JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kNestedLoop:
+      return "nested_loop";
+    case JoinStrategy::kHash:
+      return "hash";
+    case JoinStrategy::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+size_t EstimateCardinality(const ExprPtr& expr, const CardinalityFn& card) {
+  if (!expr) return 0;
+  switch (expr->kind) {
+    case ExprKind::kRelationRef: {
+      if (card) {
+        if (auto n = card(expr->relation)) return *n;
+      }
+      return kDefaultCardinality;
+    }
+    case ExprKind::kSelectIf:
+    case ExprKind::kSelectWhen:
+      // Filters keep roughly half their input (classic rule of thumb).
+      return EstimateCardinality(expr->left, card) / 2;
+    case ExprKind::kProject:
+    case ExprKind::kTimeSlice:
+    case ExprKind::kDynSlice:
+      return EstimateCardinality(expr->left, card);
+    case ExprKind::kUnion:
+    case ExprKind::kUnionO:
+      return EstimateCardinality(expr->left, card) +
+             EstimateCardinality(expr->right, card);
+    case ExprKind::kIntersect:
+    case ExprKind::kIntersectO:
+      return std::min(EstimateCardinality(expr->left, card),
+                      EstimateCardinality(expr->right, card));
+    case ExprKind::kDifference:
+    case ExprKind::kDifferenceO:
+      return EstimateCardinality(expr->left, card);
+    case ExprKind::kProduct:
+      return SatMul(EstimateCardinality(expr->left, card),
+                    EstimateCardinality(expr->right, card));
+    case ExprKind::kThetaJoin: {
+      const size_t l = EstimateCardinality(expr->left, card);
+      const size_t r = EstimateCardinality(expr->right, card);
+      // Equality is selective (≈ one partner per tuple); inequalities pass
+      // about half the pair space.
+      return expr->op == CompareOp::kEq ? std::max(l, r) : SatMul(l, r) / 2;
+    }
+    case ExprKind::kNaturalJoin:
+      return std::max(EstimateCardinality(expr->left, card),
+                      EstimateCardinality(expr->right, card));
+    case ExprKind::kTimeJoin:
+      return std::max(EstimateCardinality(expr->left, card),
+                      EstimateCardinality(expr->right, card));
+  }
+  return kDefaultCardinality;
+}
+
+JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
+                              const RelationScheme& right,
+                              const CardinalityFn& card) {
+  JoinChoice choice;
+  choice.est_left = EstimateCardinality(join.left, card);
+  choice.est_right = EstimateCardinality(join.right, card);
+  switch (join.kind) {
+    case ExprKind::kThetaJoin: {
+      // Equi-pattern detection: θ is "=" and the two domains can actually
+      // compare equal (otherwise nested loop keeps error behavior).
+      if (join.op != CompareOp::kEq) break;
+      auto ia = left.IndexOf(join.attr_a);
+      auto ib = right.IndexOf(join.attr_b);
+      if (!ia || !ib) break;  // lowering rejects this before execution
+      if (!EqComparable(left.attribute(*ia).type,
+                        right.attribute(*ib).type)) {
+        break;
+      }
+      choice.strategy = JoinStrategy::kHash;
+      choice.build_left = choice.est_left < choice.est_right;
+      break;
+    }
+    case ExprKind::kNaturalJoin: {
+      // Equality on every shared attribute; with none, the join degenerates
+      // to a product over the common lifespan — nested loop.
+      if (SharedAttributes(left, right).empty()) break;
+      choice.strategy = JoinStrategy::kHash;
+      choice.build_left = choice.est_left < choice.est_right;
+      break;
+    }
+    case ExprKind::kTimeJoin:
+      choice.strategy = JoinStrategy::kMerge;
+      break;
+    default:
+      break;
+  }
+  return choice;
+}
 
 namespace {
 

@@ -38,6 +38,12 @@
 /// whole tuples and distributes over all three. The test suite demonstrates
 /// the ∪-only distribution with counterexamples for −.
 
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "core/schema.h"
 #include "query/ast.h"
 
 namespace hrdm::query {
@@ -47,6 +53,65 @@ struct OptimizerStats {
   int rules_applied = 0;
   int passes = 0;
 };
+
+// --- join strategy selection -------------------------------------------------
+//
+// Beyond tree rewrites, the optimizer picks a *physical* strategy for every
+// JOIN node when the tree is lowered to a cursor plan (query/plan.h):
+//
+//  * kNestedLoop — pairwise θ-evaluation streaming the left input against a
+//    buffered right input. Always correct; O(|l|·|r|) pair checks.
+//  * kHash — for equality patterns (EQUIJOIN, NATURAL-JOIN with shared
+//    attributes): the smaller (build) side is partitioned by a
+//    time-invariant digest of its join attribute values, the other side
+//    probes. Tuples whose join attribute varies over their lifespan fall
+//    back to per-pair probing, so the strategy is exact, not approximate.
+//  * kMerge — for TIME-JOIN: both sides sorted by the start of their
+//    effective chronon span; a frontier sweep only tests pairs whose spans
+//    can overlap.
+//
+// The choice is driven by equi-pattern detection on the AST node, domain
+// comparability from the operand schemes, and cardinality estimates (from
+// the storage catalog's relation stats when available).
+
+/// \brief Physical join strategies the planner can select.
+enum class JoinStrategy : uint8_t {
+  kNestedLoop,
+  kHash,
+  kMerge,
+};
+
+std::string_view JoinStrategyName(JoinStrategy s);
+
+/// \brief Base-relation cardinality source (typically the catalog's
+/// relation stats); nullopt when the relation is unknown to the source.
+using CardinalityFn =
+    std::function<std::optional<size_t>(std::string_view relation)>;
+
+/// \brief One JOIN node's physical plan decision.
+struct JoinChoice {
+  JoinStrategy strategy = JoinStrategy::kNestedLoop;
+  /// Hash only: drain the *left* input into the hash table (chosen when its
+  /// estimated cardinality is smaller); otherwise the right input builds.
+  bool build_left = false;
+  /// The input-cardinality estimates the decision was based on.
+  size_t est_left = 0;
+  size_t est_right = 0;
+};
+
+/// \brief Rough output-cardinality estimate for a query subtree. Base
+/// relations come from `card` (unknown relations estimate at a default);
+/// operators apply simple selectivity rules (filters halve, unions add,
+/// joins multiply with an equality discount). Only the *relative order* of
+/// estimates matters — they pick hash build sides, nothing else.
+size_t EstimateCardinality(const ExprPtr& expr, const CardinalityFn& card);
+
+/// \brief Selects the physical strategy for one JOIN node (kThetaJoin,
+/// kNaturalJoin or kTimeJoin) whose operand schemes are known.
+/// Non-join nodes get kNestedLoop trivially.
+JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
+                              const RelationScheme& right,
+                              const CardinalityFn& card);
 
 /// \brief Applies the rewrite rules to a fixpoint (bounded) and returns the
 /// rewritten tree. `stats`, if non-null, receives counters.

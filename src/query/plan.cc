@@ -1,5 +1,6 @@
 #include "query/plan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "algebra/join.h"
@@ -34,14 +35,16 @@ Result<Relation> DrainCursor(Cursor* cursor) {
 /// intermediate materializations — the materializing interpreter counts
 /// them too).
 Result<Lifespan> EvalWindow(const LsExprPtr& expr,
-                            const PlanResolver& resolver, PlanStats* stats) {
+                            const PlanResolver& resolver, PlanStats* stats,
+                            const PlanOptions& options) {
   if (!expr) return Status::InvalidArgument("null lifespan expression");
   switch (expr->kind) {
     case LsExprKind::kLiteral:
       return expr->literal;
     case LsExprKind::kWhen: {
-      HRDM_ASSIGN_OR_RETURN(CursorPtr cursor,
-                            LowerExpr(expr->relation, resolver, stats));
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr cursor,
+          LowerExpr(expr->relation, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(Relation rel, DrainCursor(cursor.get()));
       stats->OnBuffer(rel.size());
       Lifespan ls = rel.LS();  // Ω(r) = LS(r), §4.5
@@ -52,9 +55,9 @@ Result<Lifespan> EvalWindow(const LsExprPtr& expr,
     case LsExprKind::kIntersect:
     case LsExprKind::kDifference: {
       HRDM_ASSIGN_OR_RETURN(Lifespan l,
-                            EvalWindow(expr->left, resolver, stats));
+                            EvalWindow(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(Lifespan r,
-                            EvalWindow(expr->right, resolver, stats));
+                            EvalWindow(expr->right, resolver, stats, options));
       switch (expr->kind) {
         case LsExprKind::kUnion:
           return l.Union(r);
@@ -66,6 +69,43 @@ Result<Lifespan> EvalWindow(const LsExprPtr& expr,
     }
   }
   return Status::Internal("unhandled lifespan expression kind");
+}
+
+/// The optimizer's strategy choice for one JOIN node, with the forced
+/// override (differential tests) applied — a forced strategy the node is
+/// not eligible for falls back to nested loop rather than mis-executing.
+JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
+                             const RelationScheme& rs,
+                             const PlanResolver& resolver,
+                             const PlanOptions& options) {
+  CardinalityFn card = options.cardinality;
+  if (!card) {
+    // Exact stored sizes through the resolver (the no-catalog default).
+    card = [&resolver](std::string_view name) -> std::optional<size_t> {
+      auto rel = resolver(name);
+      if (!rel.ok()) return std::nullopt;
+      return (*rel)->size();
+    };
+  }
+  JoinChoice choice = ChooseJoinStrategy(e, ls, rs, card);
+  if (options.force_join_strategy) {
+    switch (*options.force_join_strategy) {
+      case JoinStrategy::kNestedLoop:
+        choice.strategy = JoinStrategy::kNestedLoop;
+        break;
+      case JoinStrategy::kHash:
+        if (choice.strategy != JoinStrategy::kHash) {
+          choice.strategy = JoinStrategy::kNestedLoop;
+        }
+        break;
+      case JoinStrategy::kMerge:
+        choice.strategy = e.kind == ExprKind::kTimeJoin
+                              ? JoinStrategy::kMerge
+                              : JoinStrategy::kNestedLoop;
+        break;
+    }
+  }
+  return choice;
 }
 
 }  // namespace
@@ -214,6 +254,263 @@ Result<TuplePtr> ProductJoinCursor::Next() {
   }
 }
 
+// --- NestedLoopJoinCursor ----------------------------------------------------
+
+NestedLoopJoinCursor::NestedLoopJoinCursor(CursorPtr left, CursorPtr right,
+                                           JoinAssembly assembly,
+                                           JoinPairFn pair, PlanStats* stats)
+    : Cursor(assembly.scheme(), stats),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      assembly_(std::move(assembly)),
+      pair_(std::move(pair)) {
+  ++stats_->joins_nested_loop;
+}
+
+NestedLoopJoinCursor::~NestedLoopJoinCursor() {
+  stats_->OnRelease(right_buffer_.size());
+}
+
+Result<TuplePtr> NestedLoopJoinCursor::Next() {
+  if (!primed_) {
+    primed_ = true;
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, right_->Next());
+      if (!t) break;
+      right_buffer_.push_back(std::move(t));
+      stats_->OnBuffer(1);
+    }
+  }
+  if (right_buffer_.empty()) {
+    // The join is empty, but the left side must still be evaluated so its
+    // runtime errors surface exactly as in the materializing path (which
+    // evaluates both operands before applying the operator).
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, left_->Next());
+      if (!t) return TuplePtr();
+    }
+  }
+  while (true) {
+    if (!current_left_ || right_pos_ >= right_buffer_.size()) {
+      HRDM_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_) return TuplePtr();
+      right_pos_ = 0;
+    }
+    const Tuple& t2 = *right_buffer_[right_pos_++];
+    ++stats_->join_pairs_tested;
+    HRDM_ASSIGN_OR_RETURN(Lifespan l, pair_(*current_left_, t2));
+    if (l.empty()) continue;
+    return std::make_shared<const Tuple>(
+        assembly_.Assemble(*current_left_, t2, l));
+  }
+}
+
+// --- HashEquiJoinCursor ------------------------------------------------------
+
+HashEquiJoinCursor::HashEquiJoinCursor(
+    CursorPtr left, CursorPtr right, bool build_left,
+    std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
+    JoinPairFn pair, PlanStats* stats)
+    : Cursor(assembly.scheme(), stats),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      build_left_(build_left),
+      key_attrs_(std::move(key_attrs)),
+      assembly_(std::move(assembly)),
+      pair_(std::move(pair)) {
+  ++stats_->joins_hash;
+}
+
+HashEquiJoinCursor::~HashEquiJoinCursor() {
+  stats_->OnRelease(build_.size());
+}
+
+std::optional<uint64_t> HashEquiJoinCursor::DigestOf(const Tuple& t,
+                                                     bool left_side) const {
+  // A tuple's join columns digest time-invariantly only if every one is a
+  // constant function over its lifespan (the paper's CD membership). Mixed
+  // digests combine per-column digests order-sensitively.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [la, ra] : key_attrs_) {
+    const TemporalValue& v = t.value(left_side ? la : ra);
+    if (!v.IsConstant()) return std::nullopt;
+    h = (h ^ JoinKeyDigest(v.ConstantValue())) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status HashEquiJoinCursor::Prime() {
+  primed_ = true;
+  Cursor* build_child = build_left_ ? left_.get() : right_.get();
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
+    if (!t) break;
+    const size_t idx = build_.size();
+    if (auto digest = DigestOf(*t, build_left_)) {
+      buckets_[*digest].push_back(idx);
+    } else {
+      varying_.push_back(idx);
+    }
+    build_.push_back(std::move(t));
+    stats_->OnBuffer(1);
+  }
+  return Status::OK();
+}
+
+Result<TuplePtr> HashEquiJoinCursor::TryPair(size_t build_idx) {
+  const Tuple& b = *build_[build_idx];
+  const Tuple& t1 = build_left_ ? b : *probe_;
+  const Tuple& t2 = build_left_ ? *probe_ : b;
+  ++stats_->join_pairs_tested;
+  HRDM_ASSIGN_OR_RETURN(Lifespan l, pair_(t1, t2));
+  if (l.empty()) return TuplePtr();
+  return std::make_shared<const Tuple>(assembly_.Assemble(t1, t2, l));
+}
+
+Result<TuplePtr> HashEquiJoinCursor::Next() {
+  if (!primed_) {
+    HRDM_RETURN_IF_ERROR(Prime());
+  }
+  Cursor* probe_child = build_left_ ? right_.get() : left_.get();
+  if (build_.empty()) {
+    // Evaluate the probe side anyway for error parity with the
+    // materializing path.
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, probe_child->Next());
+      if (!t) return TuplePtr();
+    }
+  }
+  while (true) {
+    if (!probe_) {
+      HRDM_ASSIGN_OR_RETURN(probe_, probe_child->Next());
+      if (!probe_) return TuplePtr();
+      bucket_ = nullptr;
+      bucket_pos_ = 0;
+      in_varying_ = false;
+      scan_all_ = false;
+      scan_pos_ = 0;
+      if (auto digest = DigestOf(*probe_, !build_left_)) {
+        auto it = buckets_.find(*digest);
+        if (it != buckets_.end()) bucket_ = &it->second;
+      } else {
+        // The probe tuple's join value varies over its lifespan: it may
+        // match any partition at some chronon, so test every build tuple.
+        scan_all_ = true;
+      }
+    }
+    if (scan_all_) {
+      while (scan_pos_ < build_.size()) {
+        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair(scan_pos_++));
+        if (out) return out;
+      }
+    } else {
+      // Digest-matching partition first, then the varying build tuples
+      // (which may match anything at some chronon).
+      while (bucket_ && bucket_pos_ < bucket_->size()) {
+        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair((*bucket_)[bucket_pos_++]));
+        if (out) return out;
+      }
+      if (!in_varying_) {
+        in_varying_ = true;
+        scan_pos_ = 0;
+      }
+      while (scan_pos_ < varying_.size()) {
+        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair(varying_[scan_pos_++]));
+        if (out) return out;
+      }
+    }
+    probe_.reset();  // exhausted candidates; pull the next probe tuple
+  }
+}
+
+// --- MergeTimeJoinCursor -----------------------------------------------------
+
+MergeTimeJoinCursor::MergeTimeJoinCursor(CursorPtr left, CursorPtr right,
+                                         size_t attr_a, JoinAssembly assembly,
+                                         PlanStats* stats)
+    : Cursor(assembly.scheme(), stats),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      attr_a_(attr_a),
+      assembly_(std::move(assembly)) {
+  ++stats_->joins_merge;
+}
+
+MergeTimeJoinCursor::~MergeTimeJoinCursor() {
+  stats_->OnRelease(lefts_.size() + rights_.size());
+}
+
+Status MergeTimeJoinCursor::Prime() {
+  primed_ = true;
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, left_->Next());
+    if (!t) break;
+    // The joined lifespan is confined to image(t(A)) ∩ t.l; tuples whose
+    // effective span is empty can never join and are dropped here.
+    HRDM_ASSIGN_OR_RETURN(Lifespan image, t->value(attr_a_).TimeImage());
+    Lifespan effective = image.Intersect(t->lifespan());
+    if (effective.empty()) continue;
+    Entry e{std::move(t), std::move(effective), 0, 0};
+    e.begin = e.effective.Min();
+    e.end = e.effective.Max();
+    lefts_.push_back(std::move(e));
+    stats_->OnBuffer(1);
+  }
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, right_->Next());
+    if (!t) break;
+    Entry e{std::move(t), Lifespan(), 0, 0};
+    e.effective = e.tuple->lifespan();
+    if (e.effective.empty()) continue;
+    e.begin = e.effective.Min();
+    e.end = e.effective.Max();
+    rights_.push_back(std::move(e));
+    stats_->OnBuffer(1);
+  }
+  auto by_begin = [](const Entry& a, const Entry& b) {
+    return a.begin < b.begin;
+  };
+  std::stable_sort(lefts_.begin(), lefts_.end(), by_begin);
+  std::stable_sort(rights_.begin(), rights_.end(), by_begin);
+  return Status::OK();
+}
+
+Result<TuplePtr> MergeTimeJoinCursor::Next() {
+  if (!primed_) {
+    HRDM_RETURN_IF_ERROR(Prime());
+  }
+  while (li_ < lefts_.size()) {
+    Entry& L = lefts_[li_];
+    if (!left_open_) {
+      left_open_ = true;
+      // Advance the frontier: rights starting by L.end join the active
+      // set; actives ending before L.begin can never overlap this or any
+      // later left (left begins are non-decreasing) and retire for good.
+      while (next_right_ < rights_.size() &&
+             rights_[next_right_].begin <= L.end) {
+        active_.push_back(next_right_++);
+      }
+      std::erase_if(active_,
+                    [&](size_t r) { return rights_[r].end < L.begin; });
+      ai_ = 0;
+    }
+    while (ai_ < active_.size()) {
+      const Entry& R = rights_[active_[ai_++]];
+      // Extent check: actives were admitted against *some* left's end, not
+      // necessarily this one's.
+      if (R.begin > L.end || R.end < L.begin) continue;
+      ++stats_->join_pairs_tested;
+      Lifespan l = L.effective.Intersect(R.effective);
+      if (l.empty()) continue;
+      return std::make_shared<const Tuple>(
+          assembly_.Assemble(*L.tuple, *R.tuple, l));
+    }
+    ++li_;
+    left_open_ = false;
+  }
+  return TuplePtr();
+}
+
 // --- SetOpCursor -------------------------------------------------------------
 
 SetOpCursor::SetOpCursor(CursorPtr left, CursorPtr right,
@@ -265,6 +562,11 @@ Result<std::optional<Relation>> SetOpCursor::TakeBuffered() {
 
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                             PlanStats* stats) {
+  return LowerExpr(expr, resolver, stats, PlanOptions{});
+}
+
+Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
+                            PlanStats* stats, const PlanOptions& options) {
   if (!expr) return Status::InvalidArgument("null expression");
   switch (expr->kind) {
     case ExprKind::kRelationRef: {
@@ -274,11 +576,11 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
     }
     case ExprKind::kSelectIf: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       std::optional<Lifespan> window;
       if (expr->window) {
-        HRDM_ASSIGN_OR_RETURN(Lifespan w,
-                              EvalWindow(expr->window, resolver, stats));
+        HRDM_ASSIGN_OR_RETURN(
+            Lifespan w, EvalWindow(expr->window, resolver, stats, options));
         window = std::move(w);
       }
       return CursorPtr(new SelectIfCursor(std::move(child), *expr->predicate,
@@ -287,13 +589,13 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
     }
     case ExprKind::kSelectWhen: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       return CursorPtr(
           new SelectWhenCursor(std::move(child), *expr->predicate, stats));
     }
     case ExprKind::kProject: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr out_scheme,
                             child->scheme()->Project(expr->attrs));
       HRDM_ASSIGN_OR_RETURN(
@@ -305,24 +607,24 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
     }
     case ExprKind::kTimeSlice: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats));
-      HRDM_ASSIGN_OR_RETURN(Lifespan window,
-                            EvalWindow(expr->window, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
+      HRDM_ASSIGN_OR_RETURN(
+          Lifespan window, EvalWindow(expr->window, resolver, stats, options));
       return CursorPtr(
           new TimeSliceCursor(std::move(child), std::move(window), stats));
     }
     case ExprKind::kDynSlice: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(size_t idx,
                             DynSliceAttrIndex(*child->scheme(), expr->attr_a));
       return CursorPtr(new TimeSliceCursor(std::move(child), idx, stats));
     }
     case ExprKind::kProduct: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats));
+                            LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             ProductScheme(left->scheme(), right->scheme()));
       return CursorPtr(new ProductJoinCursor(std::move(left),
@@ -345,9 +647,9 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
         default:                     kind = SetOpKind::kDifferenceO; break;
       }
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats));
+                            LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(
           SchemePtr scheme,
           SetOpScheme(kind, left->scheme(), right->scheme()));
@@ -360,58 +662,99 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
     }
     case ExprKind::kThetaJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats));
+                            LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             ThetaJoinScheme(left->scheme(), expr->attr_a,
                                             right->scheme(), expr->attr_b));
-      return CursorPtr(new SetOpCursor(
-          std::move(left), std::move(right), std::move(scheme),
-          [a = expr->attr_a, op = expr->op, b = expr->attr_b](
-              const Relation& r1, const Relation& r2) {
-            return ThetaJoin(r1, a, op, r2, b);
-          },
-          stats));
+      HRDM_ASSIGN_OR_RETURN(size_t ia,
+                            left->scheme()->RequireIndex(expr->attr_a));
+      HRDM_ASSIGN_OR_RETURN(size_t ib,
+                            right->scheme()->RequireIndex(expr->attr_b));
+      JoinAssembly assembly(std::move(scheme), *left->scheme(),
+                            *right->scheme());
+      JoinPairFn pair = [ia, op = expr->op, ib](const Tuple& t1,
+                                                const Tuple& t2) {
+        return ThetaJoinPairLifespan(t1, ia, op, t2, ib);
+      };
+      const JoinChoice choice = ResolveJoinChoice(
+          *expr, *left->scheme(), *right->scheme(), resolver, options);
+      if (choice.strategy == JoinStrategy::kHash) {
+        return CursorPtr(new HashEquiJoinCursor(
+            std::move(left), std::move(right), choice.build_left,
+            {{ia, ib}}, std::move(assembly), std::move(pair), stats));
+      }
+      return CursorPtr(new NestedLoopJoinCursor(
+          std::move(left), std::move(right), std::move(assembly),
+          std::move(pair), stats));
     }
     case ExprKind::kNaturalJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats));
+                            LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(
           SchemePtr scheme,
           NaturalJoinScheme(left->scheme(), right->scheme()));
-      return CursorPtr(new SetOpCursor(
-          std::move(left), std::move(right), std::move(scheme),
-          [](const Relation& r1, const Relation& r2) {
-            return NaturalJoin(r1, r2);
-          },
-          stats));
+      std::vector<std::pair<size_t, size_t>> shared =
+          SharedAttributes(*left->scheme(), *right->scheme());
+      JoinAssembly assembly(std::move(scheme), *left->scheme(),
+                            *right->scheme());
+      JoinPairFn pair = [shared](const Tuple& t1,
+                                 const Tuple& t2) -> Result<Lifespan> {
+        return NaturalJoinPairLifespan(t1, t2, shared);
+      };
+      const JoinChoice choice = ResolveJoinChoice(
+          *expr, *left->scheme(), *right->scheme(), resolver, options);
+      if (choice.strategy == JoinStrategy::kHash) {
+        return CursorPtr(new HashEquiJoinCursor(
+            std::move(left), std::move(right), choice.build_left,
+            std::move(shared), std::move(assembly), std::move(pair), stats));
+      }
+      return CursorPtr(new NestedLoopJoinCursor(
+          std::move(left), std::move(right), std::move(assembly),
+          std::move(pair), stats));
     }
     case ExprKind::kTimeJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats));
+                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats));
+                            LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             TimeJoinScheme(left->scheme(), expr->attr_a,
                                            right->scheme()));
-      return CursorPtr(new SetOpCursor(
-          std::move(left), std::move(right), std::move(scheme),
-          [a = expr->attr_a](const Relation& r1, const Relation& r2) {
-            return TimeJoin(r1, a, r2);
-          },
-          stats));
+      HRDM_ASSIGN_OR_RETURN(size_t ia,
+                            left->scheme()->RequireIndex(expr->attr_a));
+      JoinAssembly assembly(std::move(scheme), *left->scheme(),
+                            *right->scheme());
+      const JoinChoice choice = ResolveJoinChoice(
+          *expr, *left->scheme(), *right->scheme(), resolver, options);
+      if (choice.strategy == JoinStrategy::kMerge) {
+        return CursorPtr(new MergeTimeJoinCursor(
+            std::move(left), std::move(right), ia, std::move(assembly),
+            stats));
+      }
+      JoinPairFn pair = [ia](const Tuple& t1, const Tuple& t2) {
+        return TimeJoinPairLifespan(t1, ia, t2);
+      };
+      return CursorPtr(new NestedLoopJoinCursor(
+          std::move(left), std::move(right), std::move(assembly),
+          std::move(pair), stats));
     }
   }
   return Status::Internal("unhandled expression kind");
 }
 
 Result<Plan> Plan::Lower(const ExprPtr& expr, const PlanResolver& resolver) {
+  return Lower(expr, resolver, PlanOptions{});
+}
+
+Result<Plan> Plan::Lower(const ExprPtr& expr, const PlanResolver& resolver,
+                         const PlanOptions& options) {
   auto stats = std::make_unique<PlanStats>();
   HRDM_ASSIGN_OR_RETURN(CursorPtr root,
-                        LowerExpr(expr, resolver, stats.get()));
+                        LowerExpr(expr, resolver, stats.get(), options));
   return Plan(std::move(stats), std::move(root));
 }
 

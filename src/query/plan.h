@@ -19,27 +19,44 @@
 ///
 /// Blocking operators buffer internally and account for every buffered
 /// tuple in `PlanStats`:
-///  * `SetOpCursor` — the set-theoretic/object-based operators and the
-///    θ-/natural/time joins need both whole inputs (structural/mergeable
-///    lookups, pairwise matching), so it drains both children, applies the
-///    whole-relation operator, and streams (or surrenders) the result;
+///  * `SetOpCursor` — the set-theoretic/object-based operators need both
+///    whole inputs (structural/mergeable lookups), so it drains both
+///    children, applies the whole-relation operator, and streams (or
+///    surrenders) the result;
 ///  * `ProductJoinCursor` — buffers only its *right* input and streams the
 ///    left, so `r × s` holds |s| tuples, not |r × s|.
 ///
+/// The JOIN family lowers to dedicated join cursors, all built on the
+/// shared assembly kernel of algebra/join.h and selected by the optimizer's
+/// `ChooseJoinStrategy` (equi-pattern detection + catalog cardinality):
+///  * `NestedLoopJoinCursor` — pairwise θ evaluation; buffers only the
+///    right input, streams the left (the fallback "product" strategy);
+///  * `HashEquiJoinCursor` — EQUIJOIN/NATURAL-JOIN: buffers only its
+///    *build* side, partitioned by a time-invariant digest of the join
+///    attribute values; build tuples whose join attribute varies over
+///    their lifespan are probed per pair, so results are exact;
+///  * `MergeTimeJoinCursor` — TIME-JOIN: buffers both sides sorted by
+///    effective-span start and sweeps a chronon-interval frontier so only
+///    pairs whose spans can overlap are tested.
+///
 /// `PlanStats::peak_buffered` is the peak intermediate tuple count: 0 for a
 /// fully streaming pipeline. tests/plan_test.cc asserts this, and
-/// bench/bench_executor.cc tracks it against the materializing interpreter.
+/// bench/bench_executor.cc and bench/bench_join.cc track it.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "algebra/join.h"
 #include "algebra/predicate.h"
 #include "algebra/setops.h"
 #include "core/relation.h"
 #include "query/ast.h"
+#include "query/optimizer.h"
 #include "util/status.h"
 
 namespace hrdm::query {
@@ -59,6 +76,14 @@ struct PlanStats {
   /// Peak of `buffered_now` over the plan's lifetime — the peak
   /// intermediate tuple count. 0 for a fully streaming (unary) pipeline.
   size_t peak_buffered = 0;
+  /// Physical join operators instantiated in this plan, by strategy
+  /// (records what the optimizer's ChooseJoinStrategy picked).
+  size_t joins_nested_loop = 0;
+  size_t joins_hash = 0;
+  size_t joins_merge = 0;
+  /// Join pairs whose exact per-pair lifespan kernel ran (the pruning
+  /// metric: product tests |l|·|r| pairs, hash/merge far fewer).
+  size_t join_pairs_tested = 0;
 
   void OnBuffer(size_t n) {
     buffered_now += n;
@@ -71,6 +96,13 @@ struct PlanStats {
 /// this operator's output, or a null `TuplePtr` at end of stream. Every
 /// tuple flowing between cursors is materialized (model-level) and bound to
 /// `scheme()`.
+///
+/// `Next` is a tuple *stream*, not a set: restriction operators (and the
+/// streaming join cursors, whose pairs may assemble to equal tuples) can
+/// emit structural duplicates mid-pipeline. Set semantics — the
+/// whole-relation operators' output contract — are established at the
+/// materialization boundary: `Plan::Drain` and `SetOpCursor`'s input
+/// draining collapse duplicates via `InsertDedup`.
 class Cursor {
  public:
   Cursor(SchemePtr scheme, PlanStats* stats)
@@ -193,10 +225,127 @@ class ProductJoinCursor : public Cursor {
   size_t right_pos_ = 0;
 };
 
+// --- join cursors ------------------------------------------------------------
+
+/// \brief The joined lifespan of one (left, right) tuple pair — empty means
+/// the pair produces no tuple. Bound to one of the per-pair kernels of
+/// algebra/join.h at lowering time.
+using JoinPairFn =
+    std::function<Result<Lifespan>(const Tuple& left, const Tuple& right)>;
+
+/// \brief Fallback join strategy: streams the left input against a buffered
+/// right input, evaluating the pair kernel for every pair (the JOIN ≡
+/// SELECT-WHEN ∘ × reading, with the filter fused so no wide product tuple
+/// is ever assembled for non-matching pairs). Buffers |right| tuples.
+class NestedLoopJoinCursor : public Cursor {
+ public:
+  NestedLoopJoinCursor(CursorPtr left, CursorPtr right,
+                       JoinAssembly assembly, JoinPairFn pair,
+                       PlanStats* stats);
+  ~NestedLoopJoinCursor() override;
+  Result<TuplePtr> Next() override;
+
+ private:
+  CursorPtr left_;
+  CursorPtr right_;
+  JoinAssembly assembly_;
+  JoinPairFn pair_;
+  bool primed_ = false;
+  std::vector<TuplePtr> right_buffer_;
+  TuplePtr current_left_;
+  size_t right_pos_ = 0;
+};
+
+/// \brief Hash equi-join (EQUIJOIN / NATURAL-JOIN with shared attributes):
+/// drains its *build* side into buckets keyed by a time-invariant digest of
+/// the join attribute values (JoinKeyDigest), then streams the probe side,
+/// testing only digest-matching candidates with the exact pair kernel.
+/// Build tuples whose join attribute varies over their lifespan cannot be
+/// digested time-invariantly and are probed per pair instead — the result
+/// is always exact. Buffers only the build side.
+class HashEquiJoinCursor : public Cursor {
+ public:
+  /// `key_attrs` are the equality columns as (left index, right index)
+  /// pairs; `build_left` selects which input is drained into the table
+  /// (the optimizer picks the smaller estimate).
+  HashEquiJoinCursor(CursorPtr left, CursorPtr right, bool build_left,
+                     std::vector<std::pair<size_t, size_t>> key_attrs,
+                     JoinAssembly assembly, JoinPairFn pair,
+                     PlanStats* stats);
+  ~HashEquiJoinCursor() override;
+  Result<TuplePtr> Next() override;
+
+ private:
+  Status Prime();
+  /// Digest of the join columns if they are all constant over the tuple's
+  /// lifespan; nullopt when any varies (per-chronon fallback).
+  std::optional<uint64_t> DigestOf(const Tuple& t, bool left_side) const;
+  /// The joined tuple of probe × build_[idx], or null if the pair's
+  /// lifespan is empty.
+  Result<TuplePtr> TryPair(size_t build_idx);
+
+  CursorPtr left_;
+  CursorPtr right_;
+  bool build_left_;
+  std::vector<std::pair<size_t, size_t>> key_attrs_;
+  JoinAssembly assembly_;
+  JoinPairFn pair_;
+
+  bool primed_ = false;
+  std::vector<TuplePtr> build_;                  // the buffered build side
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+  std::vector<size_t> varying_;  // build tuples without a constant digest
+
+  // Probe iteration state.
+  TuplePtr probe_;
+  const std::vector<size_t>* bucket_ = nullptr;  // candidates for probe_
+  size_t bucket_pos_ = 0;
+  bool in_varying_ = false;   // finished bucket_, now scanning varying_
+  bool scan_all_ = false;     // probe digest unavailable: scan all of build_
+  size_t scan_pos_ = 0;
+};
+
+/// \brief TIME-JOIN via a lifespan merge: both sides are drained and sorted
+/// by the start of their effective chronon span (left: image(t(A)) ∩ t.l,
+/// right: t.l); a sweep keeps a frontier of right tuples whose spans can
+/// still overlap, so far fewer than |l|·|r| pairs are tested. Buffers both
+/// sides.
+class MergeTimeJoinCursor : public Cursor {
+ public:
+  MergeTimeJoinCursor(CursorPtr left, CursorPtr right, size_t attr_a,
+                      JoinAssembly assembly, PlanStats* stats);
+  ~MergeTimeJoinCursor() override;
+  Result<TuplePtr> Next() override;
+
+ private:
+  struct Entry {
+    TuplePtr tuple;
+    Lifespan effective;  // the span the joined lifespan is confined to
+    TimePoint begin = 0;
+    TimePoint end = 0;
+  };
+
+  Status Prime();
+
+  CursorPtr left_;
+  CursorPtr right_;
+  size_t attr_a_;
+  JoinAssembly assembly_;
+
+  bool primed_ = false;
+  std::vector<Entry> lefts_;   // sorted by begin
+  std::vector<Entry> rights_;  // sorted by begin
+  size_t li_ = 0;              // current left entry
+  size_t next_right_ = 0;      // first right entry not yet activated
+  std::vector<size_t> active_; // rights whose span may still overlap
+  size_t ai_ = 0;              // next active candidate for lefts_[li_]
+  bool left_open_ = false;     // activation done for lefts_[li_]
+};
+
 /// \brief Blocking binary operator: drains both children into relations,
 /// applies a whole-relation algebra operator, then streams the result.
-/// Used for the set-theoretic/object-based operators and the joins, whose
-/// semantics need both whole inputs.
+/// Used for the set-theoretic/object-based operators, whose semantics need
+/// both whole inputs.
 class SetOpCursor : public Cursor {
  public:
   /// The algebra operator to apply to the two drained inputs.
@@ -222,6 +371,20 @@ class SetOpCursor : public Cursor {
 
 // --- plans -------------------------------------------------------------------
 
+/// \brief Knobs for lowering a query tree to a physical plan.
+struct PlanOptions {
+  /// Base-relation cardinality estimates for the join-strategy chooser
+  /// (typically CatalogCardinality from executor.h). When null, the
+  /// planner resolves names through the PlanResolver and uses exact stored
+  /// sizes.
+  CardinalityFn cardinality;
+  /// Test hook (the differential join suite): force every *eligible* JOIN
+  /// node onto one strategy. Nodes the strategy cannot execute (e.g. kHash
+  /// on a non-equality θ-join, kMerge on anything but TIME-JOIN) fall back
+  /// to nested loop.
+  std::optional<JoinStrategy> force_join_strategy;
+};
+
 /// \brief A lowered physical plan: owns the cursor tree and its stats.
 class Plan {
  public:
@@ -231,6 +394,8 @@ class Plan {
   /// parameters, not streams). Per-tuple errors (e.g. a predicate naming an
   /// unknown attribute) surface on `Next`.
   static Result<Plan> Lower(const ExprPtr& expr, const PlanResolver& resolver);
+  static Result<Plan> Lower(const ExprPtr& expr, const PlanResolver& resolver,
+                            const PlanOptions& options);
 
   /// \brief Pulls the next root tuple; null at end of stream.
   Result<TuplePtr> Next();
@@ -256,6 +421,8 @@ class Plan {
 /// and by tests that compose cursors directly).
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                             PlanStats* stats);
+Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
+                            PlanStats* stats, const PlanOptions& options);
 
 }  // namespace hrdm::query
 

@@ -22,6 +22,7 @@
 /// Database (database.h) rebinds stored tuples after each change.
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,14 @@
 #include "util/status.h"
 
 namespace hrdm::storage {
+
+/// \brief Per-relation statistics kept alongside the scheme registry. The
+/// query optimizer's join-strategy chooser reads these as cardinality
+/// estimates (picking hash build sides); they are advisory — stale or
+/// missing stats change plans, never answers.
+struct RelationStats {
+  size_t tuple_count = 0;
+};
 
 /// \brief A registry of named, keyed relation schemes with evolution
 /// support.
@@ -65,10 +74,22 @@ class Catalog {
   /// rebinding and by snapshot load).
   Status Replace(SchemePtr scheme);
 
+  // --- statistics ------------------------------------------------------------
+
+  /// \brief Records the stored tuple count of `relation` (maintained by
+  /// Database after every cardinality-changing mutation). Unknown relation
+  /// names are ignored (stats are advisory).
+  void SetTupleCount(std::string_view relation, size_t n);
+
+  /// \brief Stats for `relation`; nullopt when never recorded (or the
+  /// relation is not in the catalog).
+  std::optional<RelationStats> Stats(std::string_view relation) const;
+
  private:
   Status Mutate(std::string_view relation, SchemePtr replacement);
 
   std::map<std::string, SchemePtr, std::less<>> schemes_;
+  std::map<std::string, RelationStats, std::less<>> stats_;
 };
 
 }  // namespace hrdm::storage

@@ -16,6 +16,7 @@ Status Database::CreateRelation(std::string name,
 
 Status Database::CreateRelation(SchemePtr scheme) {
   HRDM_RETURN_IF_ERROR(catalog_.Register(scheme));
+  catalog_.SetTupleCount(scheme->name(), 0);
   relations_.emplace(scheme->name(), Relation(scheme));
   return Status::OK();
 }
@@ -86,7 +87,9 @@ Status Database::ReopenAttribute(std::string_view relation,
 
 Status Database::Insert(std::string_view relation, Tuple t) {
   HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
-  return rel->Insert(std::move(t));
+  HRDM_RETURN_IF_ERROR(rel->Insert(std::move(t)));
+  catalog_.SetTupleCount(relation, rel->size());
+  return Status::OK();
 }
 
 Result<size_t> Database::RequireTuple(const Relation& rel,
@@ -165,7 +168,9 @@ Status Database::EndLifespan(std::string_view relation,
   const Lifespan remaining =
       l.empty() ? l : l.Intersect(Span(l.Min(), at - 1));
   if (remaining.empty()) {
-    return rel->EraseAt(idx);
+    HRDM_RETURN_IF_ERROR(rel->EraseAt(idx));
+    catalog_.SetTupleCount(relation, rel->size());
+    return Status::OK();
   }
   return rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme()));
 }
@@ -272,6 +277,7 @@ Result<Database> Database::DecodeSnapshot(std::string_view data) {
   for (uint64_t i = 0; i < n; ++i) {
     HRDM_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
     HRDM_RETURN_IF_ERROR(db.catalog_.Register(rel.scheme()));
+    db.catalog_.SetTupleCount(rel.scheme()->name(), rel.size());
     db.relations_.emplace(rel.scheme()->name(), std::move(rel));
   }
   HRDM_ASSIGN_OR_RETURN(uint64_t fk_n, r.GetVarint());

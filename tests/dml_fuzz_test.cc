@@ -8,16 +8,19 @@
 
 #include "constraints/constraints.h"
 #include "storage/changelog.h"
+#include "test_seeds.h"
 #include "util/random.h"
 
 namespace hrdm::storage {
 namespace {
 
 constexpr TimePoint kHorizon = 120;
+constexpr char kSeedEnv[] = "HRDM_DML_FUZZ_SEEDS";
 
 class DmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DmlFuzzTest, RandomOperationSequences) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, GetParam()));
   Rng rng(GetParam());
   LoggedDatabase ldb;
   const Lifespan full = Span(0, kHorizon - 1);
@@ -143,9 +146,10 @@ TEST_P(DmlFuzzTest, RandomOperationSequences) {
   EXPECT_EQ(decoded->EncodeSnapshot(), ldb.db().EncodeSnapshot());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DmlFuzzTest,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 99u, 777u,
-                                           31415u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DmlFuzzTest,
+    ::testing::ValuesIn(hrdm::testing::SeedsFromEnv(
+        kSeedEnv, {1u, 2u, 3u, 4u, 5u, 99u, 777u, 31415u})));
 
 }  // namespace
 }  // namespace hrdm::storage

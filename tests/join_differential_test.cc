@@ -1,0 +1,371 @@
+// Differential join suite: for random databases, every physical join
+// strategy (nested loop, hash, merge) must produce results tuple-for-tuple,
+// chronon-for-chronon identical to
+//  * each other,
+//  * the SELECT-WHEN ∘ × plan executed through ProductJoinCursor (the
+//    paper's Section 5 equivalence: JOIN ≡ the appropriate SELECT-WHEN of
+//    the Cartesian product),
+//  * the whole-relation ThetaJoin/EquiJoin/NaturalJoin/TimeJoin APIs,
+//  * the materializing interpreter.
+// Plus directed lifespan edge cases: empty inputs, single-chronon
+// overlaps, join attributes whose value changes inside the overlap window,
+// and the no-shared-attribute NATURAL-JOIN degenerate product.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/join.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/plan.h"
+#include "test_seeds.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm::query {
+namespace {
+
+constexpr char kSeedEnv[] = "HRDM_JOIN_DIFF_SEEDS";
+
+/// Drains `hrql` through a plan with the given forced join strategy.
+Result<Relation> RunForced(const storage::Database& db,
+                           const std::string& hrql, JoinStrategy strategy) {
+  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
+  PlanOptions options;
+  options.force_join_strategy = strategy;
+  HRDM_ASSIGN_OR_RETURN(Plan plan,
+                        Plan::Lower(expr, DatabaseResolver(db), options));
+  return plan.Drain();
+}
+
+/// Runs `hrql` under all three forced strategies plus the materializing
+/// interpreter, asserts pairwise set equality, and returns one result.
+/// `reference`, if non-null, is additionally compared (the whole-relation
+/// API answer).
+void ExpectAllStrategiesAgree(const storage::Database& db,
+                              const std::string& hrql,
+                              const Relation* reference) {
+  auto nested = RunForced(db, hrql, JoinStrategy::kNestedLoop);
+  auto hash = RunForced(db, hrql, JoinStrategy::kHash);
+  auto merge = RunForced(db, hrql, JoinStrategy::kMerge);
+  ASSERT_TRUE(nested.ok()) << hrql << ": " << nested.status().ToString();
+  ASSERT_TRUE(hash.ok()) << hrql << ": " << hash.status().ToString();
+  ASSERT_TRUE(merge.ok()) << hrql << ": " << merge.status().ToString();
+  EXPECT_TRUE(hash->EqualsAsSet(*nested))
+      << hrql << "\nhash:\n"
+      << hash->ToString() << "nested loop:\n"
+      << nested->ToString();
+  EXPECT_TRUE(merge->EqualsAsSet(*nested))
+      << hrql << "\nmerge:\n"
+      << merge->ToString() << "nested loop:\n"
+      << nested->ToString();
+
+  auto expr = ParseExpr(hrql);
+  ASSERT_TRUE(expr.ok());
+  auto materialized = EvalMaterializing(*expr, db);
+  ASSERT_TRUE(materialized.ok()) << hrql;
+  EXPECT_TRUE(materialized->EqualsAsSet(*nested)) << hrql;
+
+  if (reference != nullptr) {
+    EXPECT_TRUE(reference->EqualsAsSet(*nested))
+        << hrql << "\nwhole-relation API:\n"
+        << reference->ToString() << "plan:\n"
+        << nested->ToString();
+  }
+}
+
+/// A random join database:
+///  * `ra(Id*, A0, Ref)` — int attribute A0, time-valued Ref;
+///  * `rb(Id2*, B0)` — disjoint attribute names, overlapping value space
+///    with A0 (selective equi-matches);
+///  * `na(NId*, D, X)` / `nb(MId*, D, Y)` — one shared attribute D for
+///    NATURAL-JOIN.
+storage::Database RandomJoinDb(uint64_t seed) {
+  Rng rng(seed);
+  storage::Database db;
+  const TimePoint horizon = 60;
+  const Lifespan full = Span(0, horizon - 1);
+
+  workload::RandomRelationConfig ca;
+  ca.name = "ra";
+  ca.num_tuples = 10;
+  ca.num_value_attrs = 1;
+  ca.with_time_attribute = true;
+  ca.key_prefix = "x";
+  auto ra = *workload::MakeRandomRelation(&rng, ca);
+  EXPECT_TRUE(db.CreateRelation(ra.scheme()).ok());
+  for (const Tuple& t : ra) EXPECT_TRUE(db.Insert("ra", t).ok());
+
+  // rb mirrors another random relation under renamed (disjoint) attributes.
+  workload::RandomRelationConfig cb = ca;
+  cb.name = "rb";
+  cb.key_prefix = "y";
+  cb.with_time_attribute = false;
+  auto src = *workload::MakeRandomRelation(&rng, cb);
+  auto rb_scheme = *RelationScheme::Make(
+      "rb",
+      {{"Id2", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"Id2"});
+  EXPECT_TRUE(db.CreateRelation(rb_scheme).ok());
+  for (const Tuple& t : src) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    EXPECT_TRUE(
+        db.Insert("rb", Tuple::FromParts(rb_scheme, t.lifespan(), vals))
+            .ok());
+  }
+
+  // Natural-join pair sharing attribute D (small int range → real matches).
+  auto na_scheme = *RelationScheme::Make(
+      "na",
+      {{"NId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
+       {"X", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"NId"});
+  auto nb_scheme = *RelationScheme::Make(
+      "nb",
+      {{"MId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
+       {"Y", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"MId"});
+  EXPECT_TRUE(db.CreateRelation(na_scheme).ok());
+  EXPECT_TRUE(db.CreateRelation(nb_scheme).ok());
+  auto fill = [&](const char* rel, const SchemePtr& scheme, const char* key,
+                  const char* val, int n) {
+    for (int i = 0; i < n; ++i) {
+      const TimePoint b = rng.Uniform(0, horizon - 10);
+      const TimePoint e = std::min<TimePoint>(b + rng.Uniform(3, 25),
+                                              horizon - 1);
+      Tuple::Builder tb(scheme, Span(b, e));
+      std::string id(key);
+      id += std::to_string(i);
+      tb.SetConstant(scheme->attribute(0).name, Value::String(std::move(id)));
+      if (rng.Chance(0.3)) {
+        // A D that changes value mid-lifespan: exercises the hash join's
+        // varying-attribute fallback on random data.
+        const TimePoint mid = b + (e - b) / 2;
+        std::vector<Segment> segs;
+        segs.push_back({Interval(b, mid), Value::Int(rng.Uniform(0, 4))});
+        if (mid + 1 <= e) {
+          segs.push_back(
+              {Interval(mid + 1, e), Value::Int(rng.Uniform(0, 4))});
+        }
+        tb.Set("D", *TemporalValue::FromSegments(std::move(segs)));
+      } else {
+        tb.SetConstant("D", Value::Int(rng.Uniform(0, 4)));
+      }
+      tb.SetConstant(val, Value::Int(rng.Uniform(0, 99)));
+      EXPECT_TRUE(db.Insert(rel, *std::move(tb).Build()).ok());
+    }
+  };
+  fill("na", na_scheme, "n", "X", 8);
+  fill("nb", nb_scheme, "m", "Y", 7);
+  return db;
+}
+
+TEST(JoinDifferentialTest, RandomDatabases) {
+  // ≥100 random databases; override seeds with HRDM_JOIN_DIFF_SEEDS=....
+  std::vector<uint64_t> defaults(100);
+  for (size_t i = 0; i < defaults.size(); ++i) defaults[i] = i + 1;
+  for (uint64_t seed : hrdm::testing::SeedsFromEnv(kSeedEnv, defaults)) {
+    SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, seed));
+    auto db = RandomJoinDb(seed);
+    const Relation& ra = **db.Get("ra");
+    const Relation& rb = **db.Get("rb");
+    const Relation& na = **db.Get("na");
+    const Relation& nb = **db.Get("nb");
+
+    // EQUIJOIN: every strategy vs the whole-relation API...
+    auto equi = EquiJoin(ra, "A0", rb, "B0");
+    ASSERT_TRUE(equi.ok());
+    ExpectAllStrategiesAgree(db, "join(ra, rb, A0 = B0)", &*equi);
+    // ...and vs SELECT-WHEN ∘ × through ProductJoinCursor (Section 5).
+    auto via_product = query::Run(
+        "select_when(product(ra, rb), A0 = B0)", db);
+    ASSERT_TRUE(via_product.ok());
+    EXPECT_TRUE(via_product->EqualsAsSet(*equi)) << "seed " << seed;
+
+    // General θ (no equi pattern → every strategy falls back identically,
+    // but the whole-relation comparison still bites).
+    auto theta = ThetaJoin(ra, "A0", CompareOp::kLe, rb, "B0");
+    ASSERT_TRUE(theta.ok());
+    ExpectAllStrategiesAgree(db, "join(ra, rb, A0 <= B0)", &*theta);
+
+    // NATURAL-JOIN with a shared attribute (some values varying in time).
+    auto nat = NaturalJoin(na, nb);
+    ASSERT_TRUE(nat.ok());
+    ExpectAllStrategiesAgree(db, "natjoin(na, nb)", &*nat);
+
+    // TIME-JOIN driven by ra.Ref.
+    auto tj = TimeJoin(ra, "Ref", rb);
+    ASSERT_TRUE(tj.ok());
+    ExpectAllStrategiesAgree(db, "timejoin(ra, rb, Ref)", &*tj);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed lifespan edge cases.
+// ---------------------------------------------------------------------------
+
+const Lifespan kFull = Span(0, 49);
+
+SchemePtr LeftScheme() {
+  return *RelationScheme::Make(
+      "el",
+      {{"LId", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"LV", DomainType::kInt, kFull, InterpolationKind::kStepwise}},
+      {"LId"});
+}
+
+SchemePtr RightScheme() {
+  return *RelationScheme::Make(
+      "er",
+      {{"RId", DomainType::kString, kFull, InterpolationKind::kDiscrete},
+       {"RV", DomainType::kInt, kFull, InterpolationKind::kStepwise}},
+      {"RId"});
+}
+
+storage::Database EdgeDb(const std::vector<std::pair<Lifespan, int>>& lefts,
+                         const std::vector<std::pair<Lifespan, int>>& rights) {
+  storage::Database db;
+  auto ls = LeftScheme();
+  auto rs = RightScheme();
+  EXPECT_TRUE(db.CreateRelation(ls).ok());
+  EXPECT_TRUE(db.CreateRelation(rs).ok());
+  int i = 0;
+  for (const auto& [l, v] : lefts) {
+    Tuple::Builder b(ls, l);
+    b.SetConstant("LId", Value::String("l" + std::to_string(i++)));
+    b.SetConstant("LV", Value::Int(v));
+    EXPECT_TRUE(db.Insert("el", *std::move(b).Build()).ok());
+  }
+  i = 0;
+  for (const auto& [l, v] : rights) {
+    Tuple::Builder b(rs, l);
+    b.SetConstant("RId", Value::String("r" + std::to_string(i++)));
+    b.SetConstant("RV", Value::Int(v));
+    EXPECT_TRUE(db.Insert("er", *std::move(b).Build()).ok());
+  }
+  return db;
+}
+
+TEST(JoinEdgeCaseTest, EmptyInputsOnEitherSide) {
+  // Empty build side, empty probe side, both empty: every strategy yields
+  // the empty relation and stays well-behaved.
+  auto both = EdgeDb({}, {});
+  auto left_only = EdgeDb({{Span(0, 9), 1}}, {});
+  auto right_only = EdgeDb({}, {{Span(0, 9), 1}});
+  for (auto* db : {&both, &left_only, &right_only}) {
+    for (JoinStrategy s : {JoinStrategy::kNestedLoop, JoinStrategy::kHash}) {
+      auto r = RunForced(*db, "join(el, er, LV = RV)", s);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(r->empty());
+    }
+  }
+}
+
+TEST(JoinEdgeCaseTest, NonOverlappingLifespansProduceNothing) {
+  // Equal values but disjoint lifespans: the θ condition never holds at a
+  // common chronon — the "empty joined lifespan" case.
+  auto db = EdgeDb({{Span(0, 9), 7}}, {{Span(20, 29), 7}});
+  auto equi = EquiJoin(**db.Get("el"), "LV", **db.Get("er"), "RV");
+  ASSERT_TRUE(equi.ok());
+  EXPECT_TRUE(equi->empty());
+  for (JoinStrategy s : {JoinStrategy::kNestedLoop, JoinStrategy::kHash}) {
+    auto r = RunForced(db, "join(el, er, LV = RV)", s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->empty());
+  }
+}
+
+TEST(JoinEdgeCaseTest, SingleChrononOverlap) {
+  // Lifespans touch at exactly chronon 10.
+  auto db = EdgeDb({{Span(0, 10), 7}}, {{Span(10, 29), 7}});
+  auto equi = EquiJoin(**db.Get("el"), "LV", **db.Get("er"), "RV");
+  ASSERT_TRUE(equi.ok());
+  ASSERT_EQ(equi->size(), 1u);
+  EXPECT_EQ(equi->tuple(0).lifespan().ToString(), "{[10]}");
+  for (JoinStrategy s : {JoinStrategy::kNestedLoop, JoinStrategy::kHash}) {
+    auto r = RunForced(db, "join(el, er, LV = RV)", s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->EqualsAsSet(*equi));
+  }
+}
+
+TEST(JoinEdgeCaseTest, ValueChangesInsideOverlapWindow) {
+  // The left join attribute flips from 7 to 8 at chronon 10 while both
+  // tuples live on [0,19]: the joined lifespan must be exactly the
+  // sub-window where the equality holds, and the hash join must take its
+  // varying-attribute fallback rather than missing the partial match.
+  storage::Database db;
+  auto ls = LeftScheme();
+  auto rs = RightScheme();
+  ASSERT_TRUE(db.CreateRelation(ls).ok());
+  ASSERT_TRUE(db.CreateRelation(rs).ok());
+  {
+    Tuple::Builder b(ls, Span(0, 19));
+    b.SetConstant("LId", Value::String("flip"));
+    b.Set("LV", *TemporalValue::FromSegments(
+                    {{Interval(0, 9), Value::Int(7)},
+                     {Interval(10, 19), Value::Int(8)}}));
+    ASSERT_TRUE(db.Insert("el", *std::move(b).Build()).ok());
+  }
+  {
+    Tuple::Builder b(rs, Span(0, 19));
+    b.SetConstant("RId", Value::String("const"));
+    b.SetConstant("RV", Value::Int(7));
+    ASSERT_TRUE(db.Insert("er", *std::move(b).Build()).ok());
+  }
+  auto equi = EquiJoin(**db.Get("el"), "LV", **db.Get("er"), "RV");
+  ASSERT_TRUE(equi.ok());
+  ASSERT_EQ(equi->size(), 1u);
+  EXPECT_EQ(equi->tuple(0).lifespan().ToString(), "{[0,9]}");
+  for (JoinStrategy s : {JoinStrategy::kNestedLoop, JoinStrategy::kHash}) {
+    auto r = RunForced(db, "join(el, er, LV = RV)", s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->EqualsAsSet(*equi)) << JoinStrategyName(s);
+  }
+}
+
+TEST(JoinEdgeCaseTest, NaturalJoinWithoutSharedAttributesIsProduct) {
+  // No shared attribute name: NATURAL-JOIN degenerates to the product over
+  // the common lifespan (here [5,9]); the chooser must not pick hash.
+  auto db = EdgeDb({{Span(0, 9), 1}}, {{Span(5, 14), 2}});
+  auto expr = ParseExpr("natjoin(el, er)");
+  ASSERT_TRUE(expr.ok());
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db));
+  ASSERT_TRUE(plan.ok());
+  auto streamed = plan->Drain();
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(plan->stats().joins_nested_loop, 1u);
+  EXPECT_EQ(plan->stats().joins_hash, 0u);
+  auto nat = NaturalJoin(**db.Get("el"), **db.Get("er"));
+  ASSERT_TRUE(nat.ok());
+  ASSERT_EQ(nat->size(), 1u);
+  EXPECT_EQ(nat->tuple(0).lifespan().ToString(), "{[5,9]}");
+  EXPECT_TRUE(streamed->EqualsAsSet(*nat));
+}
+
+TEST(JoinEdgeCaseTest, ReincarnationLifespanConstantKeyHashes) {
+  // A constant join value over a fragmented (reincarnation) lifespan is
+  // still a CD member: the hash join may digest it, and the joined
+  // lifespan honors the gap.
+  auto db = EdgeDb({{Lifespan::FromIntervals({Interval(0, 4),
+                                              Interval(20, 24)}),
+                     7}},
+                   {{Span(0, 29), 7}});
+  auto equi = EquiJoin(**db.Get("el"), "LV", **db.Get("er"), "RV");
+  ASSERT_TRUE(equi.ok());
+  ASSERT_EQ(equi->size(), 1u);
+  EXPECT_EQ(equi->tuple(0).lifespan().ToString(), "{[0,4],[20,24]}");
+  for (JoinStrategy s : {JoinStrategy::kNestedLoop, JoinStrategy::kHash}) {
+    auto r = RunForced(db, "join(el, er, LV = RV)", s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->EqualsAsSet(*equi)) << JoinStrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace hrdm::query

@@ -10,11 +10,14 @@
 #include "query/executor.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
+#include "test_seeds.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
 namespace hrdm::query {
 namespace {
+
+constexpr char kSeedEnv[] = "HRDM_PLAN_SEEDS";
 
 /// Two union-compatible random relations r0/r1 (overlapping key spaces,
 /// random ALS gaps, a time-valued Ref attribute for dynslice).
@@ -112,6 +115,7 @@ void ExpectParity(const storage::Database& db, const std::string& hrql) {
 class PlanParityTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PlanParityTest, UnaryOperators) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, GetParam()));
   auto db = RandomDb(GetParam());
   ExpectParity(db, "r0");
   ExpectParity(db, "timeslice(r0, {[10,40]})");
@@ -126,6 +130,7 @@ TEST_P(PlanParityTest, UnaryOperators) {
 }
 
 TEST_P(PlanParityTest, SetOperators) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, GetParam()));
   auto db = RandomDb(GetParam());
   ExpectParity(db, "union(r0, r1)");
   ExpectParity(db, "intersect(r0, r1)");
@@ -136,6 +141,7 @@ TEST_P(PlanParityTest, SetOperators) {
 }
 
 TEST_P(PlanParityTest, ProductsAndJoins) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, GetParam()));
   auto db = JoinDb(GetParam());
   ExpectParity(db, "product(lft, rgt)");
   ExpectParity(db, "join(lft, rgt, LV >= RV)");
@@ -152,6 +158,7 @@ TEST_P(PlanParityTest, ProductsAndJoins) {
 }
 
 TEST_P(PlanParityTest, ComposedPipelinesAndWindows) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, GetParam()));
   auto db = RandomDb(GetParam());
   ExpectParity(db,
                "project(select_when(timeslice(r0, {[5,50]}), A0 >= 40), Id, "
@@ -165,8 +172,10 @@ TEST_P(PlanParityTest, ComposedPipelinesAndWindows) {
                "ounion(timeslice(r0, {[0,29]}), timeslice(r0, {[30,59]}))");
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PlanParityTest,
-                         ::testing::Values(1u, 2u, 3u, 7u, 42u, 1987u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PlanParityTest,
+    ::testing::ValuesIn(hrdm::testing::SeedsFromEnv(
+        kSeedEnv, {1u, 2u, 3u, 7u, 42u, 1987u})));
 
 // ---------------------------------------------------------------------------
 // Streaming guarantees.
@@ -225,6 +234,73 @@ TEST(PlanStreamingTest, ProductBuffersOnlyRightInput) {
   ASSERT_TRUE(rel.ok());
   const size_t right_size = (*db.Get("rgt"))->size();
   EXPECT_EQ(plan->stats().peak_buffered, right_size);
+}
+
+TEST(PlanStreamingTest, HashJoinBuffersOnlyBuildSide) {
+  auto db = JoinDb(11);
+  // Equality θ on comparable int domains: the optimizer picks the hash
+  // strategy and builds on the smaller input (rgt, 6 < 8 tuples).
+  auto expr = ParseExpr("join(lft, rgt, LV = RV)");
+  ASSERT_TRUE(expr.ok());
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Drain().ok());
+  EXPECT_EQ(plan->stats().joins_hash, 1u);
+  EXPECT_EQ(plan->stats().joins_nested_loop, 0u);
+  const size_t right_size = (*db.Get("rgt"))->size();
+  // Only the build side is ever buffered — not the probe side, not the
+  // result.
+  EXPECT_EQ(plan->stats().peak_buffered, right_size);
+  // The digest partitioning tested far fewer pairs than the 8×6 product.
+  const size_t left_size = (*db.Get("lft"))->size();
+  EXPECT_LT(plan->stats().join_pairs_tested, left_size * right_size);
+}
+
+TEST(PlanStreamingTest, NestedLoopJoinBuffersOnlyRightInput) {
+  auto db = JoinDb(11);
+  // Inequality θ: no hashable pattern, nested loop (which still buffers
+  // only the right input — better than draining both sides whole).
+  auto expr = ParseExpr("join(lft, rgt, LV >= RV)");
+  ASSERT_TRUE(expr.ok());
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Drain().ok());
+  EXPECT_EQ(plan->stats().joins_nested_loop, 1u);
+  EXPECT_EQ(plan->stats().joins_hash, 0u);
+  const size_t left_size = (*db.Get("lft"))->size();
+  const size_t right_size = (*db.Get("rgt"))->size();
+  EXPECT_EQ(plan->stats().peak_buffered, right_size);
+  // The fallback really is the full pair space.
+  EXPECT_EQ(plan->stats().join_pairs_tested, left_size * right_size);
+}
+
+TEST(PlanStreamingTest, MergeStrategySelectedForTimeJoin) {
+  auto db = JoinDb(11);
+  auto expr = ParseExpr("timejoin(lft, rgt, Ref)");
+  ASSERT_TRUE(expr.ok());
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Drain().ok());
+  EXPECT_EQ(plan->stats().joins_merge, 1u);
+  // The merge buffers both (sorted) sides, never the result.
+  const size_t both =
+      (*db.Get("lft"))->size() + (*db.Get("rgt"))->size();
+  EXPECT_GT(plan->stats().peak_buffered, 0u);
+  EXPECT_LE(plan->stats().peak_buffered, both);
+}
+
+TEST(PlanStreamingTest, ForcedStrategyFallsBackWhenIneligible) {
+  auto db = JoinDb(11);
+  // Forcing hash onto a non-equality θ must not mis-execute: the node is
+  // ineligible and lowers to nested loop.
+  auto expr = ParseExpr("join(lft, rgt, LV >= RV)");
+  ASSERT_TRUE(expr.ok());
+  PlanOptions options;
+  options.force_join_strategy = JoinStrategy::kHash;
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stats().joins_hash, 0u);
+  EXPECT_EQ(plan->stats().joins_nested_loop, 1u);
 }
 
 TEST(PlanStreamingTest, WhenWindowBufferingIsCounted) {
