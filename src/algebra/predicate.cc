@@ -86,6 +86,17 @@ std::vector<std::string> Predicate::ReferencedAttributes() const {
   return out;
 }
 
+std::vector<std::pair<std::string, Value>> Predicate::EqualityConstants()
+    const {
+  std::vector<std::pair<std::string, Value>> out;
+  for (const Simple& s : conjuncts_) {
+    if (s.op == CompareOp::kEq && std::holds_alternative<Value>(s.rhs)) {
+      out.emplace_back(s.attr, std::get<Value>(s.rhs));
+    }
+  }
+  return out;
+}
+
 std::string Predicate::ToString() const {
   std::string out;
   for (size_t i = 0; i < conjuncts_.size(); ++i) {

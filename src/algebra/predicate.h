@@ -78,6 +78,12 @@ class Predicate {
   /// \brief Attribute names referenced by the predicate.
   std::vector<std::string> ReferencedAttributes() const;
 
+  /// \brief The sargable `attr = constant` conjuncts, in predicate order.
+  /// Every returned binding must hold (at some chronon) for the whole
+  /// predicate to hold there — the access-path chooser (query/optimizer.h)
+  /// uses these to probe a value index instead of scanning.
+  std::vector<std::pair<std::string, Value>> EqualityConstants() const;
+
   /// \brief e.g. `Salary >= 30000 AND Dept = "tools"`.
   std::string ToString() const;
 

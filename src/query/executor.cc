@@ -23,6 +23,63 @@ CardinalityFn CatalogCardinality(const storage::Catalog& catalog) {
   };
 }
 
+IndexCatalogFn CatalogIndexes(const storage::Catalog& catalog) {
+  return [&catalog](std::string_view name) -> std::optional<IndexInfo> {
+    auto spec = catalog.Indexes(name);
+    if (!spec) return std::nullopt;
+    IndexInfo info;
+    info.lifespan = spec->lifespan;
+    info.value_attrs = std::move(spec->value_attrs);
+    return info;
+  };
+}
+
+PlanOptions DatabasePlanOptions(const storage::Database& db) {
+  PlanOptions options;
+  options.cardinality = CatalogCardinality(db.catalog());
+  options.index_catalog = CatalogIndexes(db.catalog());
+  options.lifespan_probe =
+      [&db](std::string_view relation,
+            const Lifespan& window) -> std::optional<IndexProbeResult> {
+    const storage::RelationIndexes* ix = db.indexes(relation);
+    if (!ix || !ix->has_lifespan()) return std::nullopt;
+    auto rel = db.Get(relation);
+    if (!rel.ok()) return std::nullopt;
+    return IndexProbeResult{ix->lifespan()->Probe(window),
+                            (*rel)->materialized()};
+  };
+  options.value_probe =
+      [&db](std::string_view relation, std::string_view attr,
+            const Value& key) -> std::optional<IndexProbeResult> {
+    const storage::RelationIndexes* ix = db.indexes(relation);
+    if (!ix) return std::nullopt;
+    const storage::ValueIndex* vi = ix->value(attr);
+    if (!vi) return std::nullopt;
+    auto rel = db.Get(relation);
+    if (!rel.ok()) return std::nullopt;
+    return IndexProbeResult{vi->Probe(key), (*rel)->materialized()};
+  };
+  options.indexed_build =
+      [&db](std::string_view relation,
+            std::string_view attr) -> std::optional<IndexedBuildSide> {
+    const storage::RelationIndexes* ix = db.indexes(relation);
+    if (!ix) return std::nullopt;
+    const storage::ValueIndex* vi = ix->value(attr);
+    if (!vi) return std::nullopt;
+    auto rel = db.Get(relation);
+    if (!rel.ok()) return std::nullopt;
+    IndexedBuildSide build;
+    build.materialized = (*rel)->materialized();
+    build.varying = vi->Varying();
+    build.groups.reserve(vi->buckets().size());
+    for (const auto& [digest, tuples] : vi->buckets()) {
+      build.groups.emplace_back(digest, tuples);  // one copy, straight in
+    }
+    return build;
+  };
+  return options;
+}
+
 namespace {
 
 Result<Relation> EvalStreaming(const ExprPtr& expr, const Resolver& resolver,
@@ -48,9 +105,7 @@ Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
 }
 
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db) {
-  PlanOptions options;
-  options.cardinality = CatalogCardinality(db.catalog());
-  return EvalStreaming(expr, DatabaseResolver(db), options);
+  return EvalStreaming(expr, DatabaseResolver(db), DatabasePlanOptions(db));
 }
 
 namespace {

@@ -30,6 +30,7 @@
 #include "core/relation.h"
 #include "query/ast.h"
 #include "query/optimizer.h"
+#include "query/plan.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -45,6 +46,19 @@ Resolver DatabaseResolver(const storage::Database& db);
 /// the optimizer's join-strategy chooser when evaluating against a
 /// Database. The catalog must outlive the returned function.
 CardinalityFn CatalogCardinality(const storage::Catalog& catalog);
+
+/// \brief Index-registration source reading the catalog (feeds the
+/// optimizer's access-path chooser). The catalog must outlive the returned
+/// function.
+IndexCatalogFn CatalogIndexes(const storage::Catalog& catalog);
+
+/// \brief The full set of planning hooks for evaluating against `db`:
+/// catalog cardinalities, index registrations, and the index probe /
+/// hash-build feeds backed by the database's storage indexes
+/// (storage/index.h). This is what `Eval(expr, db)` lowers with; tests and
+/// benches start from it and set `force_*` knobs. `db` must outlive the
+/// returned options.
+PlanOptions DatabasePlanOptions(const storage::Database& db);
 
 /// \brief Counters for the materializing interpreter (the baseline the
 /// plan layer's PlanStats is compared against).

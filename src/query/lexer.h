@@ -4,6 +4,11 @@
 /// \file lexer.h
 /// \brief Tokenizer for HRQL, the textual form of the HRDM algebra.
 ///
+/// Layer contract: the very front of the query layer (§4.5's multi-sorted
+/// language, made textual) — stateless text → token-stream conversion,
+/// consumed only by parser.h. docs/HRQL.md is the user-facing reference
+/// for the surface syntax.
+///
 /// Token classes:
 ///  * identifiers / keywords: `[A-Za-z_][A-Za-z0-9_]*` (keywords are
 ///    recognised case-insensitively by the parser);

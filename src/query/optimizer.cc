@@ -131,6 +131,73 @@ JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
   return choice;
 }
 
+std::string_view AccessPathName(AccessPath p) {
+  switch (p) {
+    case AccessPath::kFullScan:
+      return "full_scan";
+    case AccessPath::kLifespanIndex:
+      return "lifespan_index";
+    case AccessPath::kValueIndex:
+      return "value_index";
+  }
+  return "unknown";
+}
+
+AccessPathChoice ChooseAccessPath(const Expr& op, const IndexCatalogFn& indexes,
+                                  const CardinalityFn& card) {
+  AccessPathChoice choice;
+  if (!op.left || op.left->kind != ExprKind::kRelationRef || !indexes) {
+    return choice;
+  }
+  const std::optional<IndexInfo> info = indexes(op.left->relation);
+  if (!info) return choice;
+  choice.est_base = EstimateCardinality(op.left, card);
+
+  auto find_value_probe = [&]() {
+    if (!op.predicate) return;
+    for (auto& [attr, key] : op.predicate->EqualityConstants()) {
+      if (std::find(info->value_attrs.begin(), info->value_attrs.end(),
+                    attr) != info->value_attrs.end()) {
+        choice.value_eligible = true;
+        choice.attr = attr;
+        choice.key = key;
+        return;
+      }
+    }
+  };
+
+  switch (op.kind) {
+    case ExprKind::kSelectIf:
+      // Existential only: with forall, a tuple whose quantification domain
+      // is empty qualifies vacuously, so no candidate pruning is sound.
+      if (op.quantifier != Quantifier::kExists) return choice;
+      find_value_probe();
+      // A windowed existential needs the predicate to hold at a window
+      // chronon, which requires the tuple alive there.
+      choice.lifespan_eligible = op.window != nullptr && info->lifespan;
+      break;
+    case ExprKind::kSelectWhen:
+      // SELECT-WHEN drops tuples that never satisfy the criterion, so the
+      // same equality-superset argument applies.
+      find_value_probe();
+      break;
+    case ExprKind::kTimeSlice:
+      choice.lifespan_eligible = info->lifespan;
+      break;
+    default:
+      return choice;
+  }
+
+  if (choice.est_base <= kIndexScanMinTuples) return choice;
+  // Equality probes are usually the more selective of the two.
+  if (choice.value_eligible) {
+    choice.path = AccessPath::kValueIndex;
+  } else if (choice.lifespan_eligible) {
+    choice.path = AccessPath::kLifespanIndex;
+  }
+  return choice;
+}
+
 namespace {
 
 constexpr int kMaxPasses = 16;

@@ -2,7 +2,10 @@
 #define HRDM_QUERY_OPTIMIZER_H_
 
 /// \file optimizer.h
-/// \brief Algebraic rewrite optimizer for HRQL query trees.
+/// \brief Algebraic rewrite optimizer for HRQL query trees, plus the two
+/// physical choosers consulted at lowering time: join strategy
+/// (`ChooseJoinStrategy`) and base-relation access path
+/// (`ChooseAccessPath`).
 ///
 /// Section 5 of the paper sketches the algebraic identities of the
 /// historical algebra: "the commutativity of select, the distribution of
@@ -112,6 +115,80 @@ size_t EstimateCardinality(const ExprPtr& expr, const CardinalityFn& card);
 JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
                               const RelationScheme& right,
                               const CardinalityFn& card);
+
+// --- access-path selection ----------------------------------------------------
+//
+// The entry-point restrictions (SELECT-IF, SELECT-WHEN, TIME-SLICE, §4.3–4.4)
+// normally read their base relation through a full ScanCursor — O(|r|) per
+// query regardless of selectivity. When the storage engine maintains an
+// index on the relation (storage/index.h, registered in the catalog), the
+// planner can open the pipeline with an IndexScanCursor over the index's
+// candidate set instead. Two index shapes are recognised:
+//
+//  * value index — a sargable `attr = constant` conjunct under SELECT-IF
+//    (existential) or SELECT-WHEN probes the equality index; candidates are
+//    the matching digest bucket plus every varying-valued tuple, a strict
+//    superset of the answer that the exact per-tuple kernel then filters.
+//  * lifespan index — a TIME-SLICE window (or a windowed existential
+//    SELECT-IF) probes the interval index for tuples alive during the
+//    window.
+//
+// Both paths are *candidate pruners*: the operator's own kernel re-runs on
+// every candidate, so a probe can only change performance, never answers.
+// Universally-quantified SELECT-IF stays on the full scan — with an empty
+// quantification domain `forall` holds vacuously, so tuples outside the
+// index's candidate set can still qualify.
+
+/// \brief Physical access paths for a base-relation read under an
+/// entry-point restriction.
+enum class AccessPath : uint8_t {
+  kFullScan,
+  kLifespanIndex,
+  kValueIndex,
+};
+
+std::string_view AccessPathName(AccessPath p);
+
+/// \brief Which indexes exist on a base relation — the optimizer's view of
+/// the catalog's registrations (storage::IndexSpec), decoupled through a
+/// function hook so the query layer never touches storage types.
+struct IndexInfo {
+  bool lifespan = false;
+  std::vector<std::string> value_attrs;
+};
+
+/// \brief Index-registration source (typically the storage catalog);
+/// nullopt when the relation has no registered indexes.
+using IndexCatalogFn =
+    std::function<std::optional<IndexInfo>(std::string_view relation)>;
+
+/// \brief One restriction node's access-path decision. `path` is the
+/// cost-based pick; the eligibility flags record which probes would be
+/// semantically valid (the force_access_path test hook consults them so a
+/// forced path the node is not eligible for falls back to the scan).
+struct AccessPathChoice {
+  AccessPath path = AccessPath::kFullScan;
+  /// A value-index probe is semantically valid for this node.
+  bool value_eligible = false;
+  /// A lifespan-index probe is semantically valid for this node.
+  bool lifespan_eligible = false;
+  /// kValueIndex: the indexed attribute and equality constant to probe.
+  std::string attr;
+  std::optional<Value> key;
+  /// The base-relation cardinality estimate the decision was based on.
+  size_t est_base = 0;
+};
+
+/// \brief Base relations at or below this estimated size keep the full
+/// scan: a probe + candidate materialization costs more than reading a
+/// handful of tuples. (force_access_path bypasses this threshold.)
+inline constexpr size_t kIndexScanMinTuples = 64;
+
+/// \brief Selects the access path for one restriction node (kSelectIf,
+/// kSelectWhen or kTimeSlice) whose *immediate* child is a base-relation
+/// reference. Other nodes get kFullScan trivially.
+AccessPathChoice ChooseAccessPath(const Expr& op, const IndexCatalogFn& indexes,
+                                  const CardinalityFn& card);
 
 /// \brief Applies the rewrite rules to a fixpoint (bounded) and returns the
 /// rewritten tree. `stats`, if non-null, receives counters.

@@ -71,6 +71,19 @@ Result<Lifespan> EvalWindow(const LsExprPtr& expr,
   return Status::Internal("unhandled lifespan expression kind");
 }
 
+/// The resolver-backed exact-size cardinality fallback used when no
+/// catalog is wired in (shared by the join-strategy and access-path
+/// choosers).
+CardinalityFn CardinalityOrExact(const CardinalityFn& card,
+                                 const PlanResolver& resolver) {
+  if (card) return card;
+  return [&resolver](std::string_view name) -> std::optional<size_t> {
+    auto rel = resolver(name);
+    if (!rel.ok()) return std::nullopt;
+    return (*rel)->size();
+  };
+}
+
 /// The optimizer's strategy choice for one JOIN node, with the forced
 /// override (differential tests) applied — a forced strategy the node is
 /// not eligible for falls back to nested loop rather than mis-executing.
@@ -78,16 +91,8 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
                              const RelationScheme& rs,
                              const PlanResolver& resolver,
                              const PlanOptions& options) {
-  CardinalityFn card = options.cardinality;
-  if (!card) {
-    // Exact stored sizes through the resolver (the no-catalog default).
-    card = [&resolver](std::string_view name) -> std::optional<size_t> {
-      auto rel = resolver(name);
-      if (!rel.ok()) return std::nullopt;
-      return (*rel)->size();
-    };
-  }
-  JoinChoice choice = ChooseJoinStrategy(e, ls, rs, card);
+  JoinChoice choice = ChooseJoinStrategy(
+      e, ls, rs, CardinalityOrExact(options.cardinality, resolver));
   if (options.force_join_strategy) {
     switch (*options.force_join_strategy) {
       case JoinStrategy::kNestedLoop:
@@ -108,6 +113,15 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
   return choice;
 }
 
+/// FNV-1a step combining one column's raw value digest into a running key
+/// digest. HashEquiJoinCursor::DigestOf folds every join column through
+/// this; the index-fed build path folds the single digest a value index
+/// stored, so both sides of a probe agree bucket-for-bucket.
+uint64_t CombineKeyDigest(uint64_t h, uint64_t column_digest) {
+  return (h ^ column_digest) * 0x100000001b3ULL;
+}
+constexpr uint64_t kKeyDigestSeed = 0xcbf29ce484222325ULL;
+
 }  // namespace
 
 // --- ScanCursor --------------------------------------------------------------
@@ -115,7 +129,9 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
 ScanCursor::ScanCursor(const Relation& rel, PlanStats* stats)
     : Cursor(rel.scheme(), stats),
       tuples_(rel.tuple_ptrs()),
-      materialized_(rel.materialized()) {}
+      materialized_(rel.materialized()) {
+  ++stats_->scans_full;
+}
 
 Result<TuplePtr> ScanCursor::Next() {
   if (pos_ >= tuples_.size()) return TuplePtr();
@@ -124,6 +140,30 @@ Result<TuplePtr> ScanCursor::Next() {
   if (materialized_) return t;
   // Representation → model mapping (Figure 9), one tuple at a time: the
   // streaming analogue of MaterializeRelation.
+  HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
+  return std::make_shared<const Tuple>(std::move(m));
+}
+
+// --- IndexScanCursor ---------------------------------------------------------
+
+IndexScanCursor::IndexScanCursor(SchemePtr scheme, IndexProbeResult probe,
+                                 AccessPath path, PlanStats* stats)
+    : Cursor(std::move(scheme), stats),
+      tuples_(std::move(probe.candidates)),
+      materialized_(probe.materialized) {
+  if (path == AccessPath::kValueIndex) {
+    ++stats_->scans_value_index;
+  } else {
+    ++stats_->scans_lifespan_index;
+  }
+  stats_->index_candidates += tuples_.size();
+}
+
+Result<TuplePtr> IndexScanCursor::Next() {
+  if (pos_ >= tuples_.size()) return TuplePtr();
+  ++stats_->tuples_scanned;
+  const TuplePtr& t = tuples_[pos_++];
+  if (materialized_) return t;
   HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
   return std::make_shared<const Tuple>(std::move(m));
 }
@@ -321,6 +361,22 @@ HashEquiJoinCursor::HashEquiJoinCursor(
   ++stats_->joins_hash;
 }
 
+HashEquiJoinCursor::HashEquiJoinCursor(
+    CursorPtr probe, IndexedBuildSide build, bool build_left,
+    std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
+    JoinPairFn pair, PlanStats* stats)
+    : Cursor(assembly.scheme(), stats),
+      build_left_(build_left),
+      key_attrs_(std::move(key_attrs)),
+      assembly_(std::move(assembly)),
+      pair_(std::move(pair)),
+      prebuilt_(std::move(build)) {
+  // The probe cursor takes the input slot the build side vacated.
+  (build_left_ ? right_ : left_) = std::move(probe);
+  ++stats_->joins_hash;
+  ++stats_->hash_builds_from_index;
+}
+
 HashEquiJoinCursor::~HashEquiJoinCursor() {
   stats_->OnRelease(build_.size());
 }
@@ -330,17 +386,44 @@ std::optional<uint64_t> HashEquiJoinCursor::DigestOf(const Tuple& t,
   // A tuple's join columns digest time-invariantly only if every one is a
   // constant function over its lifespan (the paper's CD membership). Mixed
   // digests combine per-column digests order-sensitively.
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = kKeyDigestSeed;
   for (const auto& [la, ra] : key_attrs_) {
     const TemporalValue& v = t.value(left_side ? la : ra);
     if (!v.IsConstant()) return std::nullopt;
-    h = (h ^ JoinKeyDigest(v.ConstantValue())) * 0x100000001b3ULL;
+    h = CombineKeyDigest(h, JoinKeyDigest(v.ConstantValue()));
   }
   return h;
 }
 
 Status HashEquiJoinCursor::Prime() {
   primed_ = true;
+  if (prebuilt_) {
+    // Index-fed build: the value index already partitioned the build side
+    // by the raw digest of its (single) join column; fold each group's
+    // digest exactly as DigestOf folds the probe side's.
+    auto adopt = [&](TuplePtr t) -> Result<size_t> {
+      if (!prebuilt_->materialized) {
+        HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
+        t = std::make_shared<const Tuple>(std::move(m));
+      }
+      build_.push_back(std::move(t));
+      stats_->OnBuffer(1);
+      return build_.size() - 1;
+    };
+    for (auto& [digest, tuples] : prebuilt_->groups) {
+      const uint64_t h = CombineKeyDigest(kKeyDigestSeed, digest);
+      for (TuplePtr& t : tuples) {
+        HRDM_ASSIGN_OR_RETURN(size_t idx, adopt(std::move(t)));
+        buckets_[h].push_back(idx);
+      }
+    }
+    for (TuplePtr& t : prebuilt_->varying) {
+      HRDM_ASSIGN_OR_RETURN(size_t idx, adopt(std::move(t)));
+      varying_.push_back(idx);
+    }
+    prebuilt_.reset();
+    return Status::OK();
+  }
   Cursor* build_child = build_left_ ? left_.get() : right_.get();
   while (true) {
     HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
@@ -560,6 +643,135 @@ Result<std::optional<Relation>> SetOpCursor::TakeBuffered() {
 
 // --- lowering ----------------------------------------------------------------
 
+namespace {
+
+/// The access path to actually lower for one restriction node: the
+/// chooser's cost-based pick, with the forced override (differential tests)
+/// applied — a forced path the node is not eligible for falls back to the
+/// full scan rather than mis-executing.
+AccessPath ResolveAccessPath(const AccessPathChoice& choice,
+                             const PlanOptions& options) {
+  if (!options.force_access_path) return choice.path;
+  switch (*options.force_access_path) {
+    case AccessPath::kFullScan:
+      return AccessPath::kFullScan;
+    case AccessPath::kValueIndex:
+      return choice.value_eligible ? AccessPath::kValueIndex
+                                   : AccessPath::kFullScan;
+    case AccessPath::kLifespanIndex:
+      return choice.lifespan_eligible ? AccessPath::kLifespanIndex
+                                      : AccessPath::kFullScan;
+  }
+  return AccessPath::kFullScan;
+}
+
+/// Lowers the input of a restriction node (`op.left`): an IndexScanCursor
+/// over a storage-index probe when the access-path chooser picks one (and
+/// the probe hooks actually serve it), the ordinary recursive lowering —
+/// a full ScanCursor for base relations — otherwise. `window` is the
+/// operator's already-evaluated slice/quantification window, when it has
+/// one (lifespan probes need it).
+Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
+                                        const PlanResolver& resolver,
+                                        PlanStats* stats,
+                                        const PlanOptions& options) {
+  if (op.left && op.left->kind == ExprKind::kRelationRef) {
+    const AccessPathChoice choice = ChooseAccessPath(
+        op, options.index_catalog,
+        CardinalityOrExact(options.cardinality, resolver));
+    const AccessPath path = ResolveAccessPath(choice, options);
+    if (path == AccessPath::kValueIndex && options.value_probe && choice.key) {
+      if (auto probe = options.value_probe(op.left->relation, choice.attr,
+                                           *choice.key)) {
+        HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(op.left->relation));
+        return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
+                                             AccessPath::kValueIndex, stats));
+      }
+    }
+    if (path == AccessPath::kLifespanIndex && options.lifespan_probe &&
+        window != nullptr) {
+      if (auto probe = options.lifespan_probe(op.left->relation, *window)) {
+        HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(op.left->relation));
+        return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
+                                             AccessPath::kLifespanIndex,
+                                             stats));
+      }
+    }
+  }
+  return LowerExpr(op.left, resolver, stats, options);
+}
+
+/// Attempts an index-fed hash equi-join lowering: when both operands are
+/// bare base relations, the chooser picks kHash, and the build side carries
+/// a value index on its (single) join attribute, the build cursor is
+/// skipped entirely — the index's pre-partitioned groups become the hash
+/// table and only the probe side is lowered. Returns a null cursor when not
+/// applicable (caller falls back to the ordinary join lowering); restricted
+/// to bare-relation operands so the decision needs no speculative lowering.
+Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
+                                      const PlanResolver& resolver,
+                                      PlanStats* stats,
+                                      const PlanOptions& options) {
+  if (!options.indexed_build) return CursorPtr();
+  if (options.force_access_path == AccessPath::kFullScan) return CursorPtr();
+  if (!expr->left || expr->left->kind != ExprKind::kRelationRef ||
+      !expr->right || expr->right->kind != ExprKind::kRelationRef) {
+    return CursorPtr();
+  }
+  HRDM_ASSIGN_OR_RETURN(const Relation* lrel, resolver(expr->left->relation));
+  HRDM_ASSIGN_OR_RETURN(const Relation* rrel, resolver(expr->right->relation));
+  const SchemePtr& ls = lrel->scheme();
+  const SchemePtr& rs = rrel->scheme();
+  const JoinChoice choice =
+      ResolveJoinChoice(*expr, *ls, *rs, resolver, options);
+  if (choice.strategy != JoinStrategy::kHash) return CursorPtr();
+
+  std::vector<std::pair<size_t, size_t>> key_attrs;
+  std::string build_attr;
+  SchemePtr out_scheme;
+  JoinPairFn pair;
+  if (expr->kind == ExprKind::kThetaJoin) {
+    HRDM_ASSIGN_OR_RETURN(size_t ia, ls->RequireIndex(expr->attr_a));
+    HRDM_ASSIGN_OR_RETURN(size_t ib, rs->RequireIndex(expr->attr_b));
+    key_attrs = {{ia, ib}};
+    build_attr = choice.build_left ? expr->attr_a : expr->attr_b;
+    HRDM_ASSIGN_OR_RETURN(out_scheme,
+                          ThetaJoinScheme(ls, expr->attr_a, rs, expr->attr_b));
+    pair = [ia, op = expr->op, ib](const Tuple& t1, const Tuple& t2) {
+      return ThetaJoinPairLifespan(t1, ia, op, t2, ib);
+    };
+  } else if (expr->kind == ExprKind::kNaturalJoin) {
+    std::vector<std::pair<size_t, size_t>> shared = SharedAttributes(*ls, *rs);
+    // A multi-column natural join would need a composite-key index; single
+    // per-attribute indexes only serve the one-shared-attribute shape.
+    if (shared.size() != 1) return CursorPtr();
+    build_attr = ls->attribute(shared[0].first).name;
+    key_attrs = std::move(shared);
+    HRDM_ASSIGN_OR_RETURN(out_scheme, NaturalJoinScheme(ls, rs));
+    pair = [key_attrs](const Tuple& t1, const Tuple& t2) -> Result<Lifespan> {
+      return NaturalJoinPairLifespan(t1, t2, key_attrs);
+    };
+  } else {
+    return CursorPtr();
+  }
+
+  const ExprPtr& build_expr = choice.build_left ? expr->left : expr->right;
+  std::optional<IndexedBuildSide> build =
+      options.indexed_build(build_expr->relation, build_attr);
+  if (!build) return CursorPtr();
+
+  HRDM_ASSIGN_OR_RETURN(
+      CursorPtr probe,
+      LowerExpr(choice.build_left ? expr->right : expr->left, resolver, stats,
+                options));
+  JoinAssembly assembly(std::move(out_scheme), *ls, *rs);
+  return CursorPtr(new HashEquiJoinCursor(
+      std::move(probe), std::move(*build), choice.build_left,
+      std::move(key_attrs), std::move(assembly), std::move(pair), stats));
+}
+
+}  // namespace
+
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                             PlanStats* stats) {
   return LowerExpr(expr, resolver, stats, PlanOptions{});
@@ -575,21 +787,26 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       return CursorPtr(new ScanCursor(*rel, stats));
     }
     case ExprKind::kSelectIf: {
-      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
+      // The window is a parameter, not a stream: evaluate it first so a
+      // lifespan-index probe can use it when the chooser picks that path.
       std::optional<Lifespan> window;
       if (expr->window) {
         HRDM_ASSIGN_OR_RETURN(
             Lifespan w, EvalWindow(expr->window, resolver, stats, options));
         window = std::move(w);
       }
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr child,
+          LowerRestrictionInput(*expr, window ? &*window : nullptr, resolver,
+                                stats, options));
       return CursorPtr(new SelectIfCursor(std::move(child), *expr->predicate,
                                           expr->quantifier,
                                           std::move(window), stats));
     }
     case ExprKind::kSelectWhen: {
-      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr child,
+          LowerRestrictionInput(*expr, nullptr, resolver, stats, options));
       return CursorPtr(
           new SelectWhenCursor(std::move(child), *expr->predicate, stats));
     }
@@ -606,10 +823,11 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                                          std::move(src), stats));
     }
     case ExprKind::kTimeSlice: {
-      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(
           Lifespan window, EvalWindow(expr->window, resolver, stats, options));
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr child,
+          LowerRestrictionInput(*expr, &window, resolver, stats, options));
       return CursorPtr(
           new TimeSliceCursor(std::move(child), std::move(window), stats));
     }
@@ -661,6 +879,9 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           stats));
     }
     case ExprKind::kThetaJoin: {
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, stats, options));
+      if (fed) return fed;
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
                             LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
@@ -690,6 +911,9 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           std::move(pair), stats));
     }
     case ExprKind::kNaturalJoin: {
+      HRDM_ASSIGN_OR_RETURN(
+          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, stats, options));
+      if (fed) return fed;
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
                             LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,

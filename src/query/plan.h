@@ -39,9 +39,21 @@
 ///    effective-span start and sweeps a chronon-interval frontier so only
 ///    pairs whose spans can overlap are tested.
 ///
+/// Base relations are read through one of two leaves, picked by the
+/// optimizer's `ChooseAccessPath` (query/optimizer.h) at lowering time:
+///  * `ScanCursor` — the full scan, streaming every stored tuple;
+///  * `IndexScanCursor` — an access-path read: the candidate set of a
+///    storage-index probe (lifespan interval index for TIME-SLICE windows,
+///    value equality index for sargable SELECT-IF/SELECT-WHEN conjuncts —
+///    see storage/index.h), reached through the probe hooks of
+///    `PlanOptions` so this layer never depends on storage types. The
+///    enclosing operator's kernel re-checks every candidate, so index scans
+///    prune work, never change answers.
+///
 /// `PlanStats::peak_buffered` is the peak intermediate tuple count: 0 for a
 /// fully streaming pipeline. tests/plan_test.cc asserts this, and
-/// bench/bench_executor.cc and bench/bench_join.cc track it.
+/// bench/bench_executor.cc, bench/bench_join.cc and bench/bench_scan.cc
+/// track it alongside the access-path and join-strategy counters.
 
 #include <cstdint>
 #include <functional>
@@ -65,6 +77,40 @@ namespace hrdm::query {
 /// executor.h's Resolver; redeclared here to avoid a circular include).
 using PlanResolver = std::function<Result<const Relation*>(std::string_view)>;
 
+/// \brief The result of probing a storage index for a base-relation read: a
+/// superset of the qualifying tuples, plus whether they are already
+/// model-level (materialized) or still need per-tuple interpolation.
+struct IndexProbeResult {
+  std::vector<TuplePtr> candidates;
+  bool materialized = false;
+};
+
+/// \brief Probes a lifespan interval index: tuples of `relation` alive at
+/// some chronon of `window`. nullopt when no such index exists.
+using LifespanProbeFn = std::function<std::optional<IndexProbeResult>(
+    std::string_view relation, const Lifespan& window)>;
+
+/// \brief Probes a value equality index: candidate tuples of `relation`
+/// with `attr = key` at some chronon (the matching digest bucket plus every
+/// varying-valued tuple). nullopt when no such index exists.
+using ValueProbeFn = std::function<std::optional<IndexProbeResult>(
+    std::string_view relation, std::string_view attr, const Value& key)>;
+
+/// \brief A hash-join build side served pre-partitioned from a storage
+/// value index: one (raw value digest, tuples) group per constant-valued
+/// bucket, plus the varying-valued fallback tuples.
+struct IndexedBuildSide {
+  std::vector<std::pair<uint64_t, std::vector<TuplePtr>>> groups;
+  std::vector<TuplePtr> varying;
+  bool materialized = false;
+};
+
+/// \brief Fetches the pre-partitioned contents of a value index on
+/// `relation`.`attr` for a hash-join build side; nullopt when no such index
+/// exists.
+using IndexedBuildFn = std::function<std::optional<IndexedBuildSide>(
+    std::string_view relation, std::string_view attr)>;
+
 /// \brief Execution counters shared by every cursor of one physical plan.
 struct PlanStats {
   /// Tuples pulled out of base-relation scan leaves.
@@ -84,6 +130,18 @@ struct PlanStats {
   /// Join pairs whose exact per-pair lifespan kernel ran (the pruning
   /// metric: product tests |l|·|r| pairs, hash/merge far fewer).
   size_t join_pairs_tested = 0;
+  /// Base-relation leaves by access path (records what the optimizer's
+  /// ChooseAccessPath picked — the scan analogue of the joins_* counters).
+  size_t scans_full = 0;
+  size_t scans_lifespan_index = 0;
+  size_t scans_value_index = 0;
+  /// Candidate tuples handed over by index probes. Compare against the
+  /// base-relation size for the access-path pruning metric (the scan
+  /// analogue of join_pairs_tested).
+  size_t index_candidates = 0;
+  /// Hash joins whose build side was fed pre-partitioned from a value
+  /// index instead of draining and digesting a build cursor.
+  size_t hash_builds_from_index = 0;
 
   void OnBuffer(size_t n) {
     buffered_now += n;
@@ -144,6 +202,24 @@ using CursorPtr = std::unique_ptr<Cursor>;
 class ScanCursor : public Cursor {
  public:
   ScanCursor(const Relation& rel, PlanStats* stats);
+  Result<TuplePtr> Next() override;
+
+ private:
+  std::vector<TuplePtr> tuples_;
+  bool materialized_;
+  size_t pos_ = 0;
+};
+
+/// \brief Leaf: streams the candidate set of a storage-index probe
+/// (lifespan or value index — `path` records which) instead of the whole
+/// relation. Candidates are a superset of the qualifying tuples; the
+/// enclosing operator's kernel re-checks each one, so the scan is exact.
+/// Like ScanCursor, non-materialized candidates are interpolated one tuple
+/// at a time.
+class IndexScanCursor : public Cursor {
+ public:
+  IndexScanCursor(SchemePtr scheme, IndexProbeResult probe, AccessPath path,
+                  PlanStats* stats);
   Result<TuplePtr> Next() override;
 
  private:
@@ -272,6 +348,14 @@ class HashEquiJoinCursor : public Cursor {
                      std::vector<std::pair<size_t, size_t>> key_attrs,
                      JoinAssembly assembly, JoinPairFn pair,
                      PlanStats* stats);
+  /// Index-fed build: the build side arrives pre-partitioned from a storage
+  /// value index (single-column equality only), so no build cursor is
+  /// drained or digested; `probe` is the *other* input. The build tuples
+  /// still buffer (and count in PlanStats) exactly as in the drained form.
+  HashEquiJoinCursor(CursorPtr probe, IndexedBuildSide build, bool build_left,
+                     std::vector<std::pair<size_t, size_t>> key_attrs,
+                     JoinAssembly assembly, JoinPairFn pair,
+                     PlanStats* stats);
   ~HashEquiJoinCursor() override;
   Result<TuplePtr> Next() override;
 
@@ -292,6 +376,8 @@ class HashEquiJoinCursor : public Cursor {
   JoinPairFn pair_;
 
   bool primed_ = false;
+  /// Index-fed mode: the pre-partitioned build side, consumed by Prime.
+  std::optional<IndexedBuildSide> prebuilt_;
   std::vector<TuplePtr> build_;                  // the buffered build side
   std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
   std::vector<size_t> varying_;  // build tuples without a constant digest
@@ -383,6 +469,24 @@ struct PlanOptions {
   /// on a non-equality θ-join, kMerge on anything but TIME-JOIN) fall back
   /// to nested loop.
   std::optional<JoinStrategy> force_join_strategy;
+
+  // --- access paths (storage indexes; see DatabasePlanOptions in
+  // executor.h for the hooks wired to a Database) -----------------------------
+
+  /// Which indexes exist per base relation, for the access-path chooser.
+  /// When null, every base read is a full scan.
+  IndexCatalogFn index_catalog;
+  /// Probes a lifespan interval index for TIME-SLICE / windowed SELECT-IF.
+  LifespanProbeFn lifespan_probe;
+  /// Probes a value equality index for sargable SELECT-IF / SELECT-WHEN.
+  ValueProbeFn value_probe;
+  /// Serves a hash-join build side pre-partitioned from a value index.
+  IndexedBuildFn indexed_build;
+  /// Test hook (the index differential fuzz): force every *eligible*
+  /// restriction onto one access path; nodes the path is not valid for (or
+  /// relations without the index) fall back to the full scan. kFullScan
+  /// disables index scans and index-fed hash builds entirely.
+  std::optional<AccessPath> force_access_path;
 };
 
 /// \brief A lowered physical plan: owns the cursor tree and its stats.

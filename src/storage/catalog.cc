@@ -48,6 +48,7 @@ Status Catalog::Drop(std::string_view name) {
   }
   schemes_.erase(it);
   if (auto st = stats_.find(name); st != stats_.end()) stats_.erase(st);
+  if (auto ix = indexes_.find(name); ix != indexes_.end()) indexes_.erase(ix);
   return Status::OK();
 }
 
@@ -59,6 +60,35 @@ void Catalog::SetTupleCount(std::string_view relation, size_t n) {
 std::optional<RelationStats> Catalog::Stats(std::string_view relation) const {
   auto it = stats_.find(relation);
   if (it == stats_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Catalog::RegisterLifespanIndex(std::string_view relation) {
+  if (!Contains(relation)) {
+    return Status::NotFound("scheme " + std::string(relation) +
+                            " not in catalog");
+  }
+  indexes_[std::string(relation)].lifespan = true;
+  return Status::OK();
+}
+
+Status Catalog::RegisterValueIndex(std::string_view relation,
+                                   std::string_view attr) {
+  if (!Contains(relation)) {
+    return Status::NotFound("scheme " + std::string(relation) +
+                            " not in catalog");
+  }
+  IndexSpec& spec = indexes_[std::string(relation)];
+  if (std::find(spec.value_attrs.begin(), spec.value_attrs.end(), attr) ==
+      spec.value_attrs.end()) {
+    spec.value_attrs.emplace_back(attr);
+  }
+  return Status::OK();
+}
+
+std::optional<IndexSpec> Catalog::Indexes(std::string_view relation) const {
+  auto it = indexes_.find(relation);
+  if (it == indexes_.end()) return std::nullopt;
   return it->second;
 }
 

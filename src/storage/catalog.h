@@ -20,6 +20,15 @@
 ///
 /// Schemes are immutable; evolution replaces the registered SchemePtr.
 /// Database (database.h) rebinds stored tuples after each change.
+///
+/// Layer contract: the catalog is pure metadata — schemes, advisory
+/// per-relation statistics, and access-path index *registrations* (which
+/// indexes exist; the index data itself lives in storage/index.h and is
+/// owned by Database). The query optimizer reads stats and registrations
+/// through function hooks (`query::CardinalityFn`, `query::IndexCatalogFn`)
+/// so plans can be chosen without the query layer depending on storage
+/// internals. Everything here is advisory: stale or missing entries change
+/// plans, never answers.
 
 #include <map>
 #include <optional>
@@ -37,6 +46,17 @@ namespace hrdm::storage {
 /// missing stats change plans, never answers.
 struct RelationStats {
   size_t tuple_count = 0;
+};
+
+/// \brief Which access-path indexes are registered on a relation (the
+/// optimizer's view; the index data lives in Database). Advisory like
+/// RelationStats: a registration without data simply keeps the full-scan
+/// path.
+struct IndexSpec {
+  /// A lifespan interval index over tuple lifespans exists.
+  bool lifespan = false;
+  /// Attributes carrying a value (equality) index.
+  std::vector<std::string> value_attrs;
 };
 
 /// \brief A registry of named, keyed relation schemes with evolution
@@ -85,11 +105,25 @@ class Catalog {
   /// relation is not in the catalog).
   std::optional<RelationStats> Stats(std::string_view relation) const;
 
+  // --- index registrations ----------------------------------------------------
+
+  /// \brief Records that a lifespan index exists on `relation`. Errors on
+  /// unknown relations (index registrations, unlike stats, are issued by
+  /// DDL and should fail loudly).
+  Status RegisterLifespanIndex(std::string_view relation);
+
+  /// \brief Records a value index on `relation`.`attr` (idempotent).
+  Status RegisterValueIndex(std::string_view relation, std::string_view attr);
+
+  /// \brief The index registrations of `relation`; nullopt when none.
+  std::optional<IndexSpec> Indexes(std::string_view relation) const;
+
  private:
   Status Mutate(std::string_view relation, SchemePtr replacement);
 
   std::map<std::string, SchemePtr, std::less<>> schemes_;
   std::map<std::string, RelationStats, std::less<>> stats_;
+  std::map<std::string, IndexSpec, std::less<>> indexes_;
 };
 
 }  // namespace hrdm::storage

@@ -12,6 +12,14 @@
 ///
 /// Records are length-prefixed so a torn final record (crash mid-append)
 /// is detected and ignored rather than corrupting the replay.
+///
+/// Layer contract: sits beside Database at the top of the storage engine
+/// and records the paper's life-cycle events (§1–2: birth, death,
+/// reincarnation, temporal assignment, the Figure 6 schema-evolution
+/// operations) — one record per *logical* operation, so a replayed history
+/// is readable as the database's biography. Derived state (access-path
+/// indexes, catalog statistics) is intentionally not logged: it is
+/// advisory and rebuilt by DDL, never part of durability.
 
 #include <string>
 #include <vector>

@@ -24,6 +24,7 @@ Status Database::CreateRelation(SchemePtr scheme) {
 Status Database::DropRelation(std::string_view name) {
   HRDM_RETURN_IF_ERROR(catalog_.Drop(name));
   relations_.erase(relations_.find(name));
+  if (auto it = indexes_.find(name); it != indexes_.end()) indexes_.erase(it);
   for (const ForeignKey& fk : fks_) {
     if (fk.child == name || fk.parent == name) {
       // Drop dependent FK declarations silently; integrity of the rest is
@@ -64,7 +65,38 @@ Status Database::Rebind(std::string_view relation) {
     HRDM_RETURN_IF_ERROR(rebound.Insert(t.Rebind(scheme)));
   }
   *rel = std::move(rebound);
+  // Every tuple object was replaced, so incremental index maintenance
+  // cannot apply: rebuild against the evolved scheme.
+  if (auto it = indexes_.find(relation); it != indexes_.end()) {
+    HRDM_RETURN_IF_ERROR(it->second.Rebuild(*rel));
+  }
   return Status::OK();
+}
+
+// --- access-path indexes -----------------------------------------------------
+
+Status Database::CreateLifespanIndex(std::string_view relation) {
+  HRDM_ASSIGN_OR_RETURN(const Relation* rel, Get(relation));
+  HRDM_RETURN_IF_ERROR(catalog_.RegisterLifespanIndex(relation));
+  indexes_[std::string(relation)].EnableLifespan(*rel);
+  return Status::OK();
+}
+
+Status Database::CreateValueIndex(std::string_view relation,
+                                  std::string_view attr) {
+  HRDM_ASSIGN_OR_RETURN(const Relation* rel, Get(relation));
+  HRDM_ASSIGN_OR_RETURN(size_t attr_index,
+                        rel->scheme()->RequireIndex(attr));
+  HRDM_RETURN_IF_ERROR(catalog_.RegisterValueIndex(relation, attr));
+  indexes_[std::string(relation)].EnableValue(*rel, std::string(attr),
+                                              attr_index);
+  return Status::OK();
+}
+
+const RelationIndexes* Database::indexes(std::string_view relation) const {
+  auto it = indexes_.find(relation);
+  if (it == indexes_.end()) return nullptr;
+  return &it->second;
 }
 
 Status Database::AddAttribute(std::string_view relation, AttributeDef def) {
@@ -89,6 +121,9 @@ Status Database::Insert(std::string_view relation, Tuple t) {
   HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
   HRDM_RETURN_IF_ERROR(rel->Insert(std::move(t)));
   catalog_.SetTupleCount(relation, rel->size());
+  if (auto it = indexes_.find(relation); it != indexes_.end()) {
+    it->second.OnInsert(rel->tuple_ptr(rel->size() - 1));
+  }
   return Status::OK();
 }
 
@@ -148,8 +183,14 @@ Status Database::Assign(std::string_view relation,
   for (size_t i = 0; i < t.arity(); ++i) {
     values.push_back(i == ai ? merged : t.value(i));
   }
-  return rel->ReplaceAt(idx, Tuple::FromParts(rel->scheme(), t.lifespan(),
-                                              std::move(values)));
+  const TuplePtr old_tuple = rel->tuple_ptr(idx);
+  HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
+      idx,
+      Tuple::FromParts(rel->scheme(), t.lifespan(), std::move(values))));
+  if (auto it = indexes_.find(relation); it != indexes_.end()) {
+    it->second.OnReplace(old_tuple, rel->tuple_ptr(idx));
+  }
+  return Status::OK();
 }
 
 Status Database::AssignAt(std::string_view relation,
@@ -167,12 +208,21 @@ Status Database::EndLifespan(std::string_view relation,
   const Lifespan& l = t.lifespan();
   const Lifespan remaining =
       l.empty() ? l : l.Intersect(Span(l.Min(), at - 1));
+  const TuplePtr old = rel->tuple_ptr(idx);
   if (remaining.empty()) {
     HRDM_RETURN_IF_ERROR(rel->EraseAt(idx));
     catalog_.SetTupleCount(relation, rel->size());
+    if (auto it = indexes_.find(relation); it != indexes_.end()) {
+      it->second.OnRemove(old);
+    }
     return Status::OK();
   }
-  return rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme()));
+  HRDM_RETURN_IF_ERROR(
+      rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme())));
+  if (auto it = indexes_.find(relation); it != indexes_.end()) {
+    it->second.OnReplace(old, rel->tuple_ptr(idx));
+  }
+  return Status::OK();
 }
 
 Status Database::Reincarnate(std::string_view relation,
@@ -197,8 +247,14 @@ Status Database::Reincarnate(std::string_view relation,
       values.push_back(t.value(i));
     }
   }
-  return rel->ReplaceAt(
-      idx, Tuple::FromParts(scheme, std::move(extended), std::move(values)));
+  const TuplePtr old = rel->tuple_ptr(idx);
+  HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
+      idx,
+      Tuple::FromParts(scheme, std::move(extended), std::move(values))));
+  if (auto it = indexes_.find(relation); it != indexes_.end()) {
+    it->second.OnReplace(old, rel->tuple_ptr(idx));
+  }
+  return Status::OK();
 }
 
 Status Database::RegisterForeignKey(std::string child,

@@ -22,8 +22,17 @@
 ///  * temporal referential integrity — registered foreign keys are checked
 ///    over the temporal dimension (Section 1's student/course example).
 ///
+/// Access paths: `CreateLifespanIndex`/`CreateValueIndex` build storage
+/// indexes (storage/index.h) that the engine keeps in sync through every
+/// DML mutation above (and rebuilds wholesale after schema evolution, which
+/// rebinds every tuple). Registrations live in the catalog; the query
+/// optimizer reaches both through the hooks of
+/// `query::DatabasePlanOptions`.
+///
 /// Persistence: `Save`/`Load` write a versioned binary snapshot (the
-/// physical level of Figure 9) through storage/serializer.h.
+/// physical level of Figure 9) through storage/serializer.h. Indexes are
+/// derived data and are not persisted — re-issue the index DDL after a
+/// load.
 
 #include <map>
 #include <string>
@@ -32,6 +41,7 @@
 #include "constraints/constraints.h"
 #include "core/relation.h"
 #include "storage/catalog.h"
+#include "storage/index.h"
 #include "util/status.h"
 
 namespace hrdm::storage {
@@ -109,6 +119,21 @@ class Database {
   Status Reincarnate(std::string_view relation,
                      const std::vector<Value>& key, const Lifespan& span);
 
+  // --- access-path indexes (storage/index.h) ---------------------------------
+
+  /// \brief Builds a lifespan interval index over `relation`'s tuple
+  /// lifespans and registers it in the catalog. Idempotent (re-issuing
+  /// rebuilds). O(n log n).
+  Status CreateLifespanIndex(std::string_view relation);
+
+  /// \brief Builds a value equality index on `relation`.`attr` and
+  /// registers it in the catalog. Idempotent. Errors on unknown attributes.
+  Status CreateValueIndex(std::string_view relation, std::string_view attr);
+
+  /// \brief The index set of `relation`, kept in sync with every DML
+  /// mutation; null when the relation has no indexes (or does not exist).
+  const RelationIndexes* indexes(std::string_view relation) const;
+
   // --- integrity ---------------------------------------------------------------
 
   /// \brief Declares a temporal foreign key; validated by CheckIntegrity.
@@ -146,6 +171,9 @@ class Database {
 
   Catalog catalog_;
   std::map<std::string, Relation, std::less<>> relations_;
+  /// Access-path indexes per relation (only relations with index DDL have
+  /// an entry), maintained by every mutating operation above.
+  std::map<std::string, RelationIndexes, std::less<>> indexes_;
   std::vector<ForeignKey> fks_;
 };
 

@@ -1,0 +1,211 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algebra/join.h"
+
+namespace hrdm::storage {
+
+// --- LifespanIndex -----------------------------------------------------------
+
+void LifespanIndex::Add(const TuplePtr& t) {
+  for (const Interval& iv : t->lifespan().intervals()) {
+    Entry e{iv.begin, iv.end, t};
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), e,
+        [](const Entry& a, const Entry& b) { return a.begin < b.begin; });
+    entries_.insert(pos, std::move(e));
+  }
+  tree_dirty_ = true;
+}
+
+void LifespanIndex::Remove(const TuplePtr& t) {
+  std::erase_if(entries_, [&](const Entry& e) { return e.tuple == t; });
+  tree_dirty_ = true;
+}
+
+void LifespanIndex::Rebuild(const Relation& rel) {
+  entries_.clear();
+  for (const TuplePtr& t : rel.tuple_ptrs()) {
+    for (const Interval& iv : t->lifespan().intervals()) {
+      entries_.push_back(Entry{iv.begin, iv.end, t});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.begin < b.begin; });
+  tree_dirty_ = true;
+}
+
+void LifespanIndex::EnsureTree() const {
+  if (!tree_dirty_) return;
+  tree_dirty_ = false;
+  max_end_.assign(entries_.empty() ? 0 : 4 * entries_.size(), kTimeMin);
+  if (entries_.empty()) return;
+  // Recursive build of the implicit segment tree: node covers [lo, hi) of
+  // the begin-sorted entry array; depth is log2(n).
+  auto build = [&](auto&& self, size_t node, size_t lo, size_t hi) -> TimePoint {
+    if (hi - lo == 1) {
+      max_end_[node] = entries_[lo].end;
+      return max_end_[node];
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    const TimePoint l = self(self, 2 * node + 1, lo, mid);
+    const TimePoint r = self(self, 2 * node + 2, mid, hi);
+    max_end_[node] = std::max(l, r);
+    return max_end_[node];
+  };
+  build(build, 0, 0, entries_.size());
+}
+
+void LifespanIndex::Collect(size_t node, size_t lo, size_t hi, TimePoint qb,
+                            TimePoint qe,
+                            std::vector<const Entry*>* out) const {
+  // Subtree prune 1: every interval in [lo, hi) ends before the window.
+  if (max_end_[node] < qb) return;
+  // Subtree prune 2: entries are sorted by begin, so if the first entry of
+  // this subtree begins after the window ends, all of them do.
+  if (entries_[lo].begin > qe) return;
+  if (hi - lo == 1) {
+    // Leaf: overlap test `begin <= qe && end >= qb` (both pruned above).
+    out->push_back(&entries_[lo]);
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  Collect(2 * node + 1, lo, mid, qb, qe, out);
+  Collect(2 * node + 2, mid, hi, qb, qe, out);
+}
+
+std::vector<TuplePtr> LifespanIndex::Probe(const Lifespan& window) const {
+  std::vector<TuplePtr> out;
+  if (entries_.empty() || window.empty()) return out;
+  EnsureTree();
+  std::vector<const Entry*> hits;
+  for (const Interval& iv : window.intervals()) {
+    Collect(0, 0, entries_.size(), iv.begin, iv.end, &hits);
+  }
+  // A tuple can hit several times: multiple lifespan intervals, or several
+  // window intervals touching one entry. Deduplicate by tuple identity.
+  std::unordered_set<const Tuple*> seen;
+  out.reserve(hits.size());
+  for (const Entry* e : hits) {
+    if (seen.insert(e->tuple.get()).second) out.push_back(e->tuple);
+  }
+  return out;
+}
+
+// --- ValueIndex --------------------------------------------------------------
+
+void ValueIndex::Add(const TuplePtr& t) {
+  if (attr_ >= t->arity()) {
+    // Scheme drift (the attribute column is not where we were built to
+    // look): degrade to the varying list, which every probe returns, so
+    // the superset contract holds until Rebuild re-points the index.
+    varying_.push_back(t);
+    return;
+  }
+  const TemporalValue& v = t->value(attr_);
+  if (v.IsConstant()) {
+    buckets_[JoinKeyDigest(v.ConstantValue())].push_back(t);
+    ++constant_count_;
+  } else {
+    varying_.push_back(t);
+  }
+}
+
+void ValueIndex::Remove(const TuplePtr& t) {
+  if (attr_ >= t->arity()) {
+    std::erase(varying_, t);  // where drifted tuples were Add-ed
+    return;
+  }
+  const TemporalValue& v = t->value(attr_);
+  if (v.IsConstant()) {
+    auto it = buckets_.find(JoinKeyDigest(v.ConstantValue()));
+    if (it == buckets_.end()) return;
+    const size_t before = it->second.size();
+    std::erase(it->second, t);
+    constant_count_ -= before - it->second.size();
+    if (it->second.empty()) buckets_.erase(it);
+  } else {
+    std::erase(varying_, t);
+  }
+}
+
+void ValueIndex::Rebuild(const Relation& rel) {
+  buckets_.clear();
+  varying_.clear();
+  constant_count_ = 0;
+  for (const TuplePtr& t : rel.tuple_ptrs()) Add(t);
+}
+
+std::vector<TuplePtr> ValueIndex::Probe(const Value& key) const {
+  std::vector<TuplePtr> out;
+  auto it = buckets_.find(JoinKeyDigest(key));
+  if (it != buckets_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  out.insert(out.end(), varying_.begin(), varying_.end());
+  return out;
+}
+
+// --- RelationIndexes ---------------------------------------------------------
+
+void RelationIndexes::EnableLifespan(const Relation& rel) {
+  lifespan_.emplace();
+  lifespan_->Rebuild(rel);
+}
+
+void RelationIndexes::EnableValue(const Relation& rel, std::string attr,
+                                  size_t attr_index) {
+  for (auto& [name, index] : values_) {
+    if (name == attr) {
+      index.set_attr_index(attr_index);
+      index.Rebuild(rel);
+      return;
+    }
+  }
+  values_.emplace_back(std::move(attr), ValueIndex(attr_index));
+  values_.back().second.Rebuild(rel);
+}
+
+const ValueIndex* RelationIndexes::value(std::string_view attr) const {
+  for (const auto& [name, index] : values_) {
+    if (name == attr) return &index;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RelationIndexes::value_attrs() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, index] : values_) out.push_back(name);
+  return out;
+}
+
+void RelationIndexes::OnInsert(const TuplePtr& t) {
+  if (lifespan_) lifespan_->Add(t);
+  for (auto& [name, index] : values_) index.Add(t);
+}
+
+void RelationIndexes::OnRemove(const TuplePtr& t) {
+  if (lifespan_) lifespan_->Remove(t);
+  for (auto& [name, index] : values_) index.Remove(t);
+}
+
+void RelationIndexes::OnReplace(const TuplePtr& old_tuple,
+                                const TuplePtr& new_tuple) {
+  OnRemove(old_tuple);
+  OnInsert(new_tuple);
+}
+
+Status RelationIndexes::Rebuild(const Relation& rel) {
+  if (lifespan_) lifespan_->Rebuild(rel);
+  for (auto& [name, index] : values_) {
+    HRDM_ASSIGN_OR_RETURN(size_t idx, rel.scheme()->RequireIndex(name));
+    index.set_attr_index(idx);
+    index.Rebuild(rel);
+  }
+  return Status::OK();
+}
+
+}  // namespace hrdm::storage

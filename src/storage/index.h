@@ -1,0 +1,189 @@
+#ifndef HRDM_STORAGE_INDEX_H_
+#define HRDM_STORAGE_INDEX_H_
+
+/// \file index.h
+/// \brief Storage-level access-path indexes over historical relations.
+///
+/// Layer contract: sits beside `Relation` inside the storage engine
+/// (`Database` owns one `RelationIndexes` per indexed relation and keeps it
+/// in sync with every temporal DML operation); the query layer reaches the
+/// indexes only through the function hooks of `query::PlanOptions`, so the
+/// plan layer never depends on storage types. Indexes are *advisory
+/// candidate pruners*: a probe returns a superset of the qualifying tuples
+/// and the exact per-tuple algebra kernels (SelectIfMatches,
+/// TimeSliceTuple, the join pair kernels) re-check every candidate, so a
+/// stale or lossy index can change performance, never answers — the same
+/// contract as `Catalog`'s cardinality stats.
+///
+/// Two index shapes mirror the two entry-point restrictions of the paper's
+/// algebra (§4.3–4.4):
+///
+///  * `LifespanIndex` — an interval index over tuple lifespans, answering
+///    "which tuples are alive during window L" for TIME-SLICE windows and
+///    windowed SELECT-IF/SELECT-WHEN evaluation. Tuples are coded one entry
+///    per maximal lifespan interval, sorted by interval start, with an
+///    implicit segment tree of interval ends for O(log n + k) overlap
+///    queries.
+///
+///  * `ValueIndex` — an equality index over one attribute's values, keyed
+///    by the time-invariant `JoinKeyDigest` of the value when the attribute
+///    is constant over the tuple's lifespan (the paper's CD membership);
+///    tuples whose value *varies* over their lifespan live in a per-chronon
+///    fallback list that every probe returns (they may match any value at
+///    some chronon) — exactly the hash-join design of
+///    `query::HashEquiJoinCursor`, so the same index can feed a hash-join
+///    build side.
+///
+/// Indexes are not persisted: snapshots (`Database::Save`) carry only the
+/// data, and index definitions are re-issued after a load.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lifespan.h"
+#include "core/relation.h"
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace hrdm::storage {
+
+/// \brief Sorted interval index over tuple lifespans: answers overlap
+/// queries "which tuples are alive at some chronon of L".
+///
+/// Entries are (interval, tuple) pairs — one per maximal interval of each
+/// tuple's lifespan — kept sorted by interval begin. A lazily rebuilt
+/// implicit segment tree over interval ends prunes whole subranges whose
+/// intervals all end before the query window, giving O(log n + k) probes
+/// after any run of mutations (the first probe after a mutation pays the
+/// O(n) tree rebuild, amortized across probes).
+class LifespanIndex {
+ public:
+  /// \brief Adds every lifespan interval of `t`. O(intervals · n) worst
+  /// case (sorted insertion); use Rebuild for bulk loads.
+  void Add(const TuplePtr& t);
+
+  /// \brief Removes every entry of the exact tuple object `t` (pointer
+  /// identity — the storage engine replaces tuples wholesale). O(n).
+  void Remove(const TuplePtr& t);
+
+  /// \brief Drops everything and re-indexes `rel` in one O(n log n) pass.
+  void Rebuild(const Relation& rel);
+
+  /// \brief All tuples whose lifespan overlaps `window`, deduplicated.
+  /// The result is exact for lifespans (entries are real intervals, not
+  /// extents), but callers still re-apply the algebra kernel for the
+  /// enclosing operator's semantics.
+  std::vector<TuplePtr> Probe(const Lifespan& window) const;
+
+  /// \brief Number of (interval, tuple) entries.
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint begin;
+    TimePoint end;
+    TuplePtr tuple;
+  };
+
+  void EnsureTree() const;
+  void Collect(size_t node, size_t lo, size_t hi, TimePoint qb, TimePoint qe,
+               std::vector<const Entry*>* out) const;
+
+  std::vector<Entry> entries_;  // sorted by begin
+  /// Segment tree over entries_ holding the max interval end per subtree;
+  /// rebuilt lazily after mutations (probes are const, hence mutable).
+  mutable std::vector<TimePoint> max_end_;
+  mutable bool tree_dirty_ = true;
+};
+
+/// \brief Equality index over one attribute: constant-valued tuples are
+/// bucketed by the `JoinKeyDigest` of their value, varying-valued tuples go
+/// to a fallback list every probe returns.
+class ValueIndex {
+ public:
+  explicit ValueIndex(size_t attr_index) : attr_(attr_index) {}
+
+  /// \brief Index of the attribute this index covers (into the relation
+  /// scheme the index was built against).
+  size_t attr_index() const { return attr_; }
+
+  /// \brief Re-points the index at a (possibly shifted) attribute column
+  /// after schema evolution; callers follow with Rebuild.
+  void set_attr_index(size_t attr_index) { attr_ = attr_index; }
+
+  void Add(const TuplePtr& t);
+  void Remove(const TuplePtr& t);
+  void Rebuild(const Relation& rel);
+
+  /// \brief Candidate tuples for `attr = key`: the digest bucket of `key`
+  /// plus every varying-valued tuple. A superset of the exact answer
+  /// (digest collisions and varying tuples are filtered downstream by the
+  /// predicate kernel); never misses a qualifying tuple.
+  std::vector<TuplePtr> Probe(const Value& key) const;
+
+  /// \brief Read-only view of the constant-digest buckets, keyed by the
+  /// raw `JoinKeyDigest` of the bucket's (constant) attribute value — the
+  /// zero-copy feed for a hash-join build side.
+  const std::unordered_map<uint64_t, std::vector<TuplePtr>>& buckets() const {
+    return buckets_;
+  }
+
+  /// \brief The varying-valued fallback tuples.
+  const std::vector<TuplePtr>& Varying() const { return varying_; }
+
+  size_t entry_count() const { return constant_count_ + varying_.size(); }
+
+ private:
+  size_t attr_;
+  std::unordered_map<uint64_t, std::vector<TuplePtr>> buckets_;
+  std::vector<TuplePtr> varying_;
+  size_t constant_count_ = 0;
+};
+
+/// \brief The full index set of one stored relation, maintained by
+/// `Database` through every DML mutation (birth, death, reincarnation,
+/// assignment) and rebuilt after schema evolution.
+class RelationIndexes {
+ public:
+  /// \brief Builds (or rebuilds) the lifespan index from `rel`.
+  void EnableLifespan(const Relation& rel);
+
+  /// \brief Builds (or rebuilds) a value index on attribute `attr` (at
+  /// column `attr_index` of `rel`'s scheme).
+  void EnableValue(const Relation& rel, std::string attr, size_t attr_index);
+
+  bool has_lifespan() const { return lifespan_.has_value(); }
+  const LifespanIndex* lifespan() const {
+    return lifespan_ ? &*lifespan_ : nullptr;
+  }
+
+  /// \brief The value index on `attr`, or null when none exists.
+  const ValueIndex* value(std::string_view attr) const;
+
+  /// \brief Names of all value-indexed attributes.
+  std::vector<std::string> value_attrs() const;
+
+  // --- incremental maintenance (called by Database) ---------------------------
+
+  void OnInsert(const TuplePtr& t);
+  void OnRemove(const TuplePtr& t);
+  void OnReplace(const TuplePtr& old_tuple, const TuplePtr& new_tuple);
+
+  /// \brief Full rebuild against `rel`'s current scheme and tuples (schema
+  /// evolution rebinds every tuple, so incremental maintenance cannot
+  /// apply). Errors if a value-indexed attribute vanished from the scheme.
+  Status Rebuild(const Relation& rel);
+
+ private:
+  std::optional<LifespanIndex> lifespan_;
+  /// attr name -> value index (ordered for deterministic iteration).
+  std::vector<std::pair<std::string, ValueIndex>> values_;
+};
+
+}  // namespace hrdm::storage
+
+#endif  // HRDM_STORAGE_INDEX_H_

@@ -1,12 +1,17 @@
 // Randomized DML integration test ("fuzz-lite"): long random sequences of
 // storage-engine operations must (a) never crash, (b) keep every relation
-// well-formed after every batch, and (c) leave the write-ahead log
-// replayable into a byte-identical database — the crash-recovery
-// guarantee.
+// well-formed after every batch, (c) leave the write-ahead log replayable
+// into a byte-identical database — the crash-recovery guarantee — and
+// (d) keep every access-path index (storage/index.h) exact: index-scan
+// plans must return tuple-for-tuple the same relations as full-scan plans
+// after any mutation history (the IndexDifferentialFuzzTest suite runs
+// that differential over 100 independent random sequences).
 
 #include <gtest/gtest.h>
 
 #include "constraints/constraints.h"
+#include "query/executor.h"
+#include "query/plan.h"
 #include "storage/changelog.h"
 #include "test_seeds.h"
 #include "util/random.h"
@@ -16,6 +21,61 @@ namespace {
 
 constexpr TimePoint kHorizon = 120;
 constexpr char kSeedEnv[] = "HRDM_DML_FUZZ_SEEDS";
+constexpr char kIndexSeedEnv[] = "HRDM_INDEX_FUZZ_SEEDS";
+
+/// Evaluates `expr` against `db` with every access path forced in turn and
+/// asserts the answers are identical as sets. The full scan is the
+/// reference; value/lifespan probes that are not eligible for `expr` fall
+/// back to the scan, so forcing both is always safe.
+void ExpectIndexScanParity(const Database& db, const query::ExprPtr& expr) {
+  auto eval = [&db, &expr](std::optional<query::AccessPath> force)
+      -> Result<Relation> {
+    query::PlanOptions options = query::DatabasePlanOptions(db);
+    options.force_access_path = force;
+    HRDM_ASSIGN_OR_RETURN(
+        query::Plan plan,
+        query::Plan::Lower(expr, query::DatabaseResolver(db), options));
+    return plan.Drain();
+  };
+  auto full = eval(query::AccessPath::kFullScan);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  for (query::AccessPath path :
+       {query::AccessPath::kValueIndex, query::AccessPath::kLifespanIndex}) {
+    auto indexed = eval(path);
+    ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+    EXPECT_TRUE(full->EqualsAsSet(*indexed))
+        << expr->ToString() << " diverges under "
+        << query::AccessPathName(path) << "\nfull scan:\n"
+        << full->ToString() << "\nindex scan:\n"
+        << indexed->ToString();
+  }
+}
+
+/// A batch of index-vs-scan differential probes: point equalities on both
+/// the int and string indexed attributes (hit and miss values) and a
+/// random TIME-SLICE / windowed SELECT-IF window.
+void CheckIndexDifferential(const Database& db, Rng* rng) {
+  const TimePoint b = rng->Uniform(0, kHorizon - 1);
+  const Lifespan window = Span(b, std::min<TimePoint>(kHorizon - 1,
+                                                      b + rng->Uniform(0, 30)));
+  const auto x_pred = Predicate::AttrConst("X", CompareOp::kEq,
+                                           Value::Int(rng->Uniform(0, 99)));
+  const auto y_pred = Predicate::AttrConst(
+      "Y", CompareOp::kEq,
+      rng->Chance(0.5) ? Value::String(rng->Identifier(4))
+                       : Value::String("miss"));
+  const query::ExprPtr queries[] = {
+      query::SelectIfE(query::Rel("obj"), x_pred, Quantifier::kExists),
+      query::SelectWhenE(query::Rel("obj"), x_pred),
+      query::SelectIfE(query::Rel("obj"), y_pred, Quantifier::kExists),
+      query::TimeSliceE(query::Rel("obj"), query::LsLiteral(window)),
+      query::SelectIfE(query::Rel("obj"), x_pred, Quantifier::kExists,
+                       query::LsLiteral(window)),
+  };
+  for (const query::ExprPtr& q : queries) {
+    ExpectIndexScanParity(db, q);
+  }
+}
 
 class DmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -34,6 +94,12 @@ TEST_P(DmlFuzzTest, RandomOperationSequences) {
                InterpolationKind::kStepwise}},
              {"Id"})
           .ok());
+  // Index everything indexable: every mutation below must keep the indexes
+  // exact (checked in the periodic audit). Index DDL is not WAL-logged —
+  // indexes are derived data, so replay equivalence is unaffected.
+  ASSERT_TRUE(ldb.db().CreateLifespanIndex("obj").ok());
+  ASSERT_TRUE(ldb.db().CreateValueIndex("obj", "X").ok());
+  ASSERT_TRUE(ldb.db().CreateValueIndex("obj", "Y").ok());
   auto key_of = [](int i) {
     return std::vector<Value>{Value::String("o" + std::to_string(i))};
   };
@@ -130,6 +196,7 @@ TEST_P(DmlFuzzTest, RandomOperationSequences) {
       ASSERT_TRUE(violations.ok());
       EXPECT_TRUE(violations->empty())
           << "step " << step << ": " << violations->front().description;
+      CheckIndexDifferential(ldb.db(), &rng);
     }
   }
   ASSERT_GT(applied_ops, 50);  // the sequence actually exercised the engine
@@ -150,6 +217,124 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, DmlFuzzTest,
     ::testing::ValuesIn(hrdm::testing::SeedsFromEnv(
         kSeedEnv, {1u, 2u, 3u, 4u, 5u, 99u, 777u, 31415u})));
+
+// --- index-vs-scan differential fuzz -----------------------------------------
+//
+// Shorter sequences, many more of them: 100 independent random DML
+// histories (insert / assign / reassignment inside a lifespan / death /
+// reincarnation / schema evolution), each asserting after every batch that
+// index-backed plans return exactly the full-scan answer. Edge cases the
+// mix is tuned to hit: reincarnation (fragmented lifespans in the interval
+// index), value reassignment (constant tuples migrating to the varying
+// list), and lifespans truncated to empty (tuple removal).
+
+class IndexDifferentialFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexDifferentialFuzzTest, IndexScansMatchFullScans) {
+  SCOPED_TRACE(hrdm::testing::SeedTrace(kIndexSeedEnv, GetParam()));
+  Rng rng(GetParam());
+  Database db;
+  const Lifespan full = Span(0, kHorizon - 1);
+  ASSERT_TRUE(db.CreateRelation(
+                    "obj",
+                    {{"Id", DomainType::kString, full,
+                      InterpolationKind::kDiscrete},
+                     {"X", DomainType::kInt, full,
+                      InterpolationKind::kStepwise},
+                     {"Y", DomainType::kString, full,
+                      InterpolationKind::kStepwise}},
+                    {"Id"})
+                  .ok());
+  ASSERT_TRUE(db.CreateLifespanIndex("obj").ok());
+  ASSERT_TRUE(db.CreateValueIndex("obj", "X").ok());
+  ASSERT_TRUE(db.CreateValueIndex("obj", "Y").ok());
+  auto key_of = [](int i) {
+    return std::vector<Value>{Value::String("o" + std::to_string(i))};
+  };
+
+  int inserted = 0;
+  for (int step = 0; step < 120; ++step) {
+    const int op = static_cast<int>(rng.Uniform(0, 9));
+    Status s;
+    switch (op) {
+      case 0:
+      case 1:
+      case 2: {  // birth
+        auto scheme = *db.catalog().Get("obj");
+        const TimePoint b = rng.Uniform(0, kHorizon - 2);
+        Tuple::Builder builder(scheme, Span(b, rng.Uniform(b, kHorizon - 1)));
+        builder.SetConstant("Id",
+                            Value::String("o" + std::to_string(inserted)));
+        // Y is left unset at birth (its ALS may have been evolved away from
+        // this chronon); Y values arrive via Assign.
+        builder.SetAt("X", b, Value::Int(rng.Uniform(0, 99)));
+        auto t = std::move(builder).Build();
+        ASSERT_TRUE(t.ok()) << t.status().ToString();
+        s = db.Insert("obj", *std::move(t));
+        if (s.ok()) ++inserted;
+        break;
+      }
+      case 3:
+      case 4: {  // reassignment inside a lifespan (may legitimately fail)
+        if (inserted == 0) continue;
+        const int target = static_cast<int>(rng.Uniform(0, inserted - 1));
+        const TimePoint b = rng.Uniform(0, kHorizon - 1);
+        const bool int_attr = rng.Chance(0.5);
+        s = db.Assign("obj", key_of(target), int_attr ? "X" : "Y",
+                      Span(b, std::min<TimePoint>(kHorizon - 1,
+                                                  b + rng.Uniform(0, 15))),
+                      int_attr ? Value::Int(rng.Uniform(0, 99))
+                               : Value::String(rng.Identifier(4)));
+        break;
+      }
+      case 5:
+      case 6: {  // death (often truncating to nothing: removal)
+        if (inserted == 0) continue;
+        s = db.EndLifespan("obj",
+                           key_of(static_cast<int>(rng.Uniform(0, inserted - 1))),
+                           rng.Uniform(1, kHorizon - 1));
+        break;
+      }
+      case 7: {  // reincarnation (fragmented lifespans)
+        if (inserted == 0) continue;
+        const TimePoint b = rng.Uniform(0, kHorizon - 2);
+        s = db.Reincarnate("obj",
+                           key_of(static_cast<int>(rng.Uniform(0, inserted - 1))),
+                           Span(b, rng.Uniform(b, kHorizon - 1)));
+        break;
+      }
+      default: {  // occasional schema evolution (forces index rebuilds)
+        if (rng.Chance(0.8)) continue;
+        s = db.CloseAttribute("obj", "Y", rng.Uniform(1, kHorizon - 1));
+        if (s.ok()) {
+          const TimePoint b = rng.Uniform(0, kHorizon - 2);
+          s = db.ReopenAttribute("obj", "Y",
+                                 Span(b, rng.Uniform(b, kHorizon - 1)));
+        }
+        break;
+      }
+    }
+    if (!s.ok()) {
+      EXPECT_NE(s.code(), StatusCode::kInternal) << s.ToString();
+      EXPECT_NE(s.code(), StatusCode::kCorruption) << s.ToString();
+    }
+    if (step % 30 == 29) {
+      CheckIndexDifferential(db, &rng);
+    }
+  }
+  CheckIndexDifferential(db, &rng);
+}
+
+/// 100 independent sequences by default (the differential acceptance bar);
+/// override with HRDM_INDEX_FUZZ_SEEDS=<comma-separated> to replay one.
+std::vector<uint64_t> IndexFuzzSeeds() {
+  std::vector<uint64_t> defaults;
+  for (uint64_t s = 1; s <= 100; ++s) defaults.push_back(s);
+  return hrdm::testing::SeedsFromEnv(kIndexSeedEnv, std::move(defaults));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexDifferentialFuzzTest,
+                         ::testing::ValuesIn(IndexFuzzSeeds()));
 
 }  // namespace
 }  // namespace hrdm::storage

@@ -1,0 +1,457 @@
+// Storage-level access-path indexes (storage/index.h) and their use by the
+// planner: unit tests of the lifespan interval index and the value equality
+// index, incremental maintenance through every Database DML mutation
+// (birth, death, reincarnation, assignment, schema evolution), access-path
+// selection (query/optimizer.h), and end-to-end index-scan vs full-scan
+// result equality with PlanStats recording the chosen path.
+
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/plan.h"
+#include "storage/database.h"
+#include "test_seeds.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm::storage {
+namespace {
+
+using query::AccessPath;
+using query::DatabasePlanOptions;
+using query::DatabaseResolver;
+using query::Plan;
+using query::PlanOptions;
+
+constexpr TimePoint kHorizon = 100;
+
+SchemePtr ObjScheme() {
+  const Lifespan full = Span(0, kHorizon - 1);
+  return *RelationScheme::Make(
+      "obj", {{"Id", DomainType::kString, full, InterpolationKind::kDiscrete},
+              {"X", DomainType::kInt, full, InterpolationKind::kStepwise},
+              {"Y", DomainType::kString, full, InterpolationKind::kStepwise}},
+      {"Id"});
+}
+
+Tuple MakeObj(const SchemePtr& scheme, int id, const Lifespan& l, int x) {
+  Tuple::Builder b(scheme, l);
+  b.SetConstant("Id", Value::String("o" + std::to_string(id)));
+  b.SetAt("X", l.Min(), Value::Int(x));
+  b.SetAt("Y", l.Min(), Value::String("y" + std::to_string(x)));
+  return *std::move(b).Build();
+}
+
+/// Reference answer for a lifespan probe: naive overlap scan.
+std::vector<const Tuple*> NaiveAlive(const Relation& rel,
+                                     const Lifespan& window) {
+  std::vector<const Tuple*> out;
+  for (const TuplePtr& t : rel.tuple_ptrs()) {
+    if (!t->lifespan().Intersect(window).empty()) out.push_back(t.get());
+  }
+  return out;
+}
+
+bool SameTupleSet(const std::vector<TuplePtr>& got,
+                  const std::vector<const Tuple*>& want) {
+  if (got.size() != want.size()) return false;
+  for (const TuplePtr& t : got) {
+    if (std::find(want.begin(), want.end(), t.get()) == want.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- LifespanIndex -----------------------------------------------------------
+
+TEST(LifespanIndexTest, ProbeMatchesNaiveOverlapScan) {
+  SchemePtr scheme = ObjScheme();
+  Relation rel(scheme);
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 0, Span(0, 9), 1)).ok());
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 1, Span(5, 20), 2)).ok());
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 2, Span(30, 40), 3)).ok());
+  // A fragmented (reincarnation-shaped) lifespan.
+  ASSERT_TRUE(
+      rel.Insert(MakeObj(scheme, 3, Span(2, 4).Union(Span(50, 60)), 4)).ok());
+
+  LifespanIndex index;
+  index.Rebuild(rel);
+  EXPECT_EQ(index.entry_count(), 5u);  // 3 single intervals + 1 fragmented
+
+  for (const Lifespan& w :
+       {Span(0, 3), Span(10, 29), Span(41, 49), Span(55, 99),
+        Lifespan::Point(5), Span(0, kHorizon - 1), Lifespan()}) {
+    EXPECT_TRUE(SameTupleSet(index.Probe(w), NaiveAlive(rel, w)))
+        << "window " << w.ToString();
+  }
+}
+
+TEST(LifespanIndexTest, IncrementalAddRemoveTracksRebuild) {
+  SchemePtr scheme = ObjScheme();
+  Relation rel(scheme);
+  Rng rng(7);
+  LifespanIndex incremental;
+  for (int i = 0; i < 40; ++i) {
+    const TimePoint b = rng.Uniform(0, kHorizon - 10);
+    ASSERT_TRUE(
+        rel.Insert(MakeObj(scheme, i, Span(b, b + rng.Uniform(0, 9)), i)).ok());
+    incremental.Add(rel.tuple_ptr(rel.size() - 1));
+  }
+  // Remove a third of them.
+  for (int i = 0; i < 40; i += 3) {
+    incremental.Remove(rel.tuple_ptr(i));
+  }
+  Relation remaining(scheme);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    if (i % 3 != 0) {
+      ASSERT_TRUE(remaining.Insert(rel.tuple_ptr(i)).ok());
+    }
+  }
+  for (TimePoint b = 0; b < kHorizon; b += 11) {
+    const Lifespan w = Span(b, b + 6);
+    EXPECT_TRUE(SameTupleSet(incremental.Probe(w), NaiveAlive(remaining, w)))
+        << "window " << w.ToString();
+  }
+}
+
+// --- ValueIndex --------------------------------------------------------------
+
+TEST(ValueIndexTest, ConstantTuplesBucketVaryingTuplesFallBack) {
+  SchemePtr scheme = ObjScheme();
+  Relation rel(scheme);
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 0, Span(0, 9), 5)).ok());
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 1, Span(0, 9), 5)).ok());
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 2, Span(0, 9), 8)).ok());
+  {
+    // X varies over the lifespan: must be returned by *every* probe.
+    Tuple::Builder b(scheme, Span(0, 9));
+    b.SetConstant("Id", Value::String("vary"));
+    b.SetAt("X", 0, Value::Int(5));
+    b.SetAt("X", 6, Value::Int(8));
+    b.SetAt("Y", 0, Value::String("y"));
+    ASSERT_TRUE(rel.Insert(*std::move(b).Build()).ok());
+  }
+
+  ValueIndex index(*scheme->RequireIndex("X"));
+  index.Rebuild(rel);
+  EXPECT_EQ(index.entry_count(), 4u);
+  EXPECT_EQ(index.Varying().size(), 1u);
+
+  EXPECT_EQ(index.Probe(Value::Int(5)).size(), 3u);   // two constants + vary
+  EXPECT_EQ(index.Probe(Value::Int(8)).size(), 2u);   // one constant + vary
+  EXPECT_EQ(index.Probe(Value::Int(42)).size(), 1u);  // vary only
+  // Numeric digests agree across int/double (the hash-join convention).
+  EXPECT_EQ(index.Probe(Value::Double(5.0)).size(), 3u);
+}
+
+TEST(ValueIndexTest, RemoveAndReplaceKeepBucketsExact) {
+  SchemePtr scheme = ObjScheme();
+  Relation rel(scheme);
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 0, Span(0, 9), 5)).ok());
+  ASSERT_TRUE(rel.Insert(MakeObj(scheme, 1, Span(0, 9), 5)).ok());
+  ValueIndex index(*scheme->RequireIndex("X"));
+  index.Rebuild(rel);
+  index.Remove(rel.tuple_ptr(0));
+  EXPECT_EQ(index.entry_count(), 1u);
+  EXPECT_EQ(index.Probe(Value::Int(5)).size(), 1u);
+  index.Remove(rel.tuple_ptr(1));
+  EXPECT_EQ(index.entry_count(), 0u);
+  EXPECT_TRUE(index.Probe(Value::Int(5)).empty());
+  EXPECT_TRUE(index.buckets().empty());
+}
+
+// --- access-path choice ------------------------------------------------------
+
+query::IndexCatalogFn TestIndexCatalog(bool lifespan,
+                                       std::vector<std::string> attrs) {
+  return [lifespan, attrs](std::string_view relation)
+             -> std::optional<query::IndexInfo> {
+    if (relation != "obj") return std::nullopt;
+    return query::IndexInfo{lifespan, attrs};
+  };
+}
+
+query::CardinalityFn TestCardinality(size_t n) {
+  return [n](std::string_view) { return std::optional<size_t>(n); };
+}
+
+TEST(ChooseAccessPathTest, SargableSelectIfPicksValueIndex) {
+  auto expr = query::SelectIfE(
+      query::Rel("obj"),
+      Predicate::AttrConst("X", CompareOp::kEq, Value::Int(5)),
+      Quantifier::kExists);
+  auto choice = query::ChooseAccessPath(*expr, TestIndexCatalog(false, {"X"}),
+                                        TestCardinality(10000));
+  EXPECT_EQ(choice.path, AccessPath::kValueIndex);
+  EXPECT_TRUE(choice.value_eligible);
+  EXPECT_EQ(choice.attr, "X");
+  ASSERT_TRUE(choice.key.has_value());
+  EXPECT_EQ(choice.key->ToString(), Value::Int(5).ToString());
+}
+
+TEST(ChooseAccessPathTest, ConjunctionFindsTheIndexedEqualityConjunct) {
+  auto pred = Predicate::And(
+      {Predicate::AttrConst("Y", CompareOp::kLt, Value::String("q")),
+       Predicate::AttrConst("X", CompareOp::kEq, Value::Int(3))});
+  auto expr = query::SelectWhenE(query::Rel("obj"), pred);
+  auto choice = query::ChooseAccessPath(*expr, TestIndexCatalog(false, {"X"}),
+                                        TestCardinality(10000));
+  EXPECT_EQ(choice.path, AccessPath::kValueIndex);
+  EXPECT_EQ(choice.attr, "X");
+}
+
+TEST(ChooseAccessPathTest, ForallAndNonEqualityStayOnFullScan) {
+  // forall: vacuous truth on empty quantification domains makes candidate
+  // pruning unsound.
+  auto forall = query::SelectIfE(
+      query::Rel("obj"),
+      Predicate::AttrConst("X", CompareOp::kEq, Value::Int(5)),
+      Quantifier::kForall);
+  EXPECT_EQ(query::ChooseAccessPath(*forall, TestIndexCatalog(true, {"X"}),
+                                    TestCardinality(10000))
+                .path,
+            AccessPath::kFullScan);
+  // Inequalities are not sargable for an equality index.
+  auto range = query::SelectIfE(
+      query::Rel("obj"),
+      Predicate::AttrConst("X", CompareOp::kLt, Value::Int(5)),
+      Quantifier::kExists);
+  auto choice = query::ChooseAccessPath(*range, TestIndexCatalog(false, {"X"}),
+                                        TestCardinality(10000));
+  EXPECT_EQ(choice.path, AccessPath::kFullScan);
+  EXPECT_FALSE(choice.value_eligible);
+}
+
+TEST(ChooseAccessPathTest, TimeSliceUsesLifespanIndexAboveThreshold) {
+  auto expr =
+      query::TimeSliceE(query::Rel("obj"), query::LsLiteral(Span(3, 9)));
+  EXPECT_EQ(query::ChooseAccessPath(*expr, TestIndexCatalog(true, {}),
+                                    TestCardinality(10000))
+                .path,
+            AccessPath::kLifespanIndex);
+  // Small relations keep the scan (but stay eligible for the force hook).
+  auto small = query::ChooseAccessPath(*expr, TestIndexCatalog(true, {}),
+                                       TestCardinality(10));
+  EXPECT_EQ(small.path, AccessPath::kFullScan);
+  EXPECT_TRUE(small.lifespan_eligible);
+  // No registration, no index path.
+  EXPECT_EQ(query::ChooseAccessPath(*expr, TestIndexCatalog(false, {}),
+                                    TestCardinality(10000))
+                .path,
+            AccessPath::kFullScan);
+}
+
+// --- database maintenance + end-to-end differential --------------------------
+
+Result<Relation> EvalForced(const Database& db, const query::ExprPtr& expr,
+                            std::optional<AccessPath> force) {
+  PlanOptions options = DatabasePlanOptions(db);
+  options.force_access_path = force;
+  HRDM_ASSIGN_OR_RETURN(Plan plan,
+                        Plan::Lower(expr, DatabaseResolver(db), options));
+  return plan.Drain();
+}
+
+/// Asserts index-forced evaluation matches the forced full scan for a
+/// point-equality SELECT-IF/SELECT-WHEN and a TIME-SLICE window.
+void ExpectIndexScanParity(const Database& db, int x_probe,
+                           const Lifespan& window) {
+  const auto pred =
+      Predicate::AttrConst("X", CompareOp::kEq, Value::Int(x_probe));
+  const query::ExprPtr queries[] = {
+      query::SelectIfE(query::Rel("obj"), pred, Quantifier::kExists),
+      query::SelectWhenE(query::Rel("obj"), pred),
+      query::TimeSliceE(query::Rel("obj"), query::LsLiteral(window)),
+      query::SelectIfE(query::Rel("obj"), pred, Quantifier::kExists,
+                       query::LsLiteral(window)),
+  };
+  for (const query::ExprPtr& q : queries) {
+    auto full = EvalForced(db, q, AccessPath::kFullScan);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    for (AccessPath path :
+         {AccessPath::kValueIndex, AccessPath::kLifespanIndex}) {
+      auto indexed = EvalForced(db, q, path);
+      ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+      EXPECT_TRUE(full->EqualsAsSet(*indexed))
+          << q->ToString() << " under " << query::AccessPathName(path)
+          << "\nfull:\n"
+          << full->ToString() << "\nindexed:\n"
+          << indexed->ToString();
+    }
+  }
+}
+
+TEST(DatabaseIndexTest, DmlMaintenanceKeepsIndexScansExact) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(ObjScheme()).ok());
+  ASSERT_TRUE(db.CreateLifespanIndex("obj").ok());
+  ASSERT_TRUE(db.CreateValueIndex("obj", "X").ok());
+  SchemePtr scheme = *db.catalog().Get("obj");
+  auto key = [](int i) {
+    return std::vector<Value>{Value::String("o" + std::to_string(i))};
+  };
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        db.Insert("obj", MakeObj(scheme, i, Span(i, i + 20), i % 4)).ok());
+  }
+  ExpectIndexScanParity(db, 2, Span(5, 8));
+
+  // Value reassignment inside a lifespan: o1 becomes varying (leaves its
+  // digest bucket for the fallback list).
+  ASSERT_TRUE(db.Assign("obj", key(1), "X", Span(10, 15), Value::Int(7)).ok());
+  ExpectIndexScanParity(db, 7, Span(10, 12));
+  ExpectIndexScanParity(db, 1, Span(0, 9));
+
+  // Death: truncation re-indexes; truncation to nothing removes entirely.
+  ASSERT_TRUE(db.EndLifespan("obj", key(2), 10).ok());
+  ASSERT_TRUE(db.EndLifespan("obj", key(3), 3).ok());  // 3's birth chronon
+  ExpectIndexScanParity(db, 3, Span(0, kHorizon - 1));
+
+  // Reincarnation: a second lifespan interval for o4.
+  ASSERT_TRUE(db.Reincarnate("obj", key(4), Span(60, 70)).ok());
+  ExpectIndexScanParity(db, 0, Span(62, 65));
+
+  // Schema evolution rebinds every tuple; indexes must rebuild.
+  ASSERT_TRUE(db.AddAttribute(
+                    "obj", {"Z", DomainType::kInt, Span(0, kHorizon - 1),
+                            InterpolationKind::kStepwise})
+                  .ok());
+  ExpectIndexScanParity(db, 2, Span(5, 25));
+  ASSERT_TRUE(db.CloseAttribute("obj", "Y", 40).ok());
+  ExpectIndexScanParity(db, 0, Span(30, 50));
+}
+
+TEST(DatabaseIndexTest, IndexDdlValidation) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(ObjScheme()).ok());
+  EXPECT_FALSE(db.CreateLifespanIndex("nope").ok());
+  EXPECT_FALSE(db.CreateValueIndex("obj", "NoSuchAttr").ok());
+  EXPECT_EQ(db.indexes("obj"), nullptr);
+  ASSERT_TRUE(db.CreateValueIndex("obj", "X").ok());
+  ASSERT_NE(db.indexes("obj"), nullptr);
+  EXPECT_TRUE(db.indexes("obj")->value("X") != nullptr);
+  EXPECT_TRUE(db.indexes("obj")->value("Y") == nullptr);
+  ASSERT_TRUE(db.catalog().Indexes("obj").has_value());
+  EXPECT_FALSE(db.catalog().Indexes("obj")->lifespan);
+  // Dropping the relation drops registrations and data.
+  ASSERT_TRUE(db.DropRelation("obj").ok());
+  EXPECT_EQ(db.indexes("obj"), nullptr);
+  EXPECT_FALSE(db.catalog().Indexes("obj").has_value());
+}
+
+TEST(DatabaseIndexTest, PlanStatsRecordTheChosenPath) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation(ObjScheme()).ok());
+  ASSERT_TRUE(db.CreateLifespanIndex("obj").ok());
+  ASSERT_TRUE(db.CreateValueIndex("obj", "X").ok());
+  SchemePtr scheme = *db.catalog().Get("obj");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db.Insert("obj", MakeObj(scheme, i, Span(i % 50, i % 50 + 5), i % 97))
+            .ok());
+  }
+
+  // Above the threshold the chooser picks the value index on its own.
+  auto selectif = query::SelectIfE(
+      query::Rel("obj"), Predicate::AttrConst("X", CompareOp::kEq, Value::Int(7)),
+      Quantifier::kExists);
+  {
+    auto plan = Plan::Lower(selectif, DatabaseResolver(db),
+                            DatabasePlanOptions(db));
+    ASSERT_TRUE(plan.ok());
+    auto rel = plan->Drain();
+    ASSERT_TRUE(rel.ok());
+    EXPECT_EQ(plan->stats().scans_value_index, 1u);
+    EXPECT_EQ(plan->stats().scans_full, 0u);
+    EXPECT_GT(plan->stats().index_candidates, 0u);
+    EXPECT_LT(plan->stats().index_candidates, 200u);  // actually pruned
+    EXPECT_EQ(plan->stats().tuples_scanned, plan->stats().index_candidates);
+  }
+  auto slice = query::TimeSliceE(query::Rel("obj"),
+                                 query::LsLiteral(Span(10, 12)));
+  {
+    auto plan =
+        Plan::Lower(slice, DatabaseResolver(db), DatabasePlanOptions(db));
+    ASSERT_TRUE(plan.ok());
+    auto rel = plan->Drain();
+    ASSERT_TRUE(rel.ok());
+    EXPECT_EQ(plan->stats().scans_lifespan_index, 1u);
+    EXPECT_LT(plan->stats().index_candidates, 200u);
+  }
+  // force_access_path = kFullScan disables indexes entirely.
+  {
+    PlanOptions options = DatabasePlanOptions(db);
+    options.force_access_path = AccessPath::kFullScan;
+    auto plan = Plan::Lower(selectif, DatabaseResolver(db), options);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->stats().scans_full, 1u);
+    EXPECT_EQ(plan->stats().scans_value_index, 0u);
+  }
+}
+
+// --- index-fed hash joins ----------------------------------------------------
+
+TEST(IndexFedHashJoinTest, BuildSideServedFromValueIndex) {
+  Rng rng(11);
+  Database db;
+  const Lifespan full = Span(0, kHorizon - 1);
+  SchemePtr lft = *RelationScheme::Make(
+      "lft", {{"LId", DomainType::kString, full, InterpolationKind::kDiscrete},
+              {"LV", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"LId"});
+  SchemePtr rgt = *RelationScheme::Make(
+      "rgt", {{"RId", DomainType::kString, full, InterpolationKind::kDiscrete},
+              {"RV", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"RId"});
+  ASSERT_TRUE(db.CreateRelation(lft).ok());
+  ASSERT_TRUE(db.CreateRelation(rgt).ok());
+  for (int i = 0; i < 30; ++i) {
+    Tuple::Builder lb(lft, Span(0, 40));
+    lb.SetConstant("LId", Value::String("l" + std::to_string(i)));
+    lb.SetAt("LV", 0, Value::Int(rng.Uniform(0, 9)));
+    ASSERT_TRUE(db.Insert("lft", *std::move(lb).Build()).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    Tuple::Builder rb(rgt, Span(20, 60));
+    rb.SetConstant("RId", Value::String("r" + std::to_string(i)));
+    if (i % 3 == 0) {
+      // Varying join values exercise the index's fallback list.
+      rb.SetAt("RV", 20, Value::Int(rng.Uniform(0, 9)));
+      rb.SetAt("RV", 45, Value::Int(rng.Uniform(0, 9)));
+    } else {
+      rb.SetAt("RV", 20, Value::Int(rng.Uniform(0, 9)));
+    }
+    ASSERT_TRUE(db.Insert("rgt", *std::move(rb).Build()).ok());
+  }
+  // rgt is smaller: it is the build side. Index its join attribute.
+  ASSERT_TRUE(db.CreateValueIndex("rgt", "RV").ok());
+
+  auto join = query::ThetaJoinE(query::Rel("lft"), query::Rel("rgt"), "LV",
+                                CompareOp::kEq, "RV");
+  Result<Relation> baseline = EvalForced(db, join, AccessPath::kFullScan);
+  ASSERT_TRUE(baseline.ok());
+
+  auto plan =
+      Plan::Lower(join, DatabaseResolver(db), DatabasePlanOptions(db));
+  ASSERT_TRUE(plan.ok());
+  auto fed = plan->Drain();
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  EXPECT_EQ(plan->stats().hash_builds_from_index, 1u);
+  EXPECT_EQ(plan->stats().joins_hash, 1u);
+  // The build side never went through a scan leaf.
+  EXPECT_EQ(plan->stats().scans_full, 1u);
+  EXPECT_TRUE(baseline->EqualsAsSet(*fed))
+      << "baseline:\n"
+      << baseline->ToString() << "\nfed:\n"
+      << fed->ToString();
+}
+
+}  // namespace
+}  // namespace hrdm::storage

@@ -1,0 +1,145 @@
+// Documentation checker (the CI docs job):
+//
+//   hrql_check FILE.md [FILE.md ...]
+//
+// For every markdown file given it verifies
+//  1. every statement inside a ```hrql fenced code block parses — relation-
+//     sorted expressions via ParseExpr, lifespan-sorted via ParseLsExpr —
+//     so the language reference (docs/HRQL.md) can never drift from the
+//     grammar the parser actually accepts;
+//  2. every relative markdown link `[text](path)` resolves to an existing
+//     file or directory (external http(s)/mailto links and pure #anchors
+//     are skipped) so README/docs cross-references can never go stale.
+//
+// Inside ```hrql blocks, each non-empty line is one statement; lines
+// starting with `--` are comments. Exit status is the number of failures.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Failure {
+  std::string file;
+  size_t line;
+  std::string message;
+};
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+void CheckHrqlSnippets(const std::string& path,
+                       const std::vector<std::string>& lines,
+                       std::vector<Failure>* failures) {
+  bool in_hrql = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = Trim(lines[i]);
+    if (!in_hrql) {
+      if (t == "```hrql") in_hrql = true;
+      continue;
+    }
+    if (t.rfind("```", 0) == 0) {
+      in_hrql = false;
+      continue;
+    }
+    if (t.empty() || t.rfind("--", 0) == 0) continue;
+    auto expr = hrdm::query::ParseExpr(t);
+    if (expr.ok()) continue;
+    auto ls = hrdm::query::ParseLsExpr(t);
+    if (ls.ok()) continue;
+    failures->push_back(
+        {path, i + 1,
+         "hrql snippet does not parse: " + expr.status().ToString()});
+  }
+}
+
+/// Extracts link targets `[...](target)` from one line. Markdown images and
+/// reference-style links are out of scope (the docs do not use them).
+std::vector<std::string> LinkTargets(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = line.find("](", pos)) != std::string::npos) {
+    const size_t start = pos + 2;
+    const size_t end = line.find(')', start);
+    if (end == std::string::npos) break;
+    out.push_back(line.substr(start, end - start));
+    pos = end + 1;
+  }
+  return out;
+}
+
+void CheckRelativeLinks(const std::string& path,
+                        const std::vector<std::string>& lines,
+                        std::vector<Failure>* failures) {
+  const fs::path dir = fs::path(path).parent_path();
+  bool in_code = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    // Fenced code blocks may contain `](` sequences that are not links.
+    if (Trim(lines[i]).rfind("```", 0) == 0) {
+      in_code = !in_code;
+      continue;
+    }
+    if (in_code) continue;
+    for (const std::string& raw : LinkTargets(lines[i])) {
+      std::string target = raw;
+      if (target.empty() || target[0] == '#') continue;  // intra-doc anchor
+      if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      const size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      if (target.empty()) continue;
+      const fs::path resolved = dir / target;
+      if (!fs::exists(resolved)) {
+        failures->push_back(
+            {path, i + 1, "broken relative link: " + raw + " (resolved to " +
+                              resolved.string() + ")"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE.md [FILE.md ...]\n", argv[0]);
+    return 64;
+  }
+  std::vector<Failure> failures;
+  size_t snippets_files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      failures.push_back({path, 0, "cannot open file"});
+      continue;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ++snippets_files;
+    CheckHrqlSnippets(path, lines, &failures);
+    CheckRelativeLinks(path, lines, &failures);
+  }
+  for (const Failure& f : failures) {
+    std::fprintf(stderr, "%s:%zu: %s\n", f.file.c_str(), f.line,
+                 f.message.c_str());
+  }
+  std::printf("hrql_check: %zu file(s), %zu failure(s)\n", snippets_files,
+              failures.size());
+  return failures.size() > 255 ? 255 : static_cast<int>(failures.size());
+}
