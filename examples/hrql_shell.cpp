@@ -111,6 +111,7 @@ int main() {
       "  select_when(emp, Salary >= 150000)\n"
       "  when(select_when(emp, Dept = \"dept0\"))\n"
       "  timeslice(stocks, {[0,9]})\n"
+      "  aggregate(emp, avg Salary by Dept)\n"
       "  \\schema   \\snapshot emp 50   \\optimize <expr>   \\quit\n\n");
   std::string line;
   while (std::printf("hrdm> "), std::fflush(stdout),

@@ -1,0 +1,418 @@
+#include "algebra/aggregate.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "algebra/join.h"
+#include "algebra/setops.h"
+#include "util/format.h"
+
+namespace hrdm {
+
+namespace {
+
+/// Fold of the per-column JoinKeyDigest values into one group-key digest
+/// (the hash join's combining step, so the fast path shares its collision
+/// behavior: digests bucket, exact keys decide).
+uint64_t KeyDigest(const std::vector<Value>& key) {
+  uint64_t h = kJoinKeyDigestSeed;
+  for (const Value& v : key) h = CombineJoinKeyDigest(h, JoinKeyDigest(v));
+  return h;
+}
+
+/// Deterministic, order-insensitive sum of the active double values:
+/// std::multiset iterates in value order, so the fold order is a function
+/// of the *set* of active values, never of tuple arrival order.
+double SortedDoubleSum(const std::multiset<Value>& active) {
+  double sum = 0;
+  for (const Value& v : active) sum += v.AsNumeric();
+  return sum;
+}
+
+/// COUNT sweep: +1/-1 events at member-span boundaries; emits one segment
+/// per elementary interval with a positive count. O(n log n) in spans.
+Result<TemporalValue> CountSweep(const std::vector<Interval>& spans) {
+  if (spans.empty()) return TemporalValue();
+  struct Ev {
+    TimePoint at;
+    int64_t delta;
+  };
+  std::vector<Ev> events;
+  events.reserve(spans.size() * 2);
+  for (const Interval& iv : spans) {
+    events.push_back({iv.begin, +1});
+    events.push_back({iv.end + 1, -1});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Ev& a, const Ev& b) { return a.at < b.at; });
+  std::vector<Segment> out;
+  int64_t active = 0;
+  size_t i = 0;
+  while (i < events.size()) {
+    const TimePoint t = events[i].at;
+    while (i < events.size() && events[i].at == t) active += events[i++].delta;
+    if (i == events.size()) break;  // all spans closed
+    if (active > 0) {
+      out.push_back({Interval(t, events[i].at - 1), Value::Int(active)});
+    }
+  }
+  return TemporalValue::FromSegments(std::move(out));
+}
+
+/// Value-aggregate sweep: segment begin/end events maintain the multiset of
+/// active values; per elementary interval the aggregate is computed from
+/// that multiset alone. kInt sums are kept incrementally (exact, modular);
+/// kDouble sums are re-folded in sorted order per interval so the result
+/// never depends on input order.
+Result<TemporalValue> ValueSweep(const std::vector<Segment>& contributions,
+                                 AggregateFn fn, DomainType value_type) {
+  if (contributions.empty()) return TemporalValue();
+  struct Ev {
+    TimePoint at;
+    bool add;
+    const Value* v;
+  };
+  std::vector<Ev> events;
+  events.reserve(contributions.size() * 2);
+  for (const Segment& s : contributions) {
+    events.push_back({s.interval.begin, true, &s.value});
+    events.push_back({s.interval.end + 1, false, &s.value});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Ev& a, const Ev& b) { return a.at < b.at; });
+
+  std::multiset<Value> active;
+  uint64_t int_sum = 0;  // unsigned: exact +/- without signed overflow
+  std::vector<Segment> out;
+  size_t i = 0;
+  while (i < events.size()) {
+    const TimePoint t = events[i].at;
+    while (i < events.size() && events[i].at == t) {
+      const Ev& e = events[i++];
+      if (e.add) {
+        active.insert(*e.v);
+        if (value_type == DomainType::kInt) {
+          int_sum += static_cast<uint64_t>(e.v->AsInt());
+        }
+      } else {
+        active.erase(active.find(*e.v));
+        if (value_type == DomainType::kInt) {
+          int_sum -= static_cast<uint64_t>(e.v->AsInt());
+        }
+      }
+    }
+    if (i == events.size()) break;  // all segments closed
+    if (active.empty()) continue;   // the aggregate is undefined here
+    const Interval iv(t, events[i].at - 1);
+    Value v;
+    switch (fn) {
+      case AggregateFn::kMin:
+        v = *active.begin();
+        break;
+      case AggregateFn::kMax:
+        v = *active.rbegin();
+        break;
+      case AggregateFn::kSum:
+        v = value_type == DomainType::kInt
+                ? Value::Int(static_cast<int64_t>(int_sum))
+                : Value::Double(SortedDoubleSum(active));
+        break;
+      case AggregateFn::kAvg: {
+        const double sum =
+            value_type == DomainType::kInt
+                ? static_cast<double>(static_cast<int64_t>(int_sum))
+                : SortedDoubleSum(active);
+        v = Value::Double(sum / static_cast<double>(active.size()));
+        break;
+      }
+      case AggregateFn::kCount:
+        return Status::Internal("COUNT reached the value sweep");
+    }
+    out.push_back({iv, std::move(v)});
+  }
+  return TemporalValue::FromSegments(std::move(out));
+}
+
+}  // namespace
+
+std::string_view AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+    case AggregateFn::kAvg:
+      return "avg";
+  }
+  return "unknown";
+}
+
+Result<AggregateFn> AggregateFnFromName(std::string_view name) {
+  if (name == "count") return AggregateFn::kCount;
+  if (name == "sum") return AggregateFn::kSum;
+  if (name == "min") return AggregateFn::kMin;
+  if (name == "max") return AggregateFn::kMax;
+  if (name == "avg") return AggregateFn::kAvg;
+  return Status::InvalidArgument(
+      StrPrintf("unknown aggregate function '%.*s'",
+                static_cast<int>(name.size()), name.data()));
+}
+
+Result<SchemePtr> AggregateScheme(const SchemePtr& in,
+                                  const AggregateSpec& spec,
+                                  std::string result_name) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(spec.group_by.size() + 1);
+  for (size_t i = 0; i < spec.group_by.size(); ++i) {
+    for (size_t j = i + 1; j < spec.group_by.size(); ++j) {
+      if (spec.group_by[i] == spec.group_by[j]) {
+        return Status::InvalidArgument(
+            StrPrintf("duplicate grouping attribute '%s'",
+                      spec.group_by[i].c_str()));
+      }
+    }
+    HRDM_ASSIGN_OR_RETURN(size_t idx, in->RequireIndex(spec.group_by[i]));
+    attrs.push_back(in->attribute(idx));
+  }
+
+  AttributeDef agg;
+  agg.interpolation = InterpolationKind::kDiscrete;
+  if (spec.fn == AggregateFn::kCount) {
+    if (!spec.value_attr.empty()) {
+      return Status::InvalidArgument(
+          "count aggregates whole tuples and takes no attribute");
+    }
+    agg.name = "count";
+    agg.type = DomainType::kInt;
+    agg.lifespan = in->SchemeLifespan();
+  } else {
+    if (spec.value_attr.empty()) {
+      return Status::InvalidArgument(
+          StrPrintf("%.*s needs an attribute to aggregate",
+                    static_cast<int>(AggregateFnName(spec.fn).size()),
+                    AggregateFnName(spec.fn).data()));
+    }
+    HRDM_ASSIGN_OR_RETURN(size_t vidx, in->RequireIndex(spec.value_attr));
+    const AttributeDef& vdef = in->attribute(vidx);
+    const bool numeric =
+        vdef.type == DomainType::kInt || vdef.type == DomainType::kDouble;
+    if ((spec.fn == AggregateFn::kSum || spec.fn == AggregateFn::kAvg) &&
+        !numeric) {
+      return Status::InvalidArgument(
+          StrPrintf("cannot %.*s non-numeric attribute '%s'",
+                    static_cast<int>(AggregateFnName(spec.fn).size()),
+                    AggregateFnName(spec.fn).data(), vdef.name.c_str()));
+    }
+    if ((spec.fn == AggregateFn::kMin || spec.fn == AggregateFn::kMax) &&
+        vdef.type == DomainType::kBool) {
+      return Status::InvalidArgument(
+          StrPrintf("min/max over unordered bool attribute '%s'",
+                    vdef.name.c_str()));
+    }
+    agg.name = std::string(AggregateFnName(spec.fn)) + "_" + vdef.name;
+    agg.type =
+        spec.fn == AggregateFn::kAvg ? DomainType::kDouble : vdef.type;
+    agg.lifespan = vdef.lifespan;
+  }
+  for (const std::string& g : spec.group_by) {
+    if (g == agg.name) {
+      return Status::InvalidArgument(
+          StrPrintf("aggregate attribute '%s' collides with a grouping "
+                    "attribute",
+                    agg.name.c_str()));
+    }
+  }
+  attrs.push_back(std::move(agg));
+  // Keyless: a derived relation under structural set semantics, like a
+  // key-dropping projection.
+  return RelationScheme::Make(std::move(result_name), std::move(attrs), {});
+}
+
+GroupedAggregator::GroupedAggregator(SchemePtr out_scheme, AggregateFn fn,
+                                     std::optional<size_t> value_idx,
+                                     DomainType value_type,
+                                     std::vector<size_t> group_idx)
+    : out_scheme_(std::move(out_scheme)),
+      fn_(fn),
+      value_idx_(value_idx),
+      value_type_(value_type),
+      group_idx_(std::move(group_idx)) {}
+
+Result<GroupedAggregator> GroupedAggregator::Make(const SchemePtr& in,
+                                                  const AggregateSpec& spec,
+                                                  std::string result_name) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr out,
+                        AggregateScheme(in, spec, std::move(result_name)));
+  std::optional<size_t> value_idx;
+  DomainType value_type = DomainType::kInt;
+  if (spec.fn != AggregateFn::kCount) {
+    HRDM_ASSIGN_OR_RETURN(size_t vidx, in->RequireIndex(spec.value_attr));
+    value_idx = vidx;
+    value_type = in->attribute(vidx).type;
+  }
+  std::vector<size_t> group_idx;
+  group_idx.reserve(spec.group_by.size());
+  for (const std::string& g : spec.group_by) {
+    HRDM_ASSIGN_OR_RETURN(size_t gidx, in->RequireIndex(g));
+    group_idx.push_back(gidx);
+  }
+  return GroupedAggregator(std::move(out), spec.fn, value_idx, value_type,
+                           std::move(group_idx));
+}
+
+void GroupedAggregator::Reserve(size_t expected_groups) {
+  // The estimate is advisory; cap it so a wild cardinality guess cannot
+  // balloon the table.
+  const size_t capped = std::min<size_t>(expected_groups, 1u << 20);
+  groups_.reserve(capped);
+  buckets_.reserve(capped);
+}
+
+GroupedAggregator::Group* GroupedAggregator::GroupFor(std::vector<Value> key) {
+  std::vector<size_t>& bucket = buckets_[KeyDigest(key)];
+  for (size_t idx : bucket) {
+    if (groups_[idx].key == key) return &groups_[idx];
+  }
+  bucket.push_back(groups_.size());
+  groups_.push_back(Group{std::move(key), {}, {}});
+  return &groups_.back();
+}
+
+void GroupedAggregator::AddContribution(Group* g, const Lifespan& span,
+                                        const TemporalValue* value) {
+  for (const Interval& iv : span.intervals()) g->member_spans.push_back(iv);
+  if (value != nullptr) {
+    TemporalValue clipped = value->Restrict(span);
+    for (const Segment& s : clipped.segments()) {
+      g->contributions.push_back(s);
+    }
+  }
+}
+
+Status GroupedAggregator::Fold(const Tuple& t) {
+  // The membership domain: chronons where every grouping value is defined
+  // (for no grouping, the whole tuple lifespan — COUNT counts objects
+  // alive, value aggregates clip to the value's own domain below).
+  Lifespan domain = t.lifespan();
+  bool constant_key = true;
+  for (size_t g : group_idx_) {
+    const TemporalValue& v = t.value(g);
+    domain = domain.Intersect(v.domain());
+    if (!v.IsConstant()) constant_key = false;
+  }
+  if (domain.empty()) return Status::OK();
+  const TemporalValue* value =
+      value_idx_ ? &t.value(*value_idx_) : nullptr;
+
+  if (constant_key) {
+    // Fast path: the whole membership domain files under one key (the
+    // JoinKeyDigest fast path of the hash join, reused for grouping).
+    std::vector<Value> key;
+    key.reserve(group_idx_.size());
+    for (size_t g : group_idx_) key.push_back(t.value(g).ConstantValue());
+    AddContribution(GroupFor(std::move(key)), domain, value);
+    return Status::OK();
+  }
+
+  // Per-chronon fallback: some grouping value varies over the lifespan, so
+  // membership is time-varying. The key vector is piecewise constant over
+  // the refinement of the grouping values' segment boundaries, so the
+  // domain is split there — chronon-exact results at O(#segments) cost,
+  // not O(#chronons) — and maximal equal-key runs file separately.
+  ++fallback_tuples_;
+  std::vector<TimePoint> cuts;
+  for (size_t g : group_idx_) {
+    for (const Segment& s : t.value(g).segments()) {
+      cuts.push_back(s.interval.begin);
+      if (s.interval.end != kTimeMax) cuts.push_back(s.interval.end + 1);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Value> run_key;
+  TimePoint run_begin = 0;
+  TimePoint run_end = 0;
+  bool open = false;
+  auto close_run = [&]() {
+    if (!open) return;
+    AddContribution(GroupFor(run_key), Span(run_begin, run_end), value);
+    open = false;
+  };
+  for (const Interval& iv : domain.intervals()) {
+    TimePoint pb = iv.begin;
+    auto cut = std::upper_bound(cuts.begin(), cuts.end(), pb);
+    while (pb <= iv.end) {
+      // The piece [pb, pe] crosses no grouping-segment boundary, so every
+      // grouping value is constant on it: one evaluation at pb suffices.
+      TimePoint pe = iv.end;
+      if (cut != cuts.end() && *cut <= iv.end) pe = *(cut++) - 1;
+      std::vector<Value> key;
+      key.reserve(group_idx_.size());
+      for (size_t g : group_idx_) key.push_back(t.value(g).ValueAt(pb));
+      if (open && run_end + 1 == pb && key == run_key) {
+        run_end = pe;
+      } else {
+        close_run();
+        run_key = std::move(key);
+        run_begin = pb;
+        run_end = pe;
+        open = true;
+      }
+      pb = pe + 1;
+    }
+  }
+  close_run();
+  return Status::OK();
+}
+
+Result<std::vector<TuplePtr>> GroupedAggregator::Finish() const {
+  std::vector<TuplePtr> out;
+  out.reserve(groups_.size());
+  for (const Group& g : groups_) {
+    // The group lifespan: chronons where the group is inhabited.
+    const Lifespan span = Lifespan::FromIntervals(g.member_spans);
+    if (span.empty()) continue;
+    std::vector<TemporalValue> values;
+    values.reserve(group_idx_.size() + 1);
+    for (const Value& k : g.key) {
+      HRDM_ASSIGN_OR_RETURN(TemporalValue constant,
+                            TemporalValue::Constant(span, k));
+      values.push_back(std::move(constant));
+    }
+    Result<TemporalValue> agg =
+        fn_ == AggregateFn::kCount
+            ? CountSweep(g.member_spans)
+            : ValueSweep(g.contributions, fn_, value_type_);
+    HRDM_RETURN_IF_ERROR(agg.status());
+    values.push_back(std::move(*agg));
+    out.push_back(std::make_shared<const Tuple>(
+        Tuple::FromParts(out_scheme_, span, std::move(values))));
+  }
+  return out;
+}
+
+Result<Relation> Aggregate(const Relation& r, const AggregateSpec& spec,
+                           std::string result_name) {
+  HRDM_ASSIGN_OR_RETURN(
+      GroupedAggregator agg,
+      GroupedAggregator::Make(r.scheme(), spec, std::move(result_name)));
+  HRDM_ASSIGN_OR_RETURN(Relation m, MaterializeRelation(r));
+  for (const TuplePtr& t : m.tuple_ptrs()) {
+    HRDM_RETURN_IF_ERROR(agg.Fold(*t));
+  }
+  HRDM_ASSIGN_OR_RETURN(std::vector<TuplePtr> tuples, agg.Finish());
+  Relation out(agg.scheme());
+  for (TuplePtr& t : tuples) {
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(t)));
+  }
+  out.set_materialized(true);
+  return out;
+}
+
+}  // namespace hrdm

@@ -1,0 +1,189 @@
+#ifndef HRDM_ALGEBRA_AGGREGATE_H_
+#define HRDM_ALGEBRA_AGGREGATE_H_
+
+/// \file aggregate.h
+/// \brief Temporal grouping & aggregation: time-varying COUNT, SUM, MIN,
+/// MAX and AVG whose results are themselves historical tuples.
+///
+/// The paper stops at the algebra of Section 4, but its model invites the
+/// obvious analytical question — "how many employees were active in 1985?",
+/// "average salary per department over time?". Because attribute values in
+/// HRDM are *functions of time*, the natural semantics of an aggregate is
+/// itself a function of time, evaluated per chronon:
+///
+///   `AGG(A)(r)(s) = f({ t.v(A)(s) | t ∈ r, s ∈ vls(t,A,R) })`
+///
+/// i.e. at every chronon `s`, the aggregate combines the model-level values
+/// of the tuples *defined at s*. COUNT ranges over tuple lifespans instead
+/// (`s ∈ t.l`): it counts the objects alive at `s`. Chronons where no input
+/// contributes are simply outside the result's lifespan — consistent with
+/// "undefined means the attribute does not exist", an empty relation
+/// aggregates to the empty relation, never to a null or a zero row.
+///
+/// With GROUP-BY attributes `G1..Gk`, a tuple belongs to the group
+/// `<g1..gk>` at chronon `s` iff `t.v(Gi)(s) = gi` for every `i` — group
+/// membership is itself time-varying when a grouping attribute's value
+/// changes over the tuple's lifespan. The result has one tuple per distinct
+/// key vector: its lifespan is the set of chronons where the group is
+/// inhabited, its group attributes are constant over that lifespan, and its
+/// aggregate attribute is the per-chronon aggregate over the members.
+///
+/// Layer contract: this file is the single semantics implementation, shared
+/// by the whole-relation `Aggregate` operator below, the streaming
+/// `HashAggregateCursor` (query/plan.h) and — through both — the
+/// materializing interpreter, so the three execution paths are
+/// bit-identical by construction (property-tested in
+/// tests/aggregate_test.cc). `GroupedAggregator` is deliberately
+/// order-insensitive: per elementary interval the active values are folded
+/// in sorted value order, so floating-point sums cannot depend on which
+/// physical plan delivered the input tuples first.
+///
+/// Two grouping paths mirror the hash join's design (algebra/join.h):
+///  * fast path — every grouping attribute is constant over the tuple's
+///    lifespan (the paper's CD membership, guaranteed for key attributes):
+///    one digest probe (`JoinKeyDigest`) files the whole tuple under its
+///    group;
+///  * per-chronon fallback — some grouping value varies: the tuple's
+///    membership domain is split into maximal constant-key runs (cut at the
+///    grouping values' segment boundaries, so the chronon-exact result
+///    costs O(#segments), not O(#chronons)), each filed separately. Exact,
+///    never approximate.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace hrdm {
+
+/// \brief The aggregate functions of the subsystem. COUNT ranges over tuple
+/// lifespans; the others over one attribute's temporal value.
+enum class AggregateFn : uint8_t {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+/// \brief Stable lower-case name ("count", "sum", "min", "max", "avg") —
+/// also the HRQL keyword.
+std::string_view AggregateFnName(AggregateFn fn);
+
+/// \brief Parses an AggregateFnName back; error on unknown names.
+Result<AggregateFn> AggregateFnFromName(std::string_view name);
+
+/// \brief One aggregation request: the function, its input attribute
+/// (empty for COUNT, which counts whole tuples), and the grouping
+/// attributes (empty for a whole-relation aggregate).
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string value_attr;
+  std::vector<std::string> group_by;
+};
+
+/// \brief Result scheme + precondition checks of an aggregation: the
+/// grouping attributes (in spec order, definitions copied from the input)
+/// followed by the aggregate attribute, named `count` / `<fn>_<attr>`.
+/// Keyless (a derived relation with structural set semantics).
+///
+/// Errors: unknown attribute names, duplicate grouping attributes, a
+/// value attribute on COUNT (or a missing one on the others), SUM/AVG over
+/// a non-numeric domain, MIN/MAX over kBool (no order), or an aggregate
+/// attribute name colliding with a grouping attribute.
+///
+/// Domains: COUNT → kInt over the input scheme lifespan; SUM → the input
+/// attribute's domain; AVG → kDouble; MIN/MAX → the input attribute's
+/// domain. Value-aggregate ALS is the input attribute's ALS.
+Result<SchemePtr> AggregateScheme(const SchemePtr& in,
+                                  const AggregateSpec& spec,
+                                  std::string result_name = "aggregate_result");
+
+/// \brief The shared grouping/aggregation kernel: fold materialized input
+/// tuples one at a time, then finish into one output tuple per group.
+///
+/// State is per *group*, not per input tuple: a group holds its key vector,
+/// the member chronon spans (COUNT events and the group lifespan), and the
+/// contributed value segments — never whole input tuples.
+class GroupedAggregator {
+ public:
+  /// \brief Validates `spec` against `in` (via AggregateScheme) and builds
+  /// an empty aggregator.
+  static Result<GroupedAggregator> Make(
+      const SchemePtr& in, const AggregateSpec& spec,
+      std::string result_name = "aggregate_result");
+
+  /// \brief The output scheme (group attributes + aggregate attribute).
+  const SchemePtr& scheme() const { return out_scheme_; }
+
+  /// \brief Pre-sizes the group table (the optimizer's group estimate).
+  void Reserve(size_t expected_groups);
+
+  /// \brief Folds one input tuple into its group(s). `t` must be
+  /// materialized (model-level) and bound to the input scheme; the caller
+  /// is responsible for set semantics (folding a duplicate double-counts).
+  Status Fold(const Tuple& t);
+
+  /// \brief Emits one output tuple per group, in first-touch order. Each
+  /// group's aggregate is computed by an event sweep over its contribution
+  /// segments, folding active values in sorted order per elementary
+  /// interval (order-insensitive, so all execution paths agree bitwise).
+  Result<std::vector<TuplePtr>> Finish() const;
+
+  /// \brief Groups built so far (PlanStats::agg_groups_built).
+  size_t group_count() const { return groups_.size(); }
+
+  /// \brief Tuples that took the per-chronon varying-group-key fallback
+  /// (PlanStats::agg_fallback_tuples).
+  size_t fallback_tuples() const { return fallback_tuples_; }
+
+ private:
+  /// One group's accumulated state.
+  struct Group {
+    std::vector<Value> key;
+    /// Chronon spans of the members (the COUNT events; their union is the
+    /// group lifespan).
+    std::vector<Interval> member_spans;
+    /// Value segments contributed by the members (value aggregates only).
+    std::vector<Segment> contributions;
+  };
+
+  GroupedAggregator(SchemePtr out_scheme, AggregateFn fn,
+                    std::optional<size_t> value_idx, DomainType value_type,
+                    std::vector<size_t> group_idx);
+
+  /// The group for `key`, created on first touch.
+  Group* GroupFor(std::vector<Value> key);
+
+  /// Files `span` (and the value function restricted to it) under `g`.
+  void AddContribution(Group* g, const Lifespan& span,
+                       const TemporalValue* value);
+
+  SchemePtr out_scheme_;
+  AggregateFn fn_;
+  std::optional<size_t> value_idx_;  // input index; nullopt for COUNT
+  /// Input value domain (kInt for COUNT): picks the exact incremental int
+  /// sum vs the per-interval sorted double re-fold in the value sweep.
+  DomainType value_type_ = DomainType::kInt;
+  std::vector<size_t> group_idx_;    // input indices, spec order
+  std::vector<Group> groups_;        // first-touch order
+  /// Key digest (JoinKeyDigest fold) -> group indices (collision chain;
+  /// exact key-vector equality decides membership, the digest only buckets).
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+  size_t fallback_tuples_ = 0;
+};
+
+/// \brief The whole-relation operator: `AGG[spec](r)` as defined above.
+/// Input is materialized first (model-level values, applied once), exactly
+/// like the other whole-relation operators.
+Result<Relation> Aggregate(const Relation& r, const AggregateSpec& spec,
+                           std::string result_name = "aggregate_result");
+
+}  // namespace hrdm
+
+#endif  // HRDM_ALGEBRA_AGGREGATE_H_

@@ -147,6 +147,16 @@ std::vector<std::pair<size_t, size_t>> SharedAttributes(
 /// sentinel (they can never match, and the exact check drops them).
 uint64_t JoinKeyDigest(const Value& v);
 
+/// \brief FNV-1a seed/step for folding several per-column JoinKeyDigest
+/// values into one key digest. One definition shared by the hash join's
+/// build/probe digesting (query/plan.cc) and the aggregation group keys
+/// (algebra/aggregate.cc), so the two sides of a probe — and grouping —
+/// agree bucket-for-bucket by construction.
+inline constexpr uint64_t kJoinKeyDigestSeed = 0xcbf29ce484222325ULL;
+inline uint64_t CombineJoinKeyDigest(uint64_t h, uint64_t column_digest) {
+  return (h ^ column_digest) * 0x100000001b3ULL;
+}
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_JOIN_H_

@@ -40,6 +40,8 @@ std::string_view FunctionName(ExprKind kind) {
       return "natjoin";
     case ExprKind::kTimeJoin:
       return "timejoin";
+    case ExprKind::kAggregate:
+      return "aggregate";
   }
   return "?";
 }
@@ -79,6 +81,16 @@ std::string Expr::ToString() const {
     case ExprKind::kTimeJoin:
       return "timejoin(" + left->ToString() + ", " + right->ToString() +
              ", " + attr_a + ")";
+    case ExprKind::kAggregate: {
+      std::string out = "aggregate(" + left->ToString() + ", " +
+                        std::string(AggregateFnName(agg_fn));
+      if (!attr_a.empty()) out += " " + attr_a;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        out += (i == 0 ? " by " : ", ") + attrs[i];
+      }
+      out += ")";
+      return out;
+    }
     default:
       return std::string(FunctionName(kind)) + "(" + left->ToString() + ", " +
              right->ToString() + ")";
@@ -182,6 +194,17 @@ ExprPtr TimeJoinE(ExprPtr l, ExprPtr r, std::string attr) {
   e->left = std::move(l);
   e->right = std::move(r);
   e->attr_a = std::move(attr);
+  return e;
+}
+
+ExprPtr AggregateE(ExprPtr operand, AggregateFn fn, std::string value_attr,
+                   std::vector<std::string> group_by) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->left = std::move(operand);
+  e->agg_fn = fn;
+  e->attr_a = std::move(value_attr);
+  e->attrs = std::move(group_by);
   return e;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/aggregate.h"
 #include "algebra/predicate.h"
 #include "core/lifespan.h"
 #include "core/value.h"
@@ -49,6 +50,7 @@ enum class ExprKind : uint8_t {
   kThetaJoin,     // join(e1, e2, A op B)
   kNaturalJoin,   // natjoin(e1, e2)
   kTimeJoin,      // timejoin(e1, e2, attr)
+  kAggregate,     // aggregate(e, fn [attr] [by g1, ..., gk])
 };
 
 /// \brief Lifespan-sorted operators.
@@ -76,13 +78,17 @@ struct Expr {
   Quantifier quantifier = Quantifier::kExists;
   LsExprPtr window;  // optional SELECT-IF window / TIME-SLICE parameter
 
-  // Projection.
+  // Projection attributes / aggregation group-by attributes.
   std::vector<std::string> attrs;
 
-  // Joins / dynamic slice.
+  // Joins / dynamic slice / aggregated attribute.
   std::string attr_a;
   std::string attr_b;
   CompareOp op = CompareOp::kEq;
+
+  // Aggregation (kAggregate; attr_a is the aggregated attribute, empty for
+  // count, attrs are the group-by attributes).
+  AggregateFn agg_fn = AggregateFn::kCount;
 
   /// \brief HRQL rendering.
   std::string ToString() const;
@@ -113,6 +119,8 @@ ExprPtr ThetaJoinE(ExprPtr l, ExprPtr r, std::string attr_a, CompareOp op,
                    std::string attr_b);
 ExprPtr NaturalJoinE(ExprPtr l, ExprPtr r);
 ExprPtr TimeJoinE(ExprPtr l, ExprPtr r, std::string attr);
+ExprPtr AggregateE(ExprPtr e, AggregateFn fn, std::string value_attr,
+                   std::vector<std::string> group_by);
 
 LsExprPtr LsLiteral(Lifespan l);
 LsExprPtr WhenE(ExprPtr e);

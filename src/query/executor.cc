@@ -1,5 +1,6 @@
 #include "query/executor.h"
 
+#include "algebra/aggregate.h"
 #include "algebra/join.h"
 #include "algebra/project.h"
 #include "algebra/select.h"
@@ -259,6 +260,13 @@ Result<Relation> EvalMat(const ExprPtr& expr, const Resolver& resolver,
                               EvalMat(expr->right, resolver, stats));
         Result<Relation> out = TimeJoin(l, expr->attr_a, r);
         return Finish(std::move(out), l.size() + r.size(), stats);
+      }
+      case ExprKind::kAggregate: {
+        HRDM_ASSIGN_OR_RETURN(Relation input,
+                              EvalMat(expr->left, resolver, stats));
+        AggregateSpec spec{expr->agg_fn, expr->attr_a, expr->attrs};
+        Result<Relation> out = Aggregate(input, spec);
+        return Finish(std::move(out), input.size(), stats);
       }
     }
     return Status::Internal("unhandled expression kind");

@@ -88,8 +88,20 @@ size_t EstimateCardinality(const ExprPtr& expr, const CardinalityFn& card) {
     case ExprKind::kTimeJoin:
       return std::max(EstimateCardinality(expr->left, card),
                       EstimateCardinality(expr->right, card));
+    case ExprKind::kAggregate:
+      // One tuple per group (see EstimateGroupCount).
+      return EstimateGroupCount(*expr, card);
   }
   return kDefaultCardinality;
+}
+
+size_t EstimateGroupCount(const Expr& agg, const CardinalityFn& card) {
+  const size_t child = EstimateCardinality(agg.left, card);
+  if (child == 0) return 0;
+  // Ungrouped: the whole relation collapses into a single historical tuple.
+  if (agg.attrs.empty()) return 1;
+  // Grouped: quarter-of-input rule of thumb, capped by the input estimate.
+  return std::max<size_t>(1, child / 4);
 }
 
 JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,

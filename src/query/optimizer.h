@@ -116,6 +116,20 @@ JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
                               const RelationScheme& right,
                               const CardinalityFn& card);
 
+// --- aggregation estimates ---------------------------------------------------
+//
+// AGGREGATE lowers to a blocking HashAggregateCursor (query/plan.h) whose
+// memory is proportional to the number of *groups*, not input tuples. The
+// planner pre-sizes the cursor's group table from the catalog's relation
+// stats: an ungrouped aggregate has at most one group; a grouped one is
+// estimated with the classic quarter-of-input rule over the child's
+// cardinality estimate. Like every other estimate here, it is advisory —
+// a wrong guess resizes a hash table, never changes answers.
+
+/// \brief Estimated number of groups (output tuples) of one kAggregate
+/// node (`agg.left` is the aggregated input).
+size_t EstimateGroupCount(const Expr& agg, const CardinalityFn& card);
+
 // --- access-path selection ----------------------------------------------------
 //
 // The entry-point restrictions (SELECT-IF, SELECT-WHEN, TIME-SLICE, §4.3–4.4)

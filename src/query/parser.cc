@@ -310,6 +310,46 @@ class Parser {
       return ThetaJoinE(std::move(l), std::move(r), std::move(a), op,
                         std::move(b));
     }
+    if (kw == "aggregate") {
+      Take();
+      HRDM_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      HRDM_ASSIGN_OR_RETURN(ExprPtr e, RelExpr());
+      HRDM_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      if (!At(TokenKind::kIdentifier)) {
+        return Error("expected aggregate function (count|sum|min|max|avg)");
+      }
+      auto fn = AggregateFnFromName(Lower(Peek().text));
+      if (!fn.ok()) {
+        return Error("expected aggregate function (count|sum|min|max|avg)");
+      }
+      Take();
+      std::string value_attr;
+      if (*fn != AggregateFn::kCount) {
+        // 'by' here means the attribute was omitted — reject it now with
+        // a precise message instead of mis-reading it as an attribute
+        // named "by" and failing later (or at scheme validation).
+        if (PeekKeyword() == "by") {
+          return Error("aggregate function needs an attribute before 'by'");
+        }
+        HRDM_ASSIGN_OR_RETURN(value_attr, TakeIdentifier());
+      }
+      std::vector<std::string> group_by;
+      if (PeekKeyword() == "by") {
+        Take();
+        while (true) {
+          HRDM_ASSIGN_OR_RETURN(std::string g, TakeIdentifier());
+          group_by.push_back(std::move(g));
+          if (At(TokenKind::kComma)) {
+            Take();
+            continue;
+          }
+          break;
+        }
+      }
+      HRDM_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return AggregateE(std::move(e), *fn, std::move(value_attr),
+                        std::move(group_by));
+    }
     if (kw == "timejoin") {
       Take();
       HRDM_RETURN_IF_ERROR(Expect(TokenKind::kLParen));

@@ -22,6 +22,11 @@
 ///   | join(rel_expr, rel_expr, IDENT op IDENT)    -- θ-JOIN (§4.6)
 ///   | natjoin(rel_expr, rel_expr)                 -- NATURAL-JOIN (§4.6)
 ///   | timejoin(rel_expr, rel_expr, IDENT)         -- TIME-JOIN (§4.6)
+///   | aggregate(rel_expr, agg)                    -- temporal aggregation
+///
+/// agg :=
+///     count [by IDENT {, IDENT}]
+///   | (sum|min|max|avg) IDENT [by IDENT {, IDENT}]
 ///
 /// ls_expr :=
 ///     { interval {, interval} } | {}              -- lifespan literal

@@ -113,15 +113,6 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
   return choice;
 }
 
-/// FNV-1a step combining one column's raw value digest into a running key
-/// digest. HashEquiJoinCursor::DigestOf folds every join column through
-/// this; the index-fed build path folds the single digest a value index
-/// stored, so both sides of a probe agree bucket-for-bucket.
-uint64_t CombineKeyDigest(uint64_t h, uint64_t column_digest) {
-  return (h ^ column_digest) * 0x100000001b3ULL;
-}
-constexpr uint64_t kKeyDigestSeed = 0xcbf29ce484222325ULL;
-
 }  // namespace
 
 // --- ScanCursor --------------------------------------------------------------
@@ -386,11 +377,11 @@ std::optional<uint64_t> HashEquiJoinCursor::DigestOf(const Tuple& t,
   // A tuple's join columns digest time-invariantly only if every one is a
   // constant function over its lifespan (the paper's CD membership). Mixed
   // digests combine per-column digests order-sensitively.
-  uint64_t h = kKeyDigestSeed;
+  uint64_t h = kJoinKeyDigestSeed;
   for (const auto& [la, ra] : key_attrs_) {
     const TemporalValue& v = t.value(left_side ? la : ra);
     if (!v.IsConstant()) return std::nullopt;
-    h = CombineKeyDigest(h, JoinKeyDigest(v.ConstantValue()));
+    h = CombineJoinKeyDigest(h, JoinKeyDigest(v.ConstantValue()));
   }
   return h;
 }
@@ -411,7 +402,7 @@ Status HashEquiJoinCursor::Prime() {
       return build_.size() - 1;
     };
     for (auto& [digest, tuples] : prebuilt_->groups) {
-      const uint64_t h = CombineKeyDigest(kKeyDigestSeed, digest);
+      const uint64_t h = CombineJoinKeyDigest(kJoinKeyDigestSeed, digest);
       for (TuplePtr& t : tuples) {
         HRDM_ASSIGN_OR_RETURN(size_t idx, adopt(std::move(t)));
         buckets_[h].push_back(idx);
@@ -594,22 +585,103 @@ Result<TuplePtr> MergeTimeJoinCursor::Next() {
   return TuplePtr();
 }
 
+// --- BufferedResultCursor ----------------------------------------------------
+
+BufferedResultCursor::~BufferedResultCursor() {
+  if (result_) stats_->OnRelease(result_->size());
+}
+
+Status BufferedResultCursor::EnsurePrimed() {
+  if (primed_) return Status::OK();
+  primed_ = true;
+  HRDM_ASSIGN_OR_RETURN(Relation out, Prime());
+  result_ = std::move(out);
+  return Status::OK();
+}
+
+Result<TuplePtr> BufferedResultCursor::Next() {
+  HRDM_RETURN_IF_ERROR(EnsurePrimed());
+  if (!result_ || pos_ >= result_->size()) return TuplePtr();
+  return result_->tuple_ptr(pos_++);
+}
+
+Result<std::optional<Relation>> BufferedResultCursor::TakeBuffered() {
+  if (pos_ != 0) return std::optional<Relation>();  // already being pulled
+  HRDM_RETURN_IF_ERROR(EnsurePrimed());
+  if (!result_) return std::optional<Relation>();  // already taken
+  Relation out = std::move(*result_);
+  result_.reset();
+  stats_->OnRelease(out.size());
+  return std::optional<Relation>(std::move(out));
+}
+
+// --- HashAggregateCursor -----------------------------------------------------
+
+HashAggregateCursor::HashAggregateCursor(CursorPtr child,
+                                         GroupedAggregator aggregator,
+                                         size_t estimated_groups,
+                                         PlanStats* stats)
+    : BufferedResultCursor(aggregator.scheme(), stats),
+      child_(std::move(child)),
+      aggregator_(std::move(aggregator)) {
+  ++stats_->aggregates;
+  stats_->agg_groups_estimated += estimated_groups;
+  aggregator_.Reserve(estimated_groups);
+}
+
+Result<Relation> HashAggregateCursor::Prime() {
+  // Aggregation is duplicate-sensitive (COUNT/SUM/AVG) but the input
+  // stream is not yet a set — restriction and join cursors may emit
+  // structural duplicates that the materialization boundary would
+  // normally collapse. The set boundary is established here: each unique
+  // tuple folds into its group state on arrival, and only the shared
+  // handles are retained (for the exact duplicate checks), never copies.
+  HRDM_ASSIGN_OR_RETURN(std::optional<Relation> whole,
+                        child_->TakeBuffered());
+  if (whole) {
+    // The child already holds its entire deduplicated output.
+    stats_->OnBuffer(whole->size());
+    for (const TuplePtr& t : whole->tuple_ptrs()) {
+      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
+    }
+    stats_->OnRelease(whole->size());
+  } else {
+    Relation seen(child_->scheme());
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
+      if (!t) break;
+      const size_t before = seen.size();
+      HRDM_RETURN_IF_ERROR(seen.InsertDedup(t));
+      if (seen.size() == before) continue;  // structural duplicate
+      stats_->OnBuffer(1);
+      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
+    }
+    stats_->OnRelease(seen.size());
+  }
+  stats_->agg_groups_built += aggregator_.group_count();
+  stats_->agg_fallback_tuples += aggregator_.fallback_tuples();
+
+  HRDM_ASSIGN_OR_RETURN(std::vector<TuplePtr> tuples, aggregator_.Finish());
+  Relation out(aggregator_.scheme());
+  for (TuplePtr& t : tuples) {
+    HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(t)));
+  }
+  out.set_materialized(true);
+  stats_->OnBuffer(out.size());
+  return out;
+}
+
 // --- SetOpCursor -------------------------------------------------------------
 
 SetOpCursor::SetOpCursor(CursorPtr left, CursorPtr right,
                          SchemePtr out_scheme, WholeRelationOp op,
                          PlanStats* stats)
-    : Cursor(std::move(out_scheme), stats),
+    : BufferedResultCursor(std::move(out_scheme), stats),
       left_(std::move(left)),
       right_(std::move(right)),
       op_(std::move(op)) {}
 
-SetOpCursor::~SetOpCursor() {
-  if (result_) stats_->OnRelease(result_->size());
-}
-
-Status SetOpCursor::Prime() {
-  primed_ = true;
+Result<Relation> SetOpCursor::Prime() {
   HRDM_ASSIGN_OR_RETURN(Relation l, DrainCursor(left_.get()));
   stats_->OnBuffer(l.size());
   HRDM_ASSIGN_OR_RETURN(Relation r, DrainCursor(right_.get()));
@@ -617,28 +689,7 @@ Status SetOpCursor::Prime() {
   HRDM_ASSIGN_OR_RETURN(Relation result, op_(l, r));
   stats_->OnBuffer(result.size());
   stats_->OnRelease(l.size() + r.size());
-  result_ = std::move(result);
-  return Status::OK();
-}
-
-Result<TuplePtr> SetOpCursor::Next() {
-  if (!primed_) {
-    HRDM_RETURN_IF_ERROR(Prime());
-  }
-  if (!result_ || pos_ >= result_->size()) return TuplePtr();
-  return result_->tuple_ptr(pos_++);
-}
-
-Result<std::optional<Relation>> SetOpCursor::TakeBuffered() {
-  if (pos_ != 0) return std::optional<Relation>();  // already being pulled
-  if (!primed_) {
-    HRDM_RETURN_IF_ERROR(Prime());
-  }
-  if (!result_) return std::optional<Relation>();  // already taken
-  Relation out = std::move(*result_);
-  result_.reset();
-  stats_->OnRelease(out.size());
-  return std::optional<Relation>(std::move(out));
+  return result;
 }
 
 // --- lowering ----------------------------------------------------------------
@@ -939,6 +990,17 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       return CursorPtr(new NestedLoopJoinCursor(
           std::move(left), std::move(right), std::move(assembly),
           std::move(pair), stats));
+    }
+    case ExprKind::kAggregate: {
+      HRDM_ASSIGN_OR_RETURN(CursorPtr child,
+                            LowerExpr(expr->left, resolver, stats, options));
+      AggregateSpec spec{expr->agg_fn, expr->attr_a, expr->attrs};
+      HRDM_ASSIGN_OR_RETURN(GroupedAggregator aggregator,
+                            GroupedAggregator::Make(child->scheme(), spec));
+      const size_t est = EstimateGroupCount(
+          *expr, CardinalityOrExact(options.cardinality, resolver));
+      return CursorPtr(new HashAggregateCursor(
+          std::move(child), std::move(aggregator), est, stats));
     }
     case ExprKind::kTimeJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,

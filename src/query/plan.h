@@ -24,7 +24,11 @@
 ///    children, applies the whole-relation operator, and streams (or
 ///    surrenders) the result;
 ///  * `ProductJoinCursor` — buffers only its *right* input and streams the
-///    left, so `r × s` holds |s| tuples, not |r × s|.
+///    left, so `r × s` holds |s| tuples, not |r × s|;
+///  * `HashAggregateCursor` — AGGREGATE: folds the input into per-group
+///    aggregation state (key vector + contribution segments, via the shared
+///    kernel of algebra/aggregate.h), holding input handles only for the
+///    duplicate elimination a set-semantics aggregate requires.
 ///
 /// The JOIN family lowers to dedicated join cursors, all built on the
 /// shared assembly kernel of algebra/join.h and selected by the optimizer's
@@ -63,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/aggregate.h"
 #include "algebra/join.h"
 #include "algebra/predicate.h"
 #include "algebra/setops.h"
@@ -142,6 +147,16 @@ struct PlanStats {
   /// Hash joins whose build side was fed pre-partitioned from a value
   /// index instead of draining and digesting a build cursor.
   size_t hash_builds_from_index = 0;
+  /// Aggregate operators instantiated in this plan.
+  size_t aggregates = 0;
+  /// Groups the planner pre-sized aggregate tables for (the optimizer's
+  /// EstimateGroupCount) vs. groups actually built — compare the two for
+  /// the estimator's accuracy, the aggregate analogue of join_pairs_tested.
+  size_t agg_groups_estimated = 0;
+  size_t agg_groups_built = 0;
+  /// Input tuples that took the per-chronon varying-group-key fallback
+  /// (grouping attributes whose value changes over the tuple's lifespan).
+  size_t agg_fallback_tuples = 0;
 
   void OnBuffer(size_t n) {
     buffered_now += n;
@@ -428,11 +443,63 @@ class MergeTimeJoinCursor : public Cursor {
   bool left_open_ = false;     // activation done for lefts_[li_]
 };
 
+/// \brief Base for blocking cursors that compute their entire output
+/// relation on the first pull and then stream (or surrender) it: owns the
+/// priming protocol, the already-being-pulled guard, and the release-side
+/// PlanStats accounting. Subclasses implement `Prime`, which must account
+/// the *returned* relation's tuples via `stats_->OnBuffer` (they stay
+/// buffered until streamed out wholesale, taken, or destroyed — the base
+/// pairs the `OnRelease`).
+class BufferedResultCursor : public Cursor {
+ public:
+  using Cursor::Cursor;
+  ~BufferedResultCursor() override;
+  Result<TuplePtr> Next() override;
+  Result<std::optional<Relation>> TakeBuffered() override;
+
+ protected:
+  /// Computes the full output (set semantics, materialized), called once.
+  virtual Result<Relation> Prime() = 0;
+
+ private:
+  Status EnsurePrimed();
+
+  bool primed_ = false;
+  std::optional<Relation> result_;
+  size_t pos_ = 0;
+};
+
+/// \brief AGGREGATE: blocking unary operator computing time-varying
+/// COUNT/SUM/MIN/MAX/AVG with optional GROUP-BY (algebra/aggregate.h is the
+/// shared kernel, so the streaming and whole-relation paths cannot
+/// diverge). The input stream is folded into per-*group* state — key
+/// vector, member spans, contribution segments — never whole wide tuples;
+/// the only per-input retention is the shared handles needed to establish
+/// set semantics at this blocking boundary (the stream may carry structural
+/// duplicates, and COUNT/SUM/AVG are duplicate-sensitive). Group keys that
+/// are constant over a tuple's lifespan take the JoinKeyDigest fast path;
+/// varying keys take the exact per-chronon fallback, counted in
+/// `PlanStats::agg_fallback_tuples`.
+class HashAggregateCursor : public BufferedResultCursor {
+ public:
+  /// `estimated_groups` pre-sizes the group table (the optimizer's
+  /// EstimateGroupCount, advisory).
+  HashAggregateCursor(CursorPtr child, GroupedAggregator aggregator,
+                      size_t estimated_groups, PlanStats* stats);
+
+ protected:
+  Result<Relation> Prime() override;
+
+ private:
+  CursorPtr child_;
+  GroupedAggregator aggregator_;
+};
+
 /// \brief Blocking binary operator: drains both children into relations,
 /// applies a whole-relation algebra operator, then streams the result.
 /// Used for the set-theoretic/object-based operators, whose semantics need
 /// both whole inputs.
-class SetOpCursor : public Cursor {
+class SetOpCursor : public BufferedResultCursor {
  public:
   /// The algebra operator to apply to the two drained inputs.
   using WholeRelationOp =
@@ -440,19 +507,14 @@ class SetOpCursor : public Cursor {
 
   SetOpCursor(CursorPtr left, CursorPtr right, SchemePtr out_scheme,
               WholeRelationOp op, PlanStats* stats);
-  ~SetOpCursor() override;
-  Result<TuplePtr> Next() override;
-  Result<std::optional<Relation>> TakeBuffered() override;
+
+ protected:
+  Result<Relation> Prime() override;
 
  private:
-  Status Prime();
-
   CursorPtr left_;
   CursorPtr right_;
   WholeRelationOp op_;
-  bool primed_ = false;
-  std::optional<Relation> result_;
-  size_t pos_ = 0;
 };
 
 // --- plans -------------------------------------------------------------------

@@ -9,14 +9,20 @@
 //     grammar the parser actually accepts;
 //  2. every relative markdown link `[text](path)` resolves to an existing
 //     file or directory (external http(s)/mailto links and pure #anchors
-//     are skipped) so README/docs cross-references can never go stale.
+//     are skipped) so README/docs cross-references can never go stale;
+//  3. for the language reference itself (files named HRQL.md): every
+//     operator of the language has at least one example inside a ```hrql
+//     snippet — a newly shipped operator cannot land undocumented, and a
+//     removed example is flagged immediately.
 //
 // Inside ```hrql blocks, each non-empty line is one statement; lines
 // starting with `--` are comments. Exit status is the number of failures.
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +39,18 @@ struct Failure {
   std::string message;
 };
 
+/// Every operator keyword of the language (kept in sync with the parser's
+/// keyword set; parser_test.cc and this tool together pin the surface).
+/// The language reference must show each at least once.
+const char* const kOperatorKeywords[] = {
+    // relation-sorted
+    "select_if", "select_when", "project", "timeslice", "dynslice",
+    "union", "intersect", "minus", "ounion", "ointersect", "ominus",
+    "product", "join", "natjoin", "timejoin", "aggregate",
+    // lifespan-sorted
+    "when", "lunion", "lintersect", "lminus",
+};
+
 std::string Trim(const std::string& s) {
   const size_t b = s.find_first_not_of(" \t\r");
   if (b == std::string::npos) return "";
@@ -40,10 +58,29 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+/// Lower-cased identifier words of one snippet statement (the operator
+/// keywords appear as identifiers at call-head positions).
+void CollectIdentifiers(const std::string& statement,
+                        std::set<std::string>* words) {
+  std::string word;
+  for (const char c : statement) {
+    const bool ident = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_';
+    if (ident) {
+      word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      continue;
+    }
+    if (!word.empty()) words->insert(word);
+    word.clear();
+  }
+  if (!word.empty()) words->insert(word);
+}
+
 void CheckHrqlSnippets(const std::string& path,
                        const std::vector<std::string>& lines,
                        std::vector<Failure>* failures) {
   bool in_hrql = false;
+  std::set<std::string> snippet_words;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string t = Trim(lines[i]);
     if (!in_hrql) {
@@ -56,12 +93,29 @@ void CheckHrqlSnippets(const std::string& path,
     }
     if (t.empty() || t.rfind("--", 0) == 0) continue;
     auto expr = hrdm::query::ParseExpr(t);
-    if (expr.ok()) continue;
-    auto ls = hrdm::query::ParseLsExpr(t);
-    if (ls.ok()) continue;
-    failures->push_back(
-        {path, i + 1,
-         "hrql snippet does not parse: " + expr.status().ToString()});
+    if (!expr.ok()) {
+      auto ls = hrdm::query::ParseLsExpr(t);
+      if (!ls.ok()) {
+        failures->push_back(
+            {path, i + 1,
+             "hrql snippet does not parse: " + expr.status().ToString()});
+        continue;
+      }
+    }
+    CollectIdentifiers(t, &snippet_words);
+  }
+  // Operator coverage: the language reference must demonstrate every
+  // operator with at least one parsed snippet.
+  const std::string name = fs::path(path).filename().string();
+  if (name == "HRQL.md") {
+    for (const char* op : kOperatorKeywords) {
+      if (snippet_words.count(op) == 0) {
+        failures->push_back(
+            {path, 0,
+             std::string("operator '") + op +
+                 "' has no example in any ```hrql snippet"});
+      }
+    }
   }
 }
 
