@@ -371,6 +371,22 @@ Status GroupedAggregator::Fold(const Tuple& t) {
   return Status::OK();
 }
 
+GroupedAggregator GroupedAggregator::Fork() const {
+  return GroupedAggregator(out_scheme_, fn_, value_idx_, value_type_,
+                           group_idx_);
+}
+
+void GroupedAggregator::MergeFrom(const GroupedAggregator& other) {
+  for (const Group& og : other.groups_) {
+    Group* g = GroupFor(og.key);
+    g->member_spans.insert(g->member_spans.end(), og.member_spans.begin(),
+                           og.member_spans.end());
+    g->contributions.insert(g->contributions.end(), og.contributions.begin(),
+                            og.contributions.end());
+  }
+  fallback_tuples_ += other.fallback_tuples_;
+}
+
 Result<std::vector<TuplePtr>> GroupedAggregator::Finish() const {
   std::vector<TuplePtr> out;
   out.reserve(groups_.size());

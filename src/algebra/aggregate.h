@@ -135,6 +135,20 @@ class GroupedAggregator {
   /// interval (order-insensitive, so all execution paths agree bitwise).
   Result<std::vector<TuplePtr>> Finish() const;
 
+  /// \brief An empty aggregator with this one's configuration (spec,
+  /// schemes, indices) and none of its state — the per-morsel partial the
+  /// parallel HashAggregateCursor folds into on each worker.
+  GroupedAggregator Fork() const;
+
+  /// \brief Merges a partial aggregator's state into this one: each of
+  /// `other`'s groups is located (or first-touched) here and its member
+  /// spans and contribution segments appended. Because Finish's sweep is
+  /// order-insensitive, Fold-everything-here and Fold-into-partials-then-
+  /// MergeFrom produce bitwise-identical group results; merging partials
+  /// in morsel order also makes group first-touch order deterministic.
+  /// `other` must be a Fork() of an aggregator with this configuration.
+  void MergeFrom(const GroupedAggregator& other);
+
   /// \brief Groups built so far (PlanStats::agg_groups_built).
   size_t group_count() const { return groups_.size(); }
 

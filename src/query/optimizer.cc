@@ -1,6 +1,8 @@
 #include "query/optimizer.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <thread>
 
 #include "algebra/join.h"
 
@@ -141,6 +143,30 @@ JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
       break;
   }
   return choice;
+}
+
+size_t DefaultParallelism() {
+  static const size_t cached = [] {
+    if (const char* raw = std::getenv("HRDM_THREADS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(raw, &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        return static_cast<size_t>(v);
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(hw > 0 ? hw : 1);
+  }();
+  return cached;
+}
+
+size_t ChooseParallelism(size_t requested, size_t est_tuples, bool force) {
+  if (requested <= 1) return 1;
+  if (force) return requested;
+  if (est_tuples < kParallelMinTuples) return 1;
+  // No more workers than morsels: extra ones would only idle.
+  const size_t morsels = (est_tuples + kMorselSize - 1) / kMorselSize;
+  return std::min(requested, morsels);
 }
 
 std::string_view AccessPathName(AccessPath p) {

@@ -204,6 +204,44 @@ inline constexpr size_t kIndexScanMinTuples = 64;
 AccessPathChoice ChooseAccessPath(const Expr& op, const IndexCatalogFn& indexes,
                                   const CardinalityFn& card);
 
+// --- parallel execution -------------------------------------------------------
+//
+// Parallel-eligible physical operators (the scan leaves' interpolation
+// pass, the hash join's build partitioning and probe phase, the aggregate
+// fold — query/plan.h) split their input into fixed-size *morsels*
+// dispatched to the shared worker pool (util/thread_pool.h). Like the join
+// strategy and access path, the degree of parallelism is a per-operator
+// planning decision: the requested degree comes from
+// `PlanOptions::parallelism` (default: HRDM_THREADS env override, else
+// `hardware_concurrency`), and `ChooseParallelism` falls back to serial
+// execution below a cardinality threshold — forking workers over a handful
+// of tuples costs more than the work itself. Parallelism never changes
+// answers, only schedules: every parallel path merges per-morsel partial
+// results in morsel order, so the merged state is deterministic.
+
+/// \brief Tuples per morsel dispatched to the worker pool. Small enough to
+/// load-balance skewed kernels, large enough that task dispatch is noise.
+inline constexpr size_t kMorselSize = 2048;
+
+/// \brief Operators whose estimated input is below this stay serial: the
+/// dispatch + merge overhead would dominate. (PlanOptions::force_parallel
+/// bypasses the threshold for the differential tests.)
+inline constexpr size_t kParallelMinTuples = 8192;
+
+/// \brief The requested degree of parallelism when PlanOptions leaves it 0:
+/// the HRDM_THREADS environment variable if set to a positive integer,
+/// otherwise `std::thread::hardware_concurrency` (at least 1). Cached after
+/// the first call.
+size_t DefaultParallelism();
+
+/// \brief The effective degree of parallelism for one operator whose input
+/// is estimated at `est_tuples`: 1 (serial) when `requested` <= 1 or the
+/// estimate is below kParallelMinTuples, otherwise `requested` capped by
+/// the morsel count so no worker is provisioned without a morsel to run.
+/// `force` bypasses the threshold and the cap (the differential fuzz
+/// suite runs many workers over small inputs on purpose).
+size_t ChooseParallelism(size_t requested, size_t est_tuples, bool force);
+
 /// \brief Applies the rewrite rules to a fixpoint (bounded) and returns the
 /// rewritten tree. `stats`, if non-null, receives counters.
 ExprPtr Optimize(const ExprPtr& expr, OptimizerStats* stats = nullptr);

@@ -7,10 +7,68 @@
 #include "algebra/project.h"
 #include "algebra/select.h"
 #include "algebra/timeslice.h"
+#include "util/thread_pool.h"
 
 namespace hrdm::query {
 
 namespace {
+
+// --- parallel execution helpers ---------------------------------------------
+
+/// The degree of parallelism PlanOptions asks for (0 = auto).
+size_t RequestedParallelism(const PlanOptions& options) {
+  return options.parallelism == 0 ? DefaultParallelism() : options.parallelism;
+}
+
+/// The morsel size for `n` items on `workers` workers: kMorselSize, shrunk
+/// only so every worker has at least one morsel on small (forced-parallel)
+/// inputs.
+size_t MorselSizeFor(size_t n, size_t workers) {
+  const size_t per_worker = (n + workers - 1) / workers;
+  return std::max<size_t>(1, std::min(kMorselSize, per_worker));
+}
+
+size_t MorselCountFor(size_t n, size_t morsel) {
+  return n == 0 ? 0 : (n + morsel - 1) / morsel;
+}
+
+/// Interpolates `tuples[begin, end)` in place (representation → model,
+/// Figure 9) — the per-morsel kernel of the parallel scan leaves.
+Status MaterializeRange(std::vector<TuplePtr>& tuples, size_t begin,
+                        size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    HRDM_ASSIGN_OR_RETURN(Tuple m, tuples[i]->Materialized());
+    tuples[i] = std::make_shared<const Tuple>(std::move(m));
+  }
+  return Status::OK();
+}
+
+/// The scan leaves' morsel-parallel interpolation pass: every morsel writes
+/// its own disjoint slice of `tuples`, so order is unchanged and no two
+/// workers touch the same slot. Stats are updated on the coordinator after
+/// all morsels join.
+Status ParallelMaterialize(std::vector<TuplePtr>& tuples, size_t workers,
+                           PlanStats* stats) {
+  util::ThreadPool& pool = util::SharedThreadPool(workers);
+  const size_t morsel = MorselSizeFor(tuples.size(), workers);
+  const size_t count = MorselCountFor(tuples.size(), morsel);
+  std::vector<size_t> morsel_worker(count, 0);
+  size_t dispatched = 0;
+  HRDM_RETURN_IF_ERROR(util::ParallelMorsels(
+      pool, tuples.size(), morsel,
+      [&](size_t begin, size_t end, size_t worker_id) -> Status {
+        morsel_worker[begin / morsel] = worker_id;
+        return MaterializeRange(tuples, begin, end);
+      },
+      &dispatched));
+  stats->morsels_dispatched += dispatched;
+  for (size_t m = 0; m < count; ++m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, tuples.size());
+    stats->OnWorkerTuples(morsel_worker[m], end - begin);
+  }
+  return Status::OK();
+}
 
 /// Runs a cursor to completion into a set-semantics Relation (the
 /// whole-relation operators' output contract). Blocking cursors hand over
@@ -117,14 +175,29 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
 
 // --- ScanCursor --------------------------------------------------------------
 
-ScanCursor::ScanCursor(const Relation& rel, PlanStats* stats)
+ScanCursor::ScanCursor(const Relation& rel, size_t parallelism,
+                       PlanStats* stats)
     : Cursor(rel.scheme(), stats),
       tuples_(rel.tuple_ptrs()),
-      materialized_(rel.materialized()) {
+      materialized_(rel.materialized()),
+      parallelism_(parallelism) {
+  // Already-materialized inputs have no interpolation pass to parallelize.
+  if (materialized_) parallelism_ = 1;
   ++stats_->scans_full;
+  stats_->OnParallelOperator(parallelism_);
+}
+
+ScanCursor::~ScanCursor() {
+  if (parallel_primed_) stats_->OnRelease(tuples_.size());
 }
 
 Result<TuplePtr> ScanCursor::Next() {
+  if (parallelism_ > 1 && !parallel_primed_) {
+    parallel_primed_ = true;
+    HRDM_RETURN_IF_ERROR(ParallelMaterialize(tuples_, parallelism_, stats_));
+    materialized_ = true;
+    stats_->OnBuffer(tuples_.size());  // interpolated copies, held till death
+  }
   if (pos_ >= tuples_.size()) return TuplePtr();
   ++stats_->tuples_scanned;
   const TuplePtr& t = tuples_[pos_++];
@@ -138,19 +211,33 @@ Result<TuplePtr> ScanCursor::Next() {
 // --- IndexScanCursor ---------------------------------------------------------
 
 IndexScanCursor::IndexScanCursor(SchemePtr scheme, IndexProbeResult probe,
-                                 AccessPath path, PlanStats* stats)
+                                 AccessPath path, size_t parallelism,
+                                 PlanStats* stats)
     : Cursor(std::move(scheme), stats),
       tuples_(std::move(probe.candidates)),
-      materialized_(probe.materialized) {
+      materialized_(probe.materialized),
+      parallelism_(parallelism) {
+  if (materialized_) parallelism_ = 1;
   if (path == AccessPath::kValueIndex) {
     ++stats_->scans_value_index;
   } else {
     ++stats_->scans_lifespan_index;
   }
   stats_->index_candidates += tuples_.size();
+  stats_->OnParallelOperator(parallelism_);
+}
+
+IndexScanCursor::~IndexScanCursor() {
+  if (parallel_primed_) stats_->OnRelease(tuples_.size());
 }
 
 Result<TuplePtr> IndexScanCursor::Next() {
+  if (parallelism_ > 1 && !parallel_primed_) {
+    parallel_primed_ = true;
+    HRDM_RETURN_IF_ERROR(ParallelMaterialize(tuples_, parallelism_, stats_));
+    materialized_ = true;
+    stats_->OnBuffer(tuples_.size());
+  }
   if (pos_ >= tuples_.size()) return TuplePtr();
   ++stats_->tuples_scanned;
   const TuplePtr& t = tuples_[pos_++];
@@ -341,35 +428,40 @@ Result<TuplePtr> NestedLoopJoinCursor::Next() {
 HashEquiJoinCursor::HashEquiJoinCursor(
     CursorPtr left, CursorPtr right, bool build_left,
     std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
-    JoinPairFn pair, PlanStats* stats)
+    JoinPairFn pair, size_t parallelism, PlanStats* stats)
     : Cursor(assembly.scheme(), stats),
       left_(std::move(left)),
       right_(std::move(right)),
       build_left_(build_left),
       key_attrs_(std::move(key_attrs)),
       assembly_(std::move(assembly)),
-      pair_(std::move(pair)) {
+      pair_(std::move(pair)),
+      parallelism_(parallelism) {
   ++stats_->joins_hash;
+  stats_->OnParallelOperator(parallelism_);
 }
 
 HashEquiJoinCursor::HashEquiJoinCursor(
     CursorPtr probe, IndexedBuildSide build, bool build_left,
     std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
-    JoinPairFn pair, PlanStats* stats)
+    JoinPairFn pair, size_t parallelism, PlanStats* stats)
     : Cursor(assembly.scheme(), stats),
       build_left_(build_left),
       key_attrs_(std::move(key_attrs)),
       assembly_(std::move(assembly)),
       pair_(std::move(pair)),
+      parallelism_(parallelism),
       prebuilt_(std::move(build)) {
   // The probe cursor takes the input slot the build side vacated.
   (build_left_ ? right_ : left_) = std::move(probe);
   ++stats_->joins_hash;
   ++stats_->hash_builds_from_index;
+  stats_->OnParallelOperator(parallelism_);
 }
 
 HashEquiJoinCursor::~HashEquiJoinCursor() {
   stats_->OnRelease(build_.size());
+  if (parallel_probed_) stats_->OnRelease(parallel_out_.size());
 }
 
 std::optional<uint64_t> HashEquiJoinCursor::DigestOf(const Tuple& t,
@@ -416,6 +508,17 @@ Status HashEquiJoinCursor::Prime() {
     return Status::OK();
   }
   Cursor* build_child = build_left_ ? left_.get() : right_.get();
+  if (parallelism_ > 1) {
+    // Parallel build: the drain stays on the coordinator (cursor pulls are
+    // serial by design), the digesting goes to the pool.
+    while (true) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
+      if (!t) break;
+      build_.push_back(std::move(t));
+      stats_->OnBuffer(1);
+    }
+    return PartitionBuildParallel();
+  }
   while (true) {
     HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
     if (!t) break;
@@ -431,6 +534,50 @@ Status HashEquiJoinCursor::Prime() {
   return Status::OK();
 }
 
+Status HashEquiJoinCursor::PartitionBuildParallel() {
+  // Per-morsel partition tables: each morsel digests its contiguous slice
+  // of build_ into a private (digest, index) list, merged below in morsel
+  // order — indices are appended ascending, so every bucket (and varying_)
+  // ends up byte-identical to the serial build's.
+  struct Partition {
+    std::vector<std::pair<uint64_t, size_t>> digested;
+    std::vector<size_t> varying;
+    size_t worker_id = 0;
+  };
+  util::ThreadPool& pool = util::SharedThreadPool(parallelism_);
+  const size_t morsel = MorselSizeFor(build_.size(), parallelism_);
+  const size_t count = MorselCountFor(build_.size(), morsel);
+  std::vector<Partition> parts(count);
+  size_t dispatched = 0;
+  HRDM_RETURN_IF_ERROR(util::ParallelMorsels(
+      pool, build_.size(), morsel,
+      [&](size_t begin, size_t end, size_t worker_id) -> Status {
+        Partition& p = parts[begin / morsel];
+        p.worker_id = worker_id;
+        for (size_t i = begin; i < end; ++i) {
+          if (auto digest = DigestOf(*build_[i], build_left_)) {
+            p.digested.emplace_back(*digest, i);
+          } else {
+            p.varying.push_back(i);
+          }
+        }
+        return Status::OK();
+      },
+      &dispatched));
+  stats_->morsels_dispatched += dispatched;
+  for (size_t m = 0; m < count; ++m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, build_.size());
+    stats_->OnWorkerTuples(parts[m].worker_id, end - begin);
+    for (const auto& [digest, idx] : parts[m].digested) {
+      buckets_[digest].push_back(idx);
+    }
+    for (size_t idx : parts[m].varying) varying_.push_back(idx);
+    ++stats_->partitions_merged;
+  }
+  return Status::OK();
+}
+
 Result<TuplePtr> HashEquiJoinCursor::TryPair(size_t build_idx) {
   const Tuple& b = *build_[build_idx];
   const Tuple& t1 = build_left_ ? b : *probe_;
@@ -441,9 +588,105 @@ Result<TuplePtr> HashEquiJoinCursor::TryPair(size_t build_idx) {
   return std::make_shared<const Tuple>(assembly_.Assemble(t1, t2, l));
 }
 
+Status HashEquiJoinCursor::ProbeOne(const TuplePtr& probe,
+                                    std::vector<TuplePtr>& out,
+                                    size_t& pairs_tested) const {
+  // The worker-side mirror of the serial probe loop: same candidate order
+  // (digest bucket, then varying; or the full scan when the probe digest is
+  // unavailable), so per-probe output order matches the serial emission.
+  auto try_pair = [&](size_t build_idx) -> Status {
+    const Tuple& b = *build_[build_idx];
+    const Tuple& t1 = build_left_ ? b : *probe;
+    const Tuple& t2 = build_left_ ? *probe : b;
+    ++pairs_tested;
+    HRDM_ASSIGN_OR_RETURN(Lifespan l, pair_(t1, t2));
+    if (!l.empty()) {
+      out.push_back(
+          std::make_shared<const Tuple>(assembly_.Assemble(t1, t2, l)));
+    }
+    return Status::OK();
+  };
+  if (auto digest = DigestOf(*probe, !build_left_)) {
+    auto it = buckets_.find(*digest);
+    if (it != buckets_.end()) {
+      for (size_t idx : it->second) HRDM_RETURN_IF_ERROR(try_pair(idx));
+    }
+    for (size_t idx : varying_) HRDM_RETURN_IF_ERROR(try_pair(idx));
+  } else {
+    // Varying probe value: it may match any partition at some chronon.
+    for (size_t i = 0; i < build_.size(); ++i) {
+      HRDM_RETURN_IF_ERROR(try_pair(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status HashEquiJoinCursor::RunProbeParallel() {
+  parallel_probed_ = true;
+  Cursor* probe_child = build_left_ ? right_.get() : left_.get();
+  // Drain the probe side on the coordinator (also the error-parity
+  // evaluation when the build side is empty), then probe morsel-parallel.
+  std::vector<TuplePtr> probes;
+  while (true) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, probe_child->Next());
+    if (!t) break;
+    probes.push_back(std::move(t));
+  }
+  stats_->OnBuffer(probes.size());
+  if (build_.empty() || probes.empty()) {
+    stats_->OnRelease(probes.size());
+    return Status::OK();
+  }
+  struct MorselOut {
+    std::vector<TuplePtr> out;
+    size_t pairs_tested = 0;
+    size_t worker_id = 0;
+  };
+  util::ThreadPool& pool = util::SharedThreadPool(parallelism_);
+  const size_t morsel = MorselSizeFor(probes.size(), parallelism_);
+  const size_t count = MorselCountFor(probes.size(), morsel);
+  std::vector<MorselOut> morsels(count);
+  size_t dispatched = 0;
+  HRDM_RETURN_IF_ERROR(util::ParallelMorsels(
+      pool, probes.size(), morsel,
+      [&](size_t begin, size_t end, size_t worker_id) -> Status {
+        MorselOut& mo = morsels[begin / morsel];
+        mo.worker_id = worker_id;
+        for (size_t i = begin; i < end; ++i) {
+          HRDM_RETURN_IF_ERROR(ProbeOne(probes[i], mo.out, mo.pairs_tested));
+        }
+        return Status::OK();
+      },
+      &dispatched));
+  stats_->morsels_dispatched += dispatched;
+  // Concatenate the per-morsel output runs in morsel order: the joined
+  // stream is the serial emission order, morsel boundaries invisible.
+  size_t total = 0;
+  for (const MorselOut& mo : morsels) total += mo.out.size();
+  parallel_out_.reserve(total);
+  for (size_t m = 0; m < count; ++m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, probes.size());
+    stats_->OnWorkerTuples(morsels[m].worker_id, end - begin);
+    stats_->join_pairs_tested += morsels[m].pairs_tested;
+    for (TuplePtr& t : morsels[m].out) parallel_out_.push_back(std::move(t));
+    ++stats_->partitions_merged;
+  }
+  stats_->OnBuffer(parallel_out_.size());
+  stats_->OnRelease(probes.size());  // the probe buffer dies here
+  return Status::OK();
+}
+
 Result<TuplePtr> HashEquiJoinCursor::Next() {
   if (!primed_) {
     HRDM_RETURN_IF_ERROR(Prime());
+  }
+  if (parallelism_ > 1) {
+    if (!parallel_probed_) {
+      HRDM_RETURN_IF_ERROR(RunProbeParallel());
+    }
+    if (parallel_out_pos_ >= parallel_out_.size()) return TuplePtr();
+    return parallel_out_[parallel_out_pos_++];
   }
   Cursor* probe_child = build_left_ ? right_.get() : left_.get();
   if (build_.empty()) {
@@ -620,30 +863,71 @@ Result<std::optional<Relation>> BufferedResultCursor::TakeBuffered() {
 HashAggregateCursor::HashAggregateCursor(CursorPtr child,
                                          GroupedAggregator aggregator,
                                          size_t estimated_groups,
-                                         PlanStats* stats)
+                                         size_t parallelism, PlanStats* stats)
     : BufferedResultCursor(aggregator.scheme(), stats),
       child_(std::move(child)),
-      aggregator_(std::move(aggregator)) {
+      aggregator_(std::move(aggregator)),
+      parallelism_(parallelism) {
   ++stats_->aggregates;
   stats_->agg_groups_estimated += estimated_groups;
   aggregator_.Reserve(estimated_groups);
+  stats_->OnParallelOperator(parallelism_);
+}
+
+Status HashAggregateCursor::FoldAll(const std::vector<TuplePtr>& handles) {
+  if (parallelism_ <= 1 || handles.size() < 2) {
+    for (const TuplePtr& t : handles) {
+      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
+    }
+    return Status::OK();
+  }
+  // Morsel-parallel fold: each morsel folds its contiguous input slice into
+  // a Fork()ed partial; merging the partials in morsel order reconstructs
+  // exactly the serial aggregator state (same group first-touch order, same
+  // per-group contribution order), so results are bitwise identical.
+  util::ThreadPool& pool = util::SharedThreadPool(parallelism_);
+  const size_t morsel = MorselSizeFor(handles.size(), parallelism_);
+  const size_t count = MorselCountFor(handles.size(), morsel);
+  std::vector<GroupedAggregator> partials;
+  partials.reserve(count);
+  for (size_t m = 0; m < count; ++m) partials.push_back(aggregator_.Fork());
+  std::vector<size_t> morsel_worker(count, 0);
+  size_t dispatched = 0;
+  HRDM_RETURN_IF_ERROR(util::ParallelMorsels(
+      pool, handles.size(), morsel,
+      [&](size_t begin, size_t end, size_t worker_id) -> Status {
+        GroupedAggregator& partial = partials[begin / morsel];
+        morsel_worker[begin / morsel] = worker_id;
+        for (size_t i = begin; i < end; ++i) {
+          HRDM_RETURN_IF_ERROR(partial.Fold(*handles[i]));
+        }
+        return Status::OK();
+      },
+      &dispatched));
+  stats_->morsels_dispatched += dispatched;
+  for (size_t m = 0; m < count; ++m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, handles.size());
+    stats_->OnWorkerTuples(morsel_worker[m], end - begin);
+    aggregator_.MergeFrom(partials[m]);
+    ++stats_->partitions_merged;
+  }
+  return Status::OK();
 }
 
 Result<Relation> HashAggregateCursor::Prime() {
   // Aggregation is duplicate-sensitive (COUNT/SUM/AVG) but the input
   // stream is not yet a set — restriction and join cursors may emit
   // structural duplicates that the materialization boundary would
-  // normally collapse. The set boundary is established here: each unique
-  // tuple folds into its group state on arrival, and only the shared
-  // handles are retained (for the exact duplicate checks), never copies.
+  // normally collapse. The set boundary is established here: the unique
+  // tuples are collected first (only the shared handles, never copies),
+  // then folded — serially or morsel-parallel (FoldAll).
   HRDM_ASSIGN_OR_RETURN(std::optional<Relation> whole,
                         child_->TakeBuffered());
   if (whole) {
     // The child already holds its entire deduplicated output.
     stats_->OnBuffer(whole->size());
-    for (const TuplePtr& t : whole->tuple_ptrs()) {
-      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
-    }
+    HRDM_RETURN_IF_ERROR(FoldAll(whole->tuple_ptrs()));
     stats_->OnRelease(whole->size());
   } else {
     Relation seen(child_->scheme());
@@ -651,11 +935,11 @@ Result<Relation> HashAggregateCursor::Prime() {
       HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
       if (!t) break;
       const size_t before = seen.size();
-      HRDM_RETURN_IF_ERROR(seen.InsertDedup(t));
+      HRDM_RETURN_IF_ERROR(seen.InsertDedup(std::move(t)));
       if (seen.size() == before) continue;  // structural duplicate
       stats_->OnBuffer(1);
-      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
     }
+    HRDM_RETURN_IF_ERROR(FoldAll(seen.tuple_ptrs()));
     stats_->OnRelease(seen.size());
   }
   stats_->agg_groups_built += aggregator_.group_count();
@@ -735,17 +1019,24 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
       if (auto probe = options.value_probe(op.left->relation, choice.attr,
                                            *choice.key)) {
         HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(op.left->relation));
+        const size_t parallelism =
+            ChooseParallelism(RequestedParallelism(options),
+                              probe->candidates.size(), options.force_parallel);
         return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
-                                             AccessPath::kValueIndex, stats));
+                                             AccessPath::kValueIndex,
+                                             parallelism, stats));
       }
     }
     if (path == AccessPath::kLifespanIndex && options.lifespan_probe &&
         window != nullptr) {
       if (auto probe = options.lifespan_probe(op.left->relation, *window)) {
         HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(op.left->relation));
+        const size_t parallelism =
+            ChooseParallelism(RequestedParallelism(options),
+                              probe->candidates.size(), options.force_parallel);
         return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
                                              AccessPath::kLifespanIndex,
-                                             stats));
+                                             parallelism, stats));
       }
     }
   }
@@ -816,9 +1107,14 @@ Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
       LowerExpr(choice.build_left ? expr->right : expr->left, resolver, stats,
                 options));
   JoinAssembly assembly(std::move(out_scheme), *ls, *rs);
+  const size_t parallelism =
+      ChooseParallelism(RequestedParallelism(options),
+                        choice.est_left + choice.est_right,
+                        options.force_parallel);
   return CursorPtr(new HashEquiJoinCursor(
       std::move(probe), std::move(*build), choice.build_left,
-      std::move(key_attrs), std::move(assembly), std::move(pair), stats));
+      std::move(key_attrs), std::move(assembly), std::move(pair), parallelism,
+      stats));
 }
 
 }  // namespace
@@ -834,8 +1130,10 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
   switch (expr->kind) {
     case ExprKind::kRelationRef: {
       HRDM_ASSIGN_OR_RETURN(const Relation* rel, resolver(expr->relation));
+      const size_t parallelism = ChooseParallelism(
+          RequestedParallelism(options), rel->size(), options.force_parallel);
       // Copy-on-write: the scan shares the stored tuples.
-      return CursorPtr(new ScanCursor(*rel, stats));
+      return CursorPtr(new ScanCursor(*rel, parallelism, stats));
     }
     case ExprKind::kSelectIf: {
       // The window is a parameter, not a stream: evaluate it first so a
@@ -953,9 +1251,14 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const JoinChoice choice = ResolveJoinChoice(
           *expr, *left->scheme(), *right->scheme(), resolver, options);
       if (choice.strategy == JoinStrategy::kHash) {
+        const size_t parallelism =
+            ChooseParallelism(RequestedParallelism(options),
+                              choice.est_left + choice.est_right,
+                              options.force_parallel);
         return CursorPtr(new HashEquiJoinCursor(
             std::move(left), std::move(right), choice.build_left,
-            {{ia, ib}}, std::move(assembly), std::move(pair), stats));
+            {{ia, ib}}, std::move(assembly), std::move(pair), parallelism,
+            stats));
       }
       return CursorPtr(new NestedLoopJoinCursor(
           std::move(left), std::move(right), std::move(assembly),
@@ -983,9 +1286,14 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const JoinChoice choice = ResolveJoinChoice(
           *expr, *left->scheme(), *right->scheme(), resolver, options);
       if (choice.strategy == JoinStrategy::kHash) {
+        const size_t parallelism =
+            ChooseParallelism(RequestedParallelism(options),
+                              choice.est_left + choice.est_right,
+                              options.force_parallel);
         return CursorPtr(new HashEquiJoinCursor(
             std::move(left), std::move(right), choice.build_left,
-            std::move(shared), std::move(assembly), std::move(pair), stats));
+            std::move(shared), std::move(assembly), std::move(pair),
+            parallelism, stats));
       }
       return CursorPtr(new NestedLoopJoinCursor(
           std::move(left), std::move(right), std::move(assembly),
@@ -999,8 +1307,13 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                             GroupedAggregator::Make(child->scheme(), spec));
       const size_t est = EstimateGroupCount(
           *expr, CardinalityOrExact(options.cardinality, resolver));
+      // The fold cost scales with the *input* cardinality, not the groups.
+      const size_t est_input = EstimateCardinality(
+          expr->left, CardinalityOrExact(options.cardinality, resolver));
+      const size_t parallelism = ChooseParallelism(
+          RequestedParallelism(options), est_input, options.force_parallel);
       return CursorPtr(new HashAggregateCursor(
-          std::move(child), std::move(aggregator), est, stats));
+          std::move(child), std::move(aggregator), est, parallelism, stats));
     }
     case ExprKind::kTimeJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,

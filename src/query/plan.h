@@ -58,6 +58,29 @@
 /// fully streaming pipeline. tests/plan_test.cc asserts this, and
 /// bench/bench_executor.cc, bench/bench_join.cc and bench/bench_scan.cc
 /// track it alongside the access-path and join-strategy counters.
+///
+/// **Parallel execution.** Three operator families can run morsel-parallel
+/// on the shared worker pool (util/thread_pool.h) when the optimizer's
+/// `ChooseParallelism` grants them more than one worker
+/// (`PlanOptions::parallelism`, default HRDM_THREADS / hardware
+/// concurrency; serial below a cardinality threshold):
+///  * the scan leaves split their interpolation pass (representation →
+///    model, the per-tuple CPU cost of a base read) into ~kMorselSize-tuple
+///    morsels materialized by workers into per-morsel slots;
+///  * `HashEquiJoinCursor` digests its drained build side via per-morsel
+///    partition tables merged in morsel order (bucket contents identical
+///    to the serial build), then buffers the probe side and probes morsels
+///    in parallel, concatenating per-morsel outputs in morsel order;
+///  * `HashAggregateCursor` folds the deduplicated input into per-morsel
+///    `GroupedAggregator` partials merged in morsel order; the
+///    order-insensitive finishing sweep makes per-group results bitwise
+///    equal to the serial fold.
+/// All merges happen on the coordinator thread in deterministic morsel
+/// order, so a parallel plan's output is the same *set* of tuples as the
+/// serial plan's (and identical across runs); with parallelism 1 every
+/// cursor takes exactly the legacy serial path. PlanStats records the
+/// morsel traffic (`morsels_dispatched`, `partitions_merged`,
+/// `worker_tuples`) for EXPLAIN.
 
 #include <cstdint>
 #include <functional>
@@ -157,6 +180,29 @@ struct PlanStats {
   /// Input tuples that took the per-chronon varying-group-key fallback
   /// (grouping attributes whose value changes over the tuple's lifespan).
   size_t agg_fallback_tuples = 0;
+  /// --- parallel execution (see the header comment; util/thread_pool.h) ---
+  /// Effective parallelism of the widest operator in the plan — what the
+  /// optimizer's ChooseParallelism granted (1 = fully serial plan).
+  size_t parallelism = 1;
+  /// Operators that actually ran a morsel-parallel phase.
+  size_t parallel_operators = 0;
+  /// Morsels dispatched to the worker pool across all parallel phases.
+  size_t morsels_dispatched = 0;
+  /// Per-morsel partial results merged on the coordinator (hash-join digest
+  /// partitions + aggregate partials), in morsel order.
+  size_t partitions_merged = 0;
+  /// Tuples processed by each pool worker (index = worker id) — the
+  /// per-thread EXPLAIN counters. Empty for a fully serial plan.
+  std::vector<size_t> worker_tuples;
+
+  void OnParallelOperator(size_t effective) {
+    if (effective > parallelism) parallelism = effective;
+    if (effective > 1) ++parallel_operators;
+  }
+  void OnWorkerTuples(size_t worker, size_t n) {
+    if (worker >= worker_tuples.size()) worker_tuples.resize(worker + 1, 0);
+    worker_tuples[worker] += n;
+  }
 
   void OnBuffer(size_t n) {
     buffered_now += n;
@@ -213,15 +259,22 @@ using CursorPtr = std::unique_ptr<Cursor>;
 /// only the shared tuple handles (not the relation's key/structural
 /// indexes), so the scan is safe even if the stored relation is later
 /// mutated and construction is O(#tuples) pointer bumps.
-/// Non-materialized inputs are interpolated one tuple at a time.
+/// Non-materialized inputs are interpolated one tuple at a time; with
+/// `parallelism > 1` the whole interpolation pass instead runs up front,
+/// morsel-parallel on the worker pool (per-morsel output slots, so tuple
+/// order is unchanged), and the materialized tuples stream from the buffer
+/// (accounted in PlanStats until the cursor dies).
 class ScanCursor : public Cursor {
  public:
-  ScanCursor(const Relation& rel, PlanStats* stats);
+  ScanCursor(const Relation& rel, size_t parallelism, PlanStats* stats);
+  ~ScanCursor() override;
   Result<TuplePtr> Next() override;
 
  private:
   std::vector<TuplePtr> tuples_;
   bool materialized_;
+  size_t parallelism_;
+  bool parallel_primed_ = false;
   size_t pos_ = 0;
 };
 
@@ -230,16 +283,19 @@ class ScanCursor : public Cursor {
 /// relation. Candidates are a superset of the qualifying tuples; the
 /// enclosing operator's kernel re-checks each one, so the scan is exact.
 /// Like ScanCursor, non-materialized candidates are interpolated one tuple
-/// at a time.
+/// at a time — or morsel-parallel up front when `parallelism > 1`.
 class IndexScanCursor : public Cursor {
  public:
   IndexScanCursor(SchemePtr scheme, IndexProbeResult probe, AccessPath path,
-                  PlanStats* stats);
+                  size_t parallelism, PlanStats* stats);
+  ~IndexScanCursor() override;
   Result<TuplePtr> Next() override;
 
  private:
   std::vector<TuplePtr> tuples_;
   bool materialized_;
+  size_t parallelism_;
+  bool parallel_primed_ = false;
   size_t pos_ = 0;
 };
 
@@ -354,6 +410,14 @@ class NestedLoopJoinCursor : public Cursor {
 /// Build tuples whose join attribute varies over their lifespan cannot be
 /// digested time-invariantly and are probed per pair instead — the result
 /// is always exact. Buffers only the build side.
+///
+/// With `parallelism > 1`, both blocking phases go morsel-parallel on the
+/// worker pool: the drained build side is digested into per-morsel
+/// partition tables merged in morsel order (identical bucket contents to
+/// the serial build, since morsels are contiguous index ranges), and the
+/// probe side is buffered and probed per morsel with the per-morsel output
+/// runs concatenated in morsel order before streaming. The parallel form
+/// additionally buffers the probe input and the joined output.
 class HashEquiJoinCursor : public Cursor {
  public:
   /// `key_attrs` are the equality columns as (left index, right index)
@@ -361,7 +425,7 @@ class HashEquiJoinCursor : public Cursor {
   /// (the optimizer picks the smaller estimate).
   HashEquiJoinCursor(CursorPtr left, CursorPtr right, bool build_left,
                      std::vector<std::pair<size_t, size_t>> key_attrs,
-                     JoinAssembly assembly, JoinPairFn pair,
+                     JoinAssembly assembly, JoinPairFn pair, size_t parallelism,
                      PlanStats* stats);
   /// Index-fed build: the build side arrives pre-partitioned from a storage
   /// value index (single-column equality only), so no build cursor is
@@ -369,19 +433,30 @@ class HashEquiJoinCursor : public Cursor {
   /// still buffer (and count in PlanStats) exactly as in the drained form.
   HashEquiJoinCursor(CursorPtr probe, IndexedBuildSide build, bool build_left,
                      std::vector<std::pair<size_t, size_t>> key_attrs,
-                     JoinAssembly assembly, JoinPairFn pair,
+                     JoinAssembly assembly, JoinPairFn pair, size_t parallelism,
                      PlanStats* stats);
   ~HashEquiJoinCursor() override;
   Result<TuplePtr> Next() override;
 
  private:
   Status Prime();
+  /// Parallel build partitioning: per-morsel digest tables over `build_`,
+  /// merged into buckets_/varying_ in morsel order.
+  Status PartitionBuildParallel();
+  /// Parallel probe: drains the probe child into a buffer, probes morsels
+  /// on the pool, concatenates per-morsel outputs in morsel order.
+  Status RunProbeParallel();
   /// Digest of the join columns if they are all constant over the tuple's
   /// lifespan; nullopt when any varies (per-chronon fallback).
   std::optional<uint64_t> DigestOf(const Tuple& t, bool left_side) const;
   /// The joined tuple of probe × build_[idx], or null if the pair's
   /// lifespan is empty.
   Result<TuplePtr> TryPair(size_t build_idx);
+  /// Worker-side probe kernel: every joined tuple of `probe` against the
+  /// digest table, appended to `out`. Reads shared state only; per-morsel
+  /// pair counts go to `pairs_tested`, not PlanStats.
+  Status ProbeOne(const TuplePtr& probe, std::vector<TuplePtr>& out,
+                  size_t& pairs_tested) const;
 
   CursorPtr left_;
   CursorPtr right_;
@@ -389,6 +464,7 @@ class HashEquiJoinCursor : public Cursor {
   std::vector<std::pair<size_t, size_t>> key_attrs_;
   JoinAssembly assembly_;
   JoinPairFn pair_;
+  size_t parallelism_;
 
   bool primed_ = false;
   /// Index-fed mode: the pre-partitioned build side, consumed by Prime.
@@ -397,13 +473,18 @@ class HashEquiJoinCursor : public Cursor {
   std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
   std::vector<size_t> varying_;  // build tuples without a constant digest
 
-  // Probe iteration state.
+  // Probe iteration state (serial mode).
   TuplePtr probe_;
   const std::vector<size_t>* bucket_ = nullptr;  // candidates for probe_
   size_t bucket_pos_ = 0;
   bool in_varying_ = false;   // finished bucket_, now scanning varying_
   bool scan_all_ = false;     // probe digest unavailable: scan all of build_
   size_t scan_pos_ = 0;
+
+  // Parallel-probe state: the concatenated output runs, streamed out.
+  bool parallel_probed_ = false;
+  std::vector<TuplePtr> parallel_out_;
+  size_t parallel_out_pos_ = 0;
 };
 
 /// \brief TIME-JOIN via a lifespan merge: both sides are drained and sorted
@@ -480,19 +561,30 @@ class BufferedResultCursor : public Cursor {
 /// are constant over a tuple's lifespan take the JoinKeyDigest fast path;
 /// varying keys take the exact per-chronon fallback, counted in
 /// `PlanStats::agg_fallback_tuples`.
+/// With `parallelism > 1` the fold phase runs morsel-parallel: the
+/// deduplicated input handles are split into morsels, each folded into a
+/// `GroupedAggregator::Fork()` partial on a pool worker, and the partials
+/// merged (`MergeFrom`) in morsel order — bitwise-identical group results,
+/// since the finishing sweep is order-insensitive.
 class HashAggregateCursor : public BufferedResultCursor {
  public:
   /// `estimated_groups` pre-sizes the group table (the optimizer's
   /// EstimateGroupCount, advisory).
   HashAggregateCursor(CursorPtr child, GroupedAggregator aggregator,
-                      size_t estimated_groups, PlanStats* stats);
+                      size_t estimated_groups, size_t parallelism,
+                      PlanStats* stats);
 
  protected:
   Result<Relation> Prime() override;
 
  private:
+  /// Folds `handles` into aggregator_ — serially, or via per-morsel
+  /// partials on the worker pool when parallelism_ > 1.
+  Status FoldAll(const std::vector<TuplePtr>& handles);
+
   CursorPtr child_;
   GroupedAggregator aggregator_;
+  size_t parallelism_;
 };
 
 /// \brief Blocking binary operator: drains both children into relations,
@@ -549,6 +641,17 @@ struct PlanOptions {
   /// relations without the index) fall back to the full scan. kFullScan
   /// disables index scans and index-fed hash builds entirely.
   std::optional<AccessPath> force_access_path;
+
+  // --- parallel execution (see the header comment) ---------------------------
+
+  /// Requested degree of parallelism. 0 = auto (DefaultParallelism: the
+  /// HRDM_THREADS env override, else hardware concurrency); 1 = exact
+  /// legacy serial execution, bit-for-bit; > 1 = morsel-parallel operators
+  /// on that many pool workers where ChooseParallelism allows.
+  size_t parallelism = 0;
+  /// Test hook (the parallel differential fuzz): bypass ChooseParallelism's
+  /// cardinality threshold so even tiny inputs run morsel-parallel.
+  bool force_parallel = false;
 };
 
 /// \brief A lowered physical plan: owns the cursor tree and its stats.

@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hrdm::util {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void(size_t)> fn) {
+  std::packaged_task<void(size_t)> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && !workers_.empty()) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return future;
+    }
+  }
+  // Inline execution: zero-worker pool, or a pool already shut down. The
+  // packaged task still routes exceptions into the future.
+  task(0);
+  return future;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  while (true) {
+    std::packaged_task<void(size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(id);
+  }
+}
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  // Workers see stopping_ and exit only once the queue is drained, so
+  // every submitted future completes before the join.
+  cv_.notify_all();
+  for (std::thread& w : workers) w.join();
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  while (workers_.size() < n) {
+    const size_t id = workers_.size();
+    workers_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool& SharedThreadPool(size_t min_workers) {
+  static ThreadPool* pool = new ThreadPool(0);  // leaked: outlives all plans
+  pool->EnsureWorkers(min_workers);
+  return *pool;
+}
+
+Status ParallelMorsels(
+    ThreadPool& pool, size_t n, size_t morsel,
+    const std::function<Status(size_t begin, size_t end, size_t worker_id)>&
+        body,
+    size_t* morsels_out) {
+  if (morsel == 0) morsel = 1;
+  const size_t count = n == 0 ? 0 : (n + morsel - 1) / morsel;
+  if (morsels_out != nullptr) *morsels_out = count;
+  if (count == 0) return Status::OK();
+  if (count == 1) return body(0, n, 0);
+
+  std::vector<Status> statuses(count, Status::OK());
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (size_t m = 0; m < count; ++m) {
+    const size_t begin = m * morsel;
+    const size_t end = std::min(n, begin + morsel);
+    futures.push_back(pool.Submit([&body, &statuses, m, begin, end](
+                                      size_t worker_id) {
+      statuses[m] = body(begin, end, worker_id);
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();  // rethrows task exceptions
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace hrdm::util

@@ -1,0 +1,110 @@
+#ifndef HRDM_UTIL_THREAD_POOL_H_
+#define HRDM_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief The shared worker pool behind morsel-parallel query execution.
+///
+/// A fixed set of worker threads drains one FIFO task queue. Tasks are
+/// plain callables receiving the id of the worker that runs them (ids are
+/// dense in `[0, worker_count())`), so callers can keep per-worker
+/// accumulators without any synchronisation beyond the final join. Every
+/// `Submit` returns a future; exceptions thrown by a task are captured and
+/// rethrown from `future::get()`.
+///
+/// Design points, in order of importance to the query layer
+/// (query/plan.cc):
+///
+///  * **Coordinator waits, workers never do.** Cursor code runs on the
+///    query (coordinator) thread and blocks on task futures; tasks are
+///    leaf kernels (interpolation, digesting, pair tests, aggregate folds)
+///    that never submit work or take locks, so the pool cannot deadlock on
+///    itself and a morsel's cost is the kernel's cost.
+///  * **Zero workers = inline execution.** `ThreadPool(0)` runs every task
+///    on the submitting thread inside `Submit` (worker id 0). This is the
+///    degenerate pool the unit tests pin down, and it makes "parallel"
+///    code paths runnable single-threaded without a special case.
+///  * **Shutdown drains.** `Shutdown()` (and the destructor) stops
+///    accepting new work, runs every already-queued task, and joins — so
+///    no future returned by `Submit` is ever abandoned.
+///  * **Growth, never shrink.** `EnsureWorkers(n)` adds workers up to `n`;
+///    the process-wide `SharedThreadPool(n)` uses it so the pool is sized
+///    by the largest parallelism any plan has requested. Worker ids stay
+///    stable across growth.
+///
+/// `ParallelMorsels` is the fan-out helper the physical operators use:
+/// split `[0, n)` into fixed-size morsels, run a Status-returning body per
+/// morsel on the pool, wait for all of them, and surface the first error
+/// in morsel order (deterministic, like the serial loop's first error).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hrdm::util {
+
+/// \brief A fixed-size worker pool over one FIFO task queue.
+class ThreadPool {
+ public:
+  /// \brief Spawns `workers` threads. 0 is valid: tasks then run inline on
+  /// the submitting thread (see file comment).
+  explicit ThreadPool(size_t workers);
+
+  /// \brief Calls Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of worker threads (0 for the inline pool).
+  size_t worker_count() const;
+
+  /// \brief Enqueues `fn`; it runs on some worker, receiving that worker's
+  /// id. The returned future completes when the task finishes and rethrows
+  /// anything the task threw. Submitting after Shutdown() runs the task
+  /// inline (the pool is still usable as a degenerate inline executor).
+  std::future<void> Submit(std::function<void(size_t worker_id)> fn);
+
+  /// \brief Stops accepting queued work, runs every already-queued task,
+  /// and joins all workers. Idempotent.
+  void Shutdown();
+
+  /// \brief Grows the pool to at least `n` workers (never shrinks; no-op
+  /// after Shutdown).
+  void EnsureWorkers(size_t n);
+
+ private:
+  void WorkerLoop(size_t id);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void(size_t)>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// \brief The process-wide pool shared by every parallel query operator,
+/// grown on demand to at least `min_workers`. Never shrinks; torn down at
+/// process exit. Thread-safe.
+ThreadPool& SharedThreadPool(size_t min_workers);
+
+/// \brief Splits `[0, n)` into morsels of at most `morsel` items, runs
+/// `body(begin, end, worker_id)` for each on `pool`, waits for all, and
+/// returns the first non-OK status in morsel order (or OK). `body` must be
+/// safe to run concurrently with itself on disjoint ranges. Returns the
+/// number of morsels dispatched via `*morsels_out` when non-null.
+Status ParallelMorsels(
+    ThreadPool& pool, size_t n, size_t morsel,
+    const std::function<Status(size_t begin, size_t end, size_t worker_id)>&
+        body,
+    size_t* morsels_out = nullptr);
+
+}  // namespace hrdm::util
+
+#endif  // HRDM_UTIL_THREAD_POOL_H_

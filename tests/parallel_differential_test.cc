@@ -1,0 +1,279 @@
+// Differential suite for morsel-parallel execution: for random databases,
+// plans lowered with PlanOptions::parallelism ∈ {2, 4, 8} (force_parallel,
+// so the cardinality threshold cannot quietly serialize them) must produce
+// results identical to
+//  * the single-thread plan (parallelism = 1, the exact legacy path),
+//  * the whole-relation algebra kernels,
+//  * the materializing interpreter,
+// over scans, restrictions, hash/natural joins and grouped aggregates.
+// Identity is asserted both as set equality and as exact rendered output:
+// every parallel merge happens in morsel order, so the parallel stream is
+// deterministic and tuple-for-tuple equal to the serial one, not merely
+// set-equal. Plus directed checks of the planner's parallelism decisions
+// (threshold fallback, PlanStats morsel/worker counters).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/aggregate.h"
+#include "algebra/join.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/plan.h"
+#include "test_seeds.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace hrdm::query {
+namespace {
+
+constexpr char kSeedEnv[] = "HRDM_PARALLEL_FUZZ_SEEDS";
+
+/// Drains `hrql` through a plan with the given parallelism (bypassing the
+/// cardinality threshold, so small fuzz relations really run parallel).
+Result<Relation> RunAtThreads(const storage::Database& db,
+                              const std::string& hrql, size_t threads) {
+  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
+  PlanOptions options;
+  options.parallelism = threads;
+  options.force_parallel = threads > 1;
+  HRDM_ASSIGN_OR_RETURN(Plan plan,
+                        Plan::Lower(expr, DatabaseResolver(db), options));
+  return plan.Drain();
+}
+
+/// Runs `hrql` serially and at 2/4/8 workers, asserting the parallel
+/// results are tuple-for-tuple identical to the serial one (and to
+/// `reference` / the materializing interpreter).
+void ExpectParallelMatchesSerial(const storage::Database& db,
+                                 const std::string& hrql,
+                                 const Relation* reference) {
+  auto serial = RunAtThreads(db, hrql, 1);
+  ASSERT_TRUE(serial.ok()) << hrql << ": " << serial.status().ToString();
+  for (size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(hrql + " @ " + std::to_string(threads) + " threads");
+    auto parallel = RunAtThreads(db, hrql, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_TRUE(parallel->EqualsAsSet(*serial))
+        << "parallel:\n"
+        << parallel->ToString() << "serial:\n"
+        << serial->ToString();
+    // Morsel-order merges make the parallel plan deterministic and
+    // order-identical to serial, not merely set-equal.
+    EXPECT_EQ(parallel->ToString(), serial->ToString());
+  }
+  auto expr = ParseExpr(hrql);
+  ASSERT_TRUE(expr.ok());
+  auto materialized = EvalMaterializing(*expr, db);
+  ASSERT_TRUE(materialized.ok()) << hrql;
+  EXPECT_TRUE(materialized->EqualsAsSet(*serial)) << hrql;
+  if (reference != nullptr) {
+    EXPECT_TRUE(reference->EqualsAsSet(*serial))
+        << hrql << "\nwhole-relation API:\n"
+        << reference->ToString() << "plan:\n"
+        << serial->ToString();
+  }
+}
+
+/// A random database exercising every parallel operator family:
+///  * `ra(Id*, A0, Ref)` — scan + restriction input, time-valued Ref;
+///  * `rb(Id2*, B0)` — equi-join partner with overlapping value space;
+///  * `na(NId*, D, X)` — GROUP-BY D aggregate input and natural-join side
+///    (some D values varying mid-lifespan: digest fallback paths under
+///    parallel partitioning too).
+storage::Database RandomParallelDb(uint64_t seed) {
+  Rng rng(seed);
+  storage::Database db;
+  const TimePoint horizon = 60;
+  const Lifespan full = Span(0, horizon - 1);
+
+  workload::RandomRelationConfig ca;
+  ca.name = "ra";
+  ca.num_tuples = 12;
+  ca.num_value_attrs = 1;
+  ca.with_time_attribute = true;
+  ca.key_prefix = "x";
+  auto ra = *workload::MakeRandomRelation(&rng, ca);
+  EXPECT_TRUE(db.CreateRelation(ra.scheme()).ok());
+  for (const Tuple& t : ra) EXPECT_TRUE(db.Insert("ra", t).ok());
+
+  auto rb_scheme = *RelationScheme::Make(
+      "rb",
+      {{"Id2", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"B0", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"Id2"});
+  EXPECT_TRUE(db.CreateRelation(rb_scheme).ok());
+  workload::RandomRelationConfig cb = ca;
+  cb.name = "rb";
+  cb.key_prefix = "y";
+  cb.with_time_attribute = false;
+  auto src = *workload::MakeRandomRelation(&rng, cb);
+  for (const Tuple& t : src) {
+    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
+    EXPECT_TRUE(
+        db.Insert("rb", Tuple::FromParts(rb_scheme, t.lifespan(), vals))
+            .ok());
+  }
+
+  auto na_scheme = *RelationScheme::Make(
+      "na",
+      {{"NId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
+       {"X", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"NId"});
+  auto nb_scheme = *RelationScheme::Make(
+      "nb",
+      {{"MId", DomainType::kString, full, InterpolationKind::kDiscrete},
+       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
+       {"Y", DomainType::kInt, full, InterpolationKind::kStepwise}},
+      {"MId"});
+  EXPECT_TRUE(db.CreateRelation(na_scheme).ok());
+  EXPECT_TRUE(db.CreateRelation(nb_scheme).ok());
+  auto fill = [&](const char* rel, const SchemePtr& scheme, const char* key,
+                  const char* val, int n) {
+    for (int i = 0; i < n; ++i) {
+      const TimePoint b = rng.Uniform(0, horizon - 10);
+      const TimePoint e = std::min<TimePoint>(b + rng.Uniform(3, 25),
+                                              horizon - 1);
+      Tuple::Builder tb(scheme, Span(b, e));
+      std::string id(key);
+      id += std::to_string(i);
+      tb.SetConstant(scheme->attribute(0).name, Value::String(std::move(id)));
+      if (rng.Chance(0.3)) {
+        // A grouping/join key that changes value mid-lifespan: the digest
+        // fallback and the per-chronon grouping fallback must survive the
+        // parallel partitioning unchanged.
+        const TimePoint mid = b + (e - b) / 2;
+        std::vector<Segment> segs;
+        segs.push_back({Interval(b, mid), Value::Int(rng.Uniform(0, 4))});
+        if (mid + 1 <= e) {
+          segs.push_back(
+              {Interval(mid + 1, e), Value::Int(rng.Uniform(0, 4))});
+        }
+        tb.Set("D", *TemporalValue::FromSegments(std::move(segs)));
+      } else {
+        tb.SetConstant("D", Value::Int(rng.Uniform(0, 4)));
+      }
+      tb.SetConstant(val, Value::Int(rng.Uniform(0, 99)));
+      EXPECT_TRUE(db.Insert(rel, *std::move(tb).Build()).ok());
+    }
+  };
+  fill("na", na_scheme, "n", "X", 9);
+  fill("nb", nb_scheme, "m", "Y", 7);
+  return db;
+}
+
+TEST(ParallelDifferentialTest, RandomDatabases) {
+  // ≥100 random databases; override with HRDM_PARALLEL_FUZZ_SEEDS=....
+  std::vector<uint64_t> defaults(100);
+  for (size_t i = 0; i < defaults.size(); ++i) defaults[i] = i + 1;
+  for (uint64_t seed : hrdm::testing::SeedsFromEnv(kSeedEnv, defaults)) {
+    SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, seed));
+    auto db = RandomParallelDb(seed);
+    const Relation& ra = **db.Get("ra");
+    const Relation& rb = **db.Get("rb");
+    const Relation& na = **db.Get("na");
+    const Relation& nb = **db.Get("nb");
+
+    // Parallel scan leaf, bare and under streaming restrictions.
+    ExpectParallelMatchesSerial(db, "ra", &ra);
+    ExpectParallelMatchesSerial(db, "select_when(ra, A0 <= 50)", nullptr);
+    ExpectParallelMatchesSerial(db, "timeslice(ra, {[5, 40]})", nullptr);
+
+    // Parallel hash equi-join (build partitioning + parallel probe).
+    auto equi = EquiJoin(ra, "A0", rb, "B0");
+    ASSERT_TRUE(equi.ok());
+    ExpectParallelMatchesSerial(db, "join(ra, rb, A0 = B0)", &*equi);
+
+    // Natural join with occasionally-varying shared attribute D.
+    auto nat = NaturalJoin(na, nb);
+    ASSERT_TRUE(nat.ok());
+    ExpectParallelMatchesSerial(db, "natjoin(na, nb)", &*nat);
+
+    // Parallel aggregate fold: grouped count/sum (varying D keys included)
+    // and an ungrouped avg.
+    auto grouped = Aggregate(na, {AggregateFn::kCount, "", {"D"}});
+    ASSERT_TRUE(grouped.ok());
+    ExpectParallelMatchesSerial(db, "aggregate(na, count by D)", &*grouped);
+    ExpectParallelMatchesSerial(db, "aggregate(na, sum X by D)", nullptr);
+    ExpectParallelMatchesSerial(db, "aggregate(ra, avg A0)", nullptr);
+
+    // Composed pipeline: parallel scan → join → aggregate in one plan.
+    ExpectParallelMatchesSerial(
+        db, "aggregate(natjoin(na, nb), count by D)", nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed planner/stats checks.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelPlanTest, ThresholdKeepsSmallPlansSerial) {
+  // Without force_parallel, a relation far below kParallelMinTuples stays
+  // serial no matter how many workers are requested.
+  auto db = RandomParallelDb(7);
+  auto expr = ParseExpr("join(ra, rb, A0 = B0)");
+  ASSERT_TRUE(expr.ok());
+  PlanOptions options;
+  options.parallelism = 8;
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db), options);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Drain().ok());
+  EXPECT_EQ(plan->stats().parallelism, 1u);
+  EXPECT_EQ(plan->stats().parallel_operators, 0u);
+  EXPECT_EQ(plan->stats().morsels_dispatched, 0u);
+  EXPECT_TRUE(plan->stats().worker_tuples.empty());
+}
+
+TEST(ParallelPlanTest, ForcedParallelPlanRecordsMorselTraffic) {
+  auto db = RandomParallelDb(7);
+  auto expr = ParseExpr("aggregate(natjoin(na, nb), count by D)");
+  ASSERT_TRUE(expr.ok());
+  PlanOptions options;
+  options.parallelism = 4;
+  options.force_parallel = true;
+  auto plan = Plan::Lower(*expr, DatabaseResolver(db), options);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Drain().ok());
+  const PlanStats& stats = plan->stats();
+  EXPECT_EQ(stats.parallelism, 4u);
+  // Two scan leaves, the hash join and the aggregate all ran parallel
+  // phases (the natural join has a shared attribute, so the chooser picks
+  // hash for it on these schemes).
+  EXPECT_GE(stats.parallel_operators, 3u);
+  EXPECT_GT(stats.morsels_dispatched, 0u);
+  EXPECT_GT(stats.partitions_merged, 0u);
+  // Every processed tuple is attributed to some worker.
+  size_t worker_sum = 0;
+  for (size_t n : stats.worker_tuples) worker_sum += n;
+  EXPECT_GT(worker_sum, 0u);
+}
+
+TEST(ParallelPlanTest, ExplicitSingleThreadMatchesDefaultSerialPlan) {
+  // parallelism = 1 is the exact legacy path: identical output and
+  // identical serial counters to an options-free lowering.
+  auto db = RandomParallelDb(11);
+  auto expr = ParseExpr("join(ra, rb, A0 = B0)");
+  ASSERT_TRUE(expr.ok());
+  auto legacy = Plan::Lower(*expr, DatabaseResolver(db));
+  ASSERT_TRUE(legacy.ok());
+  auto legacy_out = legacy->Drain();
+  ASSERT_TRUE(legacy_out.ok());
+  PlanOptions options;
+  options.parallelism = 1;
+  auto single = Plan::Lower(*expr, DatabaseResolver(db), options);
+  ASSERT_TRUE(single.ok());
+  auto single_out = single->Drain();
+  ASSERT_TRUE(single_out.ok());
+  EXPECT_EQ(single_out->ToString(), legacy_out->ToString());
+  EXPECT_EQ(single->stats().join_pairs_tested,
+            legacy->stats().join_pairs_tested);
+  EXPECT_EQ(single->stats().peak_buffered, legacy->stats().peak_buffered);
+  EXPECT_EQ(single->stats().parallelism, 1u);
+  EXPECT_EQ(single->stats().morsels_dispatched, 0u);
+}
+
+}  // namespace
+}  // namespace hrdm::query

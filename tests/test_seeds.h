@@ -8,6 +8,7 @@
 //   HRDM_DML_FUZZ_SEEDS=31415 ctest -R DmlFuzz
 //   HRDM_PLAN_SEEDS=7 ctest -R PlanParity
 //   HRDM_JOIN_DIFF_SEEDS=42 ctest -R JoinDifferential
+//   HRDM_PARALLEL_FUZZ_SEEDS=8 ctest -R ParallelDifferential
 //
 // and every failure prints the seed (plus the override recipe) via
 // SeedTrace, so a red property test is a one-command repro.
