@@ -1,16 +1,71 @@
-// Storage-substrate benchmark: serialization, snapshot load, temporal DML
-// and change-log replay throughput.
+// Durable-storage benchmark: snapshot encode/decode, change-log replay,
+// and — the headline for the WAL work — sustained durable-insert
+// throughput through StorageEngine under each fsync policy, plus recovery
+// (reopen + replay) latency over the log the inserts produced.
+//
+// The fsync ladder is the point: `off` measures the pure engine + WAL
+// framing cost, `batched` adds an fsync every batch_bytes, `always` pays
+// one fsync per record (classic commit durability). On a tmpfs
+// (TMPDIR=/dev/shm, as the CI crash-recovery job runs it) the ladder
+// collapses, which is itself useful: it isolates the software overhead
+// from the disk.
+//
+// Like bench_executor/bench_parallel this is a self-contained harness (no
+// google-benchmark): it prints a table and emits machine-readable
+// BENCH_storage.json. Scratch space: $HRDM_BENCH_DIR, else $TMPDIR, else
+// /tmp.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "storage/changelog.h"
 #include "storage/database.h"
 #include "storage/serializer.h"
+#include "storage/snapshot.h"
+#include "storage/storage_engine.h"
+#include "storage/wal.h"
+#include "util/file.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
 namespace hrdm::storage {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A fresh scratch directory under $HRDM_BENCH_DIR / $TMPDIR / /tmp.
+std::string MakeScratchDir() {
+  const char* base = std::getenv("HRDM_BENCH_DIR");
+  if (base == nullptr || *base == '\0') base = std::getenv("TMPDIR");
+  if (base == nullptr || *base == '\0') base = "/tmp";
+  std::string tmpl = std::string(base) + "/hrdm_bench_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return std::string(buf.data());
+}
+
+void RemoveScratchDir(const std::string& dir) {
+  auto entries = util::ListDir(dir);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      (void)util::RemoveFileIfExists(dir + "/" + name);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
 
 Database MakeDb(int employees, uint64_t seed = 1) {
   Rng rng(seed);
@@ -25,83 +80,48 @@ Database MakeDb(int employees, uint64_t seed = 1) {
   return db;
 }
 
-void BM_EncodeSnapshot(benchmark::State& state) {
-  Database db = MakeDb(static_cast<int>(state.range(0)));
+struct SnapshotResult {
+  int employees = 0;
   size_t bytes = 0;
-  for (auto _ : state) {
-    std::string buf = db.EncodeSnapshot();
-    bytes = buf.size();
-    benchmark::DoNotOptimize(buf);
-  }
-  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
-  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
-}
-BENCHMARK(BM_EncodeSnapshot)->Arg(100)->Arg(1000)->Arg(5000);
+  double encode_mb_s = 0;
+  double decode_mb_s = 0;
+};
 
-void BM_DecodeSnapshot(benchmark::State& state) {
-  Database db = MakeDb(static_cast<int>(state.range(0)));
-  const std::string buf = db.EncodeSnapshot();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Database::DecodeSnapshot(buf));
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(buf.size()) *
-                          state.iterations());
-}
-BENCHMARK(BM_DecodeSnapshot)->Arg(100)->Arg(1000)->Arg(5000);
-
-void BM_InsertThroughput(benchmark::State& state) {
-  Rng rng(2);
-  workload::PersonnelConfig config;
-  config.num_employees = 2000;
-  auto rel = *workload::MakePersonnel(&rng, config);
-  for (auto _ : state) {
-    Database db;
-    (void)db.CreateRelation(rel.scheme());
-    for (const Tuple& t : rel) {
-      benchmark::DoNotOptimize(db.Insert("emp", t));
+SnapshotResult BenchSnapshot(int employees, int iterations) {
+  SnapshotResult out;
+  out.employees = employees;
+  Database db = MakeDb(employees);
+  const std::string image = db.EncodeSnapshot();
+  out.bytes = image.size();
+  {
+    const auto start = Clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      std::string buf = db.EncodeSnapshot();
+      if (buf.size() != out.bytes) std::abort();
     }
+    out.encode_mb_s =
+        (static_cast<double>(out.bytes) * iterations / (1 << 20)) /
+        SecondsSince(start);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(rel.size()) *
-                          state.iterations());
-}
-BENCHMARK(BM_InsertThroughput);
-
-void BM_AssignThroughput(benchmark::State& state) {
-  Database db = MakeDb(500, 3);
-  const Relation& rel = **db.Get("emp");
-  std::vector<std::vector<Value>> keys;
-  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
-  Rng rng(4);
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& key = keys[i++ % keys.size()];
-    const Relation& cur = **db.Get("emp");
-    auto idx = cur.FindByKey(key);
-    const Lifespan& l = cur.tuple(*idx).lifespan();
-    const TimePoint at = l.Min();
-    benchmark::DoNotOptimize(db.Assign("emp", key, "Salary",
-                                       Lifespan::Point(at),
-                                       Value::Int(rng.Uniform(1, 999))));
+  {
+    const auto start = Clock::now();
+    for (int i = 0; i < iterations; ++i) {
+      auto decoded = Database::DecodeSnapshot(image);
+      if (!decoded.ok()) std::abort();
+    }
+    out.decode_mb_s =
+        (static_cast<double>(out.bytes) * iterations / (1 << 20)) /
+        SecondsSince(start);
   }
-  state.SetItemsProcessed(state.iterations());
+  return out;
 }
-BENCHMARK(BM_AssignThroughput);
 
-void BM_KeyLookup(benchmark::State& state) {
-  Database db = MakeDb(static_cast<int>(state.range(0)), 5);
-  const Relation& rel = **db.Get("emp");
-  std::vector<std::vector<Value>> keys;
-  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rel.FindByKey(keys[i++ % keys.size()]));
-  }
-}
-BENCHMARK(BM_KeyLookup)->Arg(100)->Arg(10000);
+struct ReplayResult {
+  size_t records = 0;
+  double records_per_sec = 0;
+};
 
-void BM_ChangeLogReplay(benchmark::State& state) {
-  // Build a log of n inserts + updates, then measure replay.
-  const int n = static_cast<int>(state.range(0));
+ReplayResult BenchReplay(int employees, int iterations) {
   LoggedDatabase ldb;
   (void)ldb.CreateRelation(
       "emp",
@@ -111,39 +131,167 @@ void BM_ChangeLogReplay(benchmark::State& state) {
         InterpolationKind::kStepwise}},
       {"Name"});
   auto scheme = *ldb.db().catalog().Get("emp");
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < employees; ++i) {
     Tuple::Builder b(scheme, Span(0, 99));
     b.SetConstant("Name", Value::String("e" + std::to_string(i)));
     (void)ldb.Insert("emp", *std::move(b).Build());
     (void)ldb.Assign("emp", {Value::String("e" + std::to_string(i))},
                      "Salary", Span(0, 49), Value::Int(i));
   }
-  for (auto _ : state) {
+  ReplayResult out;
+  out.records = ldb.log().size();
+  const auto start = Clock::now();
+  for (int i = 0; i < iterations; ++i) {
     Database replayed;
-    benchmark::DoNotOptimize(ldb.log().Replay(&replayed));
+    if (!ldb.log().Replay(&replayed).ok()) std::abort();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(ldb.log().size()) *
-                          state.iterations());
+  out.records_per_sec =
+      static_cast<double>(out.records) * iterations / SecondsSince(start);
+  return out;
 }
-BENCHMARK(BM_ChangeLogReplay)->Arg(100)->Arg(1000);
 
-void BM_Reincarnate(benchmark::State& state) {
-  Database db = MakeDb(200, 6);
-  const Relation& rel = **db.Get("emp");
-  std::vector<std::vector<Value>> keys;
-  for (const Tuple& t : rel) keys.push_back(t.KeyValues());
-  size_t i = 0;
-  TimePoint epoch = 100;
-  for (auto _ : state) {
-    const auto& key = keys[i++ % keys.size()];
-    benchmark::DoNotOptimize(
-        db.Reincarnate("emp", key, Span(epoch, epoch + 4)));
-    if (i % keys.size() == 0) epoch += 10;
+struct DurableInsertResult {
+  std::string fsync;
+  int inserts = 0;
+  double inserts_per_sec = 0;
+  size_t wal_bytes = 0;
+  double recover_ms = 0;
+  double checkpoint_ms = 0;
+};
+
+/// `n` engine inserts (each one WAL append + policy fsync), then a timed
+/// recovery (Open = read + replay the log) and a timed checkpoint.
+DurableInsertResult BenchDurableInserts(FsyncPolicy policy, int n) {
+  DurableInsertResult out;
+  out.fsync = std::string(FsyncPolicyName(policy));
+  out.inserts = n;
+  const std::string dir = MakeScratchDir();
+  StorageEngine::Options options;
+  options.fsync = policy;
+  std::string wal_path;
+  {
+    auto engine = StorageEngine::Open(dir, options);
+    if (!engine.ok()) std::abort();
+    const Lifespan full = Span(0, 999);
+    if (!engine
+             ->CreateRelation("emp",
+                              {{"Name", DomainType::kString, full,
+                                InterpolationKind::kDiscrete},
+                               {"Salary", DomainType::kInt, full,
+                                InterpolationKind::kStepwise}},
+                              {"Name"})
+             .ok()) {
+      std::abort();
+    }
+    auto scheme = *engine->db().catalog().Get("emp");
+    // Build the tuples up front so the timed loop is engine + WAL only.
+    std::vector<Tuple> tuples;
+    tuples.reserve(n);
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      Tuple::Builder b(scheme, Span(i % 500, 500 + i % 500));
+      b.SetConstant("Name", Value::String("e" + std::to_string(i)));
+      b.SetAt("Salary", i % 500, Value::Int(rng.Uniform(30, 200) * 1000));
+      tuples.push_back(*std::move(b).Build());
+    }
+    const auto start = Clock::now();
+    for (Tuple& t : tuples) {
+      if (!engine->Insert("emp", std::move(t)).ok()) std::abort();
+    }
+    out.inserts_per_sec = n / SecondsSince(start);
+    wal_path = engine->wal_path();
+    auto size = util::AppendFile::Open(wal_path);
+    if (size.ok()) out.wal_bytes = size->Size().ValueOr(0);
   }
+  {
+    const auto start = Clock::now();
+    auto engine = StorageEngine::Open(dir, options);
+    if (!engine.ok() || engine->wal_records() != static_cast<uint64_t>(n) + 1) {
+      std::abort();
+    }
+    out.recover_ms = SecondsSince(start) * 1000;
+    const auto cp_start = Clock::now();
+    if (!engine->Checkpoint().ok()) std::abort();
+    out.checkpoint_ms = SecondsSince(cp_start) * 1000;
+  }
+  RemoveScratchDir(dir);
+  return out;
 }
-BENCHMARK(BM_Reincarnate);
 
 }  // namespace
 }  // namespace hrdm::storage
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace hrdm::storage;
+
+  std::string json = "{\n  \"benchmark\": \"storage\",\n  \"snapshot\": [\n";
+
+  bool first = true;
+  for (int employees : {100, 1000, 5000}) {
+    const SnapshotResult r = BenchSnapshot(employees, employees <= 1000 ? 50 : 10);
+    std::printf(
+        "snapshot %5d emp | %8zu bytes | encode %7.1f MB/s | decode %7.1f "
+        "MB/s\n",
+        r.employees, r.bytes, r.encode_mb_s, r.decode_mb_s);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"employees\": %d, \"bytes\": %zu, "
+                  "\"encode_mb_s\": %.1f, \"decode_mb_s\": %.1f}",
+                  first ? "" : ",\n", r.employees, r.bytes, r.encode_mb_s,
+                  r.decode_mb_s);
+    json += row;
+    first = false;
+  }
+  json += "\n  ],\n";
+
+  {
+    const ReplayResult r = BenchReplay(1000, 20);
+    std::printf("changelog replay  | %8zu records | %10.0f records/s\n",
+                r.records, r.records_per_sec);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "  \"replay\": {\"records\": %zu, \"records_per_sec\": "
+                  "%.0f},\n",
+                  r.records, r.records_per_sec);
+    json += row;
+  }
+
+  json += "  \"durable_insert\": [\n";
+  first = true;
+  struct Config {
+    FsyncPolicy policy;
+    int inserts;
+  };
+  // One fsync per record is orders of magnitude slower on real disks:
+  // smaller n keeps the run bounded while still amortizing startup.
+  const Config configs[] = {{FsyncPolicy::kOff, 20000},
+                            {FsyncPolicy::kBatched, 20000},
+                            {FsyncPolicy::kAlways, 2000}};
+  for (const Config& c : configs) {
+    const DurableInsertResult r = BenchDurableInserts(c.policy, c.inserts);
+    std::printf(
+        "durable insert (fsync=%-7s) | %6d inserts | %9.0f inserts/s | "
+        "wal %8zu B | recover %7.1f ms | checkpoint %6.1f ms\n",
+        r.fsync.c_str(), r.inserts, r.inserts_per_sec, r.wal_bytes,
+        r.recover_ms, r.checkpoint_ms);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"fsync\": \"%s\", \"inserts\": %d, "
+                  "\"inserts_per_sec\": %.0f, \"wal_bytes\": %zu, "
+                  "\"recover_ms\": %.1f, \"checkpoint_ms\": %.1f}",
+                  first ? "" : ",\n", r.fsync.c_str(), r.inserts,
+                  r.inserts_per_sec, r.wal_bytes, r.recover_ms,
+                  r.checkpoint_ms);
+    json += row;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_storage.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_storage.json\n");
+  }
+  return 0;
+}

@@ -47,7 +47,201 @@ Result<AttributeDef> GetAttributeDef(Reader* r) {
   return def;
 }
 
+std::string RecordWithKind(OpKind kind) {
+  std::string rec;
+  rec.push_back(static_cast<char>(kind));
+  return rec;
+}
+
 }  // namespace
+
+// --- single-record encoders --------------------------------------------------
+
+std::string EncodeCreateRelationRecord(const RelationScheme& scheme) {
+  std::string rec = RecordWithKind(OpKind::kCreateRelation);
+  EncodeScheme(&rec, scheme);
+  return rec;
+}
+
+std::string EncodeDropRelationRecord(std::string_view name) {
+  std::string rec = RecordWithKind(OpKind::kDropRelation);
+  PutString(&rec, name);
+  return rec;
+}
+
+std::string EncodeInsertRecord(std::string_view relation, const Tuple& t) {
+  std::string rec = RecordWithKind(OpKind::kInsert);
+  PutString(&rec, relation);
+  EncodeTuple(&rec, t);
+  return rec;
+}
+
+std::string EncodeAssignRecord(std::string_view relation,
+                               const std::vector<Value>& key,
+                               std::string_view attr, const Lifespan& span,
+                               const Value& value) {
+  std::string rec = RecordWithKind(OpKind::kAssign);
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  PutString(&rec, attr);
+  EncodeLifespan(&rec, span);
+  EncodeValue(&rec, value);
+  return rec;
+}
+
+std::string EncodeEndLifespanRecord(std::string_view relation,
+                                    const std::vector<Value>& key,
+                                    TimePoint at) {
+  std::string rec = RecordWithKind(OpKind::kEndLifespan);
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  PutSignedVarint(&rec, at);
+  return rec;
+}
+
+std::string EncodeReincarnateRecord(std::string_view relation,
+                                    const std::vector<Value>& key,
+                                    const Lifespan& span) {
+  std::string rec = RecordWithKind(OpKind::kReincarnate);
+  PutString(&rec, relation);
+  PutKey(&rec, key);
+  EncodeLifespan(&rec, span);
+  return rec;
+}
+
+std::string EncodeAddAttributeRecord(std::string_view relation,
+                                     const AttributeDef& def) {
+  std::string rec = RecordWithKind(OpKind::kAddAttribute);
+  PutString(&rec, relation);
+  PutAttributeDef(&rec, def);
+  return rec;
+}
+
+std::string EncodeCloseAttributeRecord(std::string_view relation,
+                                       std::string_view attr, TimePoint at) {
+  std::string rec = RecordWithKind(OpKind::kCloseAttribute);
+  PutString(&rec, relation);
+  PutString(&rec, attr);
+  PutSignedVarint(&rec, at);
+  return rec;
+}
+
+std::string EncodeReopenAttributeRecord(std::string_view relation,
+                                        std::string_view attr,
+                                        const Lifespan& span) {
+  std::string rec = RecordWithKind(OpKind::kReopenAttribute);
+  PutString(&rec, relation);
+  PutString(&rec, attr);
+  EncodeLifespan(&rec, span);
+  return rec;
+}
+
+std::string EncodeRegisterForeignKeyRecord(const ForeignKey& fk) {
+  std::string rec = RecordWithKind(OpKind::kRegisterForeignKey);
+  PutString(&rec, fk.child);
+  PutVarint(&rec, fk.attrs.size());
+  for (const std::string& a : fk.attrs) PutString(&rec, a);
+  PutString(&rec, fk.parent);
+  return rec;
+}
+
+std::string EncodeCreateLifespanIndexRecord(std::string_view relation) {
+  std::string rec = RecordWithKind(OpKind::kCreateLifespanIndex);
+  PutString(&rec, relation);
+  return rec;
+}
+
+std::string EncodeCreateValueIndexRecord(std::string_view relation,
+                                         std::string_view attr) {
+  std::string rec = RecordWithKind(OpKind::kCreateValueIndex);
+  PutString(&rec, relation);
+  PutString(&rec, attr);
+  return rec;
+}
+
+Status ApplyLogRecord(std::string_view record, Database* db) {
+  if (record.empty()) return Status::Corruption("empty log record");
+  const OpKind kind = static_cast<OpKind>(record[0]);
+  Reader r(record.substr(1));
+  switch (kind) {
+    case OpKind::kCreateRelation: {
+      HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, DecodeScheme(&r));
+      return db->CreateRelation(std::move(scheme));
+    }
+    case OpKind::kDropRelation: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      return db->DropRelation(name);
+    }
+    case OpKind::kInsert: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(const Relation* rel, db->Get(name));
+      HRDM_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&r, rel->scheme()));
+      return db->Insert(name, std::move(t));
+    }
+    case OpKind::kAssign: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+      HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+      HRDM_ASSIGN_OR_RETURN(Value v, DecodeValue(&r));
+      return db->Assign(name, key, attr, span, v);
+    }
+    case OpKind::kEndLifespan: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+      HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
+      return db->EndLifespan(name, key, at);
+    }
+    case OpKind::kReincarnate: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
+      HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+      return db->Reincarnate(name, key, span);
+    }
+    case OpKind::kAddAttribute: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(AttributeDef def, GetAttributeDef(&r));
+      return db->AddAttribute(name, std::move(def));
+    }
+    case OpKind::kCloseAttribute: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
+      return db->CloseAttribute(name, attr, at);
+    }
+    case OpKind::kReopenAttribute: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
+      return db->ReopenAttribute(name, attr, span);
+    }
+    case OpKind::kRegisterForeignKey: {
+      HRDM_ASSIGN_OR_RETURN(std::string child, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      if (n > r.remaining()) return Status::Corruption("FK attrs too large");
+      std::vector<std::string> attrs;
+      for (uint64_t i = 0; i < n; ++i) {
+        HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
+        attrs.push_back(std::move(a));
+      }
+      HRDM_ASSIGN_OR_RETURN(std::string parent, r.GetString());
+      return db->RegisterForeignKey(std::move(child), std::move(attrs),
+                                    std::move(parent));
+    }
+    case OpKind::kCreateLifespanIndex: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      return db->CreateLifespanIndex(name);
+    }
+    case OpKind::kCreateValueIndex: {
+      HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
+      return db->CreateValueIndex(name, attr);
+    }
+  }
+  return Status::Corruption("unknown log record kind");
+}
+
+// --- ChangeLog ---------------------------------------------------------------
 
 std::string ChangeLog::Encode() const {
   std::string out;
@@ -81,184 +275,67 @@ Result<ChangeLog> ChangeLog::LoadFrom(const std::string& path) {
 }
 
 void ChangeLog::LogCreateRelation(const RelationScheme& scheme) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kCreateRelation));
-  EncodeScheme(&rec, scheme);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeCreateRelationRecord(scheme));
 }
 
 void ChangeLog::LogDropRelation(std::string_view name) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kDropRelation));
-  PutString(&rec, name);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeDropRelationRecord(name));
 }
 
 void ChangeLog::LogInsert(std::string_view relation, const Tuple& t) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kInsert));
-  PutString(&rec, relation);
-  EncodeTuple(&rec, t);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeInsertRecord(relation, t));
 }
 
 void ChangeLog::LogAssign(std::string_view relation,
                           const std::vector<Value>& key,
                           std::string_view attr, const Lifespan& span,
                           const Value& value) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kAssign));
-  PutString(&rec, relation);
-  PutKey(&rec, key);
-  PutString(&rec, attr);
-  EncodeLifespan(&rec, span);
-  EncodeValue(&rec, value);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeAssignRecord(relation, key, attr, span, value));
 }
 
 void ChangeLog::LogEndLifespan(std::string_view relation,
                                const std::vector<Value>& key, TimePoint at) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kEndLifespan));
-  PutString(&rec, relation);
-  PutKey(&rec, key);
-  PutSignedVarint(&rec, at);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeEndLifespanRecord(relation, key, at));
 }
 
 void ChangeLog::LogReincarnate(std::string_view relation,
                                const std::vector<Value>& key,
                                const Lifespan& span) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kReincarnate));
-  PutString(&rec, relation);
-  PutKey(&rec, key);
-  EncodeLifespan(&rec, span);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeReincarnateRecord(relation, key, span));
 }
 
 void ChangeLog::LogAddAttribute(std::string_view relation,
                                 const AttributeDef& def) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kAddAttribute));
-  PutString(&rec, relation);
-  PutAttributeDef(&rec, def);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeAddAttributeRecord(relation, def));
 }
 
 void ChangeLog::LogCloseAttribute(std::string_view relation,
                                   std::string_view attr, TimePoint at) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kCloseAttribute));
-  PutString(&rec, relation);
-  PutString(&rec, attr);
-  PutSignedVarint(&rec, at);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeCloseAttributeRecord(relation, attr, at));
 }
 
 void ChangeLog::LogReopenAttribute(std::string_view relation,
                                    std::string_view attr,
                                    const Lifespan& span) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kReopenAttribute));
-  PutString(&rec, relation);
-  PutString(&rec, attr);
-  EncodeLifespan(&rec, span);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeReopenAttributeRecord(relation, attr, span));
 }
 
 void ChangeLog::LogRegisterForeignKey(const ForeignKey& fk) {
-  std::string rec;
-  rec.push_back(static_cast<char>(OpKind::kRegisterForeignKey));
-  PutString(&rec, fk.child);
-  PutVarint(&rec, fk.attrs.size());
-  for (const std::string& a : fk.attrs) PutString(&rec, a);
-  PutString(&rec, fk.parent);
-  records_.push_back(std::move(rec));
+  records_.push_back(EncodeRegisterForeignKeyRecord(fk));
+}
+
+void ChangeLog::LogCreateLifespanIndex(std::string_view relation) {
+  records_.push_back(EncodeCreateLifespanIndexRecord(relation));
+}
+
+void ChangeLog::LogCreateValueIndex(std::string_view relation,
+                                    std::string_view attr) {
+  records_.push_back(EncodeCreateValueIndexRecord(relation, attr));
 }
 
 Status ChangeLog::Replay(Database* db) const {
   for (const std::string& rec : records_) {
-    if (rec.empty()) return Status::Corruption("empty log record");
-    const OpKind kind = static_cast<OpKind>(rec[0]);
-    Reader r(std::string_view(rec).substr(1));
-    switch (kind) {
-      case OpKind::kCreateRelation: {
-        HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, DecodeScheme(&r));
-        HRDM_RETURN_IF_ERROR(db->CreateRelation(std::move(scheme)));
-        break;
-      }
-      case OpKind::kDropRelation: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_RETURN_IF_ERROR(db->DropRelation(name));
-        break;
-      }
-      case OpKind::kInsert: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(const Relation* rel, db->Get(name));
-        HRDM_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&r, rel->scheme()));
-        HRDM_RETURN_IF_ERROR(db->Insert(name, std::move(t)));
-        break;
-      }
-      case OpKind::kAssign: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
-        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
-        HRDM_ASSIGN_OR_RETURN(Value v, DecodeValue(&r));
-        HRDM_RETURN_IF_ERROR(db->Assign(name, key, attr, span, v));
-        break;
-      }
-      case OpKind::kEndLifespan: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
-        HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
-        HRDM_RETURN_IF_ERROR(db->EndLifespan(name, key, at));
-        break;
-      }
-      case OpKind::kReincarnate: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(std::vector<Value> key, GetKey(&r));
-        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
-        HRDM_RETURN_IF_ERROR(db->Reincarnate(name, key, span));
-        break;
-      }
-      case OpKind::kAddAttribute: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(AttributeDef def, GetAttributeDef(&r));
-        HRDM_RETURN_IF_ERROR(db->AddAttribute(name, std::move(def)));
-        break;
-      }
-      case OpKind::kCloseAttribute: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(int64_t at, r.GetSignedVarint());
-        HRDM_RETURN_IF_ERROR(db->CloseAttribute(name, attr, at));
-        break;
-      }
-      case OpKind::kReopenAttribute: {
-        HRDM_ASSIGN_OR_RETURN(std::string name, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(std::string attr, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(Lifespan span, DecodeLifespan(&r));
-        HRDM_RETURN_IF_ERROR(db->ReopenAttribute(name, attr, span));
-        break;
-      }
-      case OpKind::kRegisterForeignKey: {
-        HRDM_ASSIGN_OR_RETURN(std::string child, r.GetString());
-        HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
-        std::vector<std::string> attrs;
-        for (uint64_t i = 0; i < n; ++i) {
-          HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
-          attrs.push_back(std::move(a));
-        }
-        HRDM_ASSIGN_OR_RETURN(std::string parent, r.GetString());
-        HRDM_RETURN_IF_ERROR(db->RegisterForeignKey(
-            std::move(child), std::move(attrs), std::move(parent)));
-        break;
-      }
-      default:
-        return Status::Corruption("unknown log record kind");
-    }
+    HRDM_RETURN_IF_ERROR(ApplyLogRecord(rec, db));
   }
   return Status::OK();
 }
@@ -347,6 +424,19 @@ Status LoggedDatabase::RegisterForeignKey(std::string child,
                                               std::move(attrs),
                                               std::move(parent)));
   log_.LogRegisterForeignKey(fk);
+  return Status::OK();
+}
+
+Status LoggedDatabase::CreateLifespanIndex(std::string_view relation) {
+  HRDM_RETURN_IF_ERROR(db_.CreateLifespanIndex(relation));
+  log_.LogCreateLifespanIndex(relation);
+  return Status::OK();
+}
+
+Status LoggedDatabase::CreateValueIndex(std::string_view relation,
+                                        std::string_view attr) {
+  HRDM_RETURN_IF_ERROR(db_.CreateValueIndex(relation, attr));
+  log_.LogCreateValueIndex(relation, attr);
   return Status::OK();
 }
 

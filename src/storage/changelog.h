@@ -2,24 +2,34 @@
 #define HRDM_STORAGE_CHANGELOG_H_
 
 /// \file changelog.h
-/// \brief Write-ahead operation log for Database: durability by replay.
+/// \brief Operation log for Database: durability by replay.
 ///
 /// Every mutating Database operation has a corresponding log record. A log
 /// replayed onto an empty Database reproduces the database state exactly
-/// (verified by tests/changelog_test.cc), which gives crash recovery:
-/// persist the log (append-only) and occasionally checkpoint via
-/// Database::Save; on restart, load the snapshot and replay the log tail.
+/// (verified by the recovery suites: tests/crash_recovery_test.cc,
+/// tests/recovery_differential_test.cc and the replay equivalence check in
+/// tests/dml_fuzz_test.cc), which gives crash recovery: persist each
+/// record through the write-ahead log (storage/wal.h), occasionally
+/// checkpoint via storage/snapshot.h; on restart, load the snapshot and
+/// replay the WAL tail. `StorageEngine` (storage/storage_engine.h) is the
+/// facade that wires these pieces together.
 ///
-/// Records are length-prefixed so a torn final record (crash mid-append)
-/// is detected and ignored rather than corrupting the replay.
+/// This file owns the *logical record format*: `Encode*Record` builds one
+/// self-contained byte string per life-cycle operation and
+/// `ApplyLogRecord` interprets one against a Database. The in-memory
+/// `ChangeLog` (length-prefixed concatenation, torn final record dropped
+/// on decode) remains for tests and replay benchmarks; the durable framing
+/// (CRC, fsync) lives in storage/wal.h.
 ///
 /// Layer contract: sits beside Database at the top of the storage engine
 /// and records the paper's life-cycle events (§1–2: birth, death,
 /// reincarnation, temporal assignment, the Figure 6 schema-evolution
 /// operations) — one record per *logical* operation, so a replayed history
-/// is readable as the database's biography. Derived state (access-path
-/// indexes, catalog statistics) is intentionally not logged: it is
-/// advisory and rebuilt by DDL, never part of durability.
+/// is readable as the database's biography. Index *data* (access-path
+/// indexes, catalog statistics) is derived and never logged; index DDL
+/// (`kCreateLifespanIndex` / `kCreateValueIndex`) *is* logged so that
+/// recovery can re-issue it and rebuild the index from the recovered
+/// relation (the schema-evolution rebuild path).
 
 #include <string>
 #include <vector>
@@ -41,7 +51,45 @@ enum class OpKind : uint8_t {
   kCloseAttribute = 8,
   kReopenAttribute = 9,
   kRegisterForeignKey = 10,
+  kCreateLifespanIndex = 11,
+  kCreateValueIndex = 12,
 };
+
+// --- single-record codec -----------------------------------------------------
+//
+// Each record is [1-byte OpKind][operation payload]. Records are
+// self-contained: ApplyLogRecord needs only the record bytes and the
+// database to mutate. The WAL appends these verbatim inside its CRC
+// frames.
+
+std::string EncodeCreateRelationRecord(const RelationScheme& scheme);
+std::string EncodeDropRelationRecord(std::string_view name);
+std::string EncodeInsertRecord(std::string_view relation, const Tuple& t);
+std::string EncodeAssignRecord(std::string_view relation,
+                               const std::vector<Value>& key,
+                               std::string_view attr, const Lifespan& span,
+                               const Value& value);
+std::string EncodeEndLifespanRecord(std::string_view relation,
+                                    const std::vector<Value>& key,
+                                    TimePoint at);
+std::string EncodeReincarnateRecord(std::string_view relation,
+                                    const std::vector<Value>& key,
+                                    const Lifespan& span);
+std::string EncodeAddAttributeRecord(std::string_view relation,
+                                     const AttributeDef& def);
+std::string EncodeCloseAttributeRecord(std::string_view relation,
+                                       std::string_view attr, TimePoint at);
+std::string EncodeReopenAttributeRecord(std::string_view relation,
+                                        std::string_view attr,
+                                        const Lifespan& span);
+std::string EncodeRegisterForeignKeyRecord(const ForeignKey& fk);
+std::string EncodeCreateLifespanIndexRecord(std::string_view relation);
+std::string EncodeCreateValueIndexRecord(std::string_view relation,
+                                         std::string_view attr);
+
+/// \brief Decodes one record and applies it to `db`. Returns Corruption on
+/// malformed bytes; otherwise whatever the Database operation returns.
+Status ApplyLogRecord(std::string_view record, Database* db);
 
 /// \brief An append-only operation log.
 class ChangeLog {
@@ -49,6 +97,9 @@ class ChangeLog {
   /// \brief Number of records.
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
+
+  /// \brief The encoded records, in append order.
+  const std::vector<std::string>& records() const { return records_; }
 
   /// \brief Raw encoded bytes of the whole log (length-prefixed records).
   std::string Encode() const;
@@ -81,6 +132,8 @@ class ChangeLog {
   void LogReopenAttribute(std::string_view relation, std::string_view attr,
                           const Lifespan& span);
   void LogRegisterForeignKey(const ForeignKey& fk);
+  void LogCreateLifespanIndex(std::string_view relation);
+  void LogCreateValueIndex(std::string_view relation, std::string_view attr);
 
  private:
   std::vector<std::string> records_;
@@ -93,7 +146,8 @@ class ChangeLog {
 ///   ldb.CreateRelation(...); ldb.Insert(...); ...
 ///   ldb.log().SaveTo("wal.bin");
 /// Recovery: `ChangeLog::LoadFrom(...)` then `Replay` onto a fresh
-/// Database.
+/// Database. For recovery with CRC framing, fsync control and
+/// checkpointing, use `StorageEngine` (storage/storage_engine.h) instead.
 class LoggedDatabase {
  public:
   Database& db() { return db_; }
@@ -120,6 +174,8 @@ class LoggedDatabase {
   Status RegisterForeignKey(std::string child,
                             std::vector<std::string> attrs,
                             std::string parent);
+  Status CreateLifespanIndex(std::string_view relation);
+  Status CreateValueIndex(std::string_view relation, std::string_view attr);
 
  private:
   Database db_;

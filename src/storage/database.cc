@@ -354,6 +354,34 @@ Result<Database> Database::DecodeSnapshot(std::string_view data) {
   return db;
 }
 
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += "== " + name + " ==\n";
+    out += rel.scheme()->ToString();
+    out += "\n";
+    out += rel.ToString();
+    if (const std::optional<IndexSpec> spec = catalog_.Indexes(name);
+        spec.has_value()) {
+      out += "indexes:";
+      if (spec->lifespan) out += " lifespan";
+      for (const std::string& attr : spec->value_attrs) {
+        out += " value(" + attr + ")";
+      }
+      out += "\n";
+    }
+  }
+  for (const ForeignKey& fk : fks_) {
+    out += "fk: " + fk.child + "(";
+    for (size_t i = 0; i < fk.attrs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fk.attrs[i];
+    }
+    out += ") -> " + fk.parent + "\n";
+  }
+  return out;
+}
+
 Status Database::Save(const std::string& path) const {
   return WriteFile(path, EncodeSnapshot());
 }

@@ -30,9 +30,11 @@
 /// `query::DatabasePlanOptions`.
 ///
 /// Persistence: `Save`/`Load` write a versioned binary snapshot (the
-/// physical level of Figure 9) through storage/serializer.h. Indexes are
-/// derived data and are not persisted — re-issue the index DDL after a
-/// load.
+/// physical level of Figure 9) through storage/serializer.h. The raw image
+/// carries data only — index data is derived and rebuilt, never stored.
+/// For crash-safe durability (WAL + checkpoints + recovery, including
+/// index registrations) use storage/storage_engine.h, which wraps this
+/// class.
 
 #include <map>
 #include <string>
@@ -161,6 +163,13 @@ class Database {
 
   /// \brief Decodes a snapshot buffer.
   static Result<Database> DecodeSnapshot(std::string_view data);
+
+  /// \brief Canonical human-readable rendering of the whole database:
+  /// every relation (scheme + full tuple history, in stored order), the
+  /// registered foreign keys and the index registrations. Two databases
+  /// with equal ToString() are operationally identical, which is what the
+  /// crash-recovery suites assert after replaying a durable prefix.
+  std::string ToString() const;
 
  private:
   Result<Relation*> GetMutable(std::string_view name);

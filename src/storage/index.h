@@ -34,8 +34,11 @@
 ///    `query::HashEquiJoinCursor`, so the same index can feed a hash-join
 ///    build side.
 ///
-/// Indexes are not persisted: snapshots (`Database::Save`) carry only the
-/// data, and index definitions are re-issued after a load.
+/// Index *data* is not persisted: snapshots (`Database::Save`) carry only
+/// the primary data. Index *registrations* are durable through the storage
+/// engine — WAL-logged as DDL records and carried in checkpoint envelopes
+/// (storage/snapshot.h) — and recovery re-issues the DDL to rebuild each
+/// index from the recovered relations.
 
 #include <cstdint>
 #include <optional>

@@ -1,6 +1,6 @@
 #include "storage/serializer.h"
 
-#include <cstdio>
+#include "util/file.h"
 
 namespace hrdm::storage {
 
@@ -47,11 +47,15 @@ Result<int64_t> Reader::GetSignedVarint() {
 
 Result<std::string> Reader::GetString() {
   HRDM_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
-  if (len > remaining()) {
+  return GetBytes(len);
+}
+
+Result<std::string> Reader::GetBytes(uint64_t n) {
+  if (n > remaining()) {
     return Status::Corruption("truncated string");
   }
-  std::string s(data_.substr(pos_, len));
-  pos_ += len;
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
   return s;
 }
 
@@ -78,8 +82,14 @@ Result<Lifespan> DecodeLifespan(Reader* r) {
     HRDM_ASSIGN_OR_RETURN(int64_t db, r->GetSignedVarint());
     HRDM_ASSIGN_OR_RETURN(int64_t len, r->GetSignedVarint());
     if (len < 0) return Status::Corruption("negative interval length");
-    const TimePoint begin = prev + db;
-    const TimePoint end = begin + len;
+    // Fuzzed inputs can carry deltas that overflow the chronon domain;
+    // checked arithmetic keeps decode UB-free.
+    TimePoint begin;
+    TimePoint end;
+    if (__builtin_add_overflow(prev, db, &begin) ||
+        __builtin_add_overflow(begin, len, &end)) {
+      return Status::Corruption("interval boundary overflow");
+    }
     ivs.push_back(Interval(begin, end));
     prev = end;
   }
@@ -176,8 +186,12 @@ Result<TemporalValue> DecodeTemporalValue(Reader* r) {
     HRDM_ASSIGN_OR_RETURN(int64_t db, r->GetSignedVarint());
     HRDM_ASSIGN_OR_RETURN(int64_t len, r->GetSignedVarint());
     if (len < 0) return Status::Corruption("negative segment length");
-    const TimePoint begin = prev + db;
-    const TimePoint end = begin + len;
+    TimePoint begin;
+    TimePoint end;
+    if (__builtin_add_overflow(prev, db, &begin) ||
+        __builtin_add_overflow(begin, len, &end)) {
+      return Status::Corruption("segment boundary overflow");
+    }
     prev = end;
     HRDM_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
     segs.push_back(Segment{Interval(begin, end), std::move(v)});
@@ -272,37 +286,13 @@ Result<Relation> DecodeRelation(Reader* r) {
 }
 
 Status WriteFile(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + tmp + " for writing");
-  }
-  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  const bool flush_ok = std::fclose(f) == 0;
-  if (written != data.size() || !flush_ok) {
-    std::remove(tmp.c_str());
-    return Status::IoError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  // Atomic but not durable: no fsync. The durable variant (snapshots, WAL)
+  // goes through util::AtomicWriteFile(durable=true) directly.
+  return util::AtomicWriteFile(path, data, /*durable=*/false);
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + path);
-  }
-  std::string data;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    data.append(buf, n);
-  }
-  std::fclose(f);
-  return data;
+  return util::ReadFileToString(path);
 }
 
 }  // namespace hrdm::storage

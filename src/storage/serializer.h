@@ -52,6 +52,8 @@ class Reader {
   Result<uint64_t> GetVarint();
   Result<int64_t> GetSignedVarint();
   Result<std::string> GetString();
+  /// \brief Reads exactly `n` raw bytes (no length prefix).
+  Result<std::string> GetBytes(uint64_t n);
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

@@ -1,0 +1,87 @@
+#ifndef HRDM_STORAGE_SNAPSHOT_H_
+#define HRDM_STORAGE_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// \brief Durable snapshot files: checkpoints of the whole database.
+///
+/// A snapshot file is a single CRC-framed envelope:
+///
+///     +--------------------------+
+///     | header: "HRDMSNP" 0x01   |   8 bytes, magic + envelope version
+///     +-----------+--------------+
+///     | len (u32) | crc (u32)    |   frame of the envelope payload
+///     +-----------+--------------+
+///     | payload:                 |
+///     |   varint db_image_len    |
+///     |   db image (Database::   |
+///     |     EncodeSnapshot)      |
+///     |   index registrations    |
+///     +--------------------------+
+///
+/// The payload carries the primary data image *plus* the catalog's index
+/// registrations (which indexes exist — not their data), so that loading a
+/// snapshot can re-issue the index DDL and rebuild each index from the
+/// decoded relations (the same rebuild path schema evolution uses). Index
+/// *data* stays derived and is never on disk.
+///
+/// Atomicity: `WriteSnapshotFile` goes through write-temp + fsync + rename
+/// + directory fsync (util::AtomicWriteFile), so a crash during a
+/// checkpoint leaves either no new snapshot or a complete one — a reader
+/// can trust any snapshot file it can see, modulo the CRC check for bit
+/// rot. `ReadSnapshotFile` rejects torn/corrupt envelopes with Corruption,
+/// which is what lets StorageEngine::Open fall back to an older
+/// generation.
+///
+/// File naming: checkpoints are generations — `snapshot-NNNNNNNNNN.hrdm`
+/// paired with `wal-NNNNNNNNNN.log`. Checkpointing rotates the WAL:
+/// snapshot N captures everything up to and including WAL N-1, and WAL N
+/// holds exactly the records appended after snapshot N was written.
+/// Recovery = newest valid snapshot N + the tail in WAL N (see
+/// storage/storage_engine.h).
+
+#include <cstdint>
+#include <string>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace hrdm::storage {
+
+/// \brief The 8-byte snapshot envelope header: magic + version.
+inline constexpr char kSnapshotFileHeader[8] = {'H', 'R', 'D', 'M',
+                                                'S', 'N', 'P', '\x01'};
+inline constexpr size_t kSnapshotFileHeaderSize = sizeof(kSnapshotFileHeader);
+
+/// \brief `snapshot-<gen>.hrdm` (zero-padded, so lexicographic order is
+/// generation order).
+std::string SnapshotFileName(uint64_t generation);
+
+/// \brief `wal-<gen>.log`.
+std::string WalFileName(uint64_t generation);
+
+/// \brief Parses a generation number back out of a file name produced by
+/// SnapshotFileName/WalFileName; nullopt-free: returns Corruption for
+/// foreign names (callers skip those files).
+Result<uint64_t> ParseGeneration(std::string_view file_name,
+                                 std::string_view prefix,
+                                 std::string_view suffix);
+
+/// \brief Serializes the snapshot envelope to a buffer (exposed for the
+/// corruption-injection tests).
+std::string EncodeSnapshotFile(const Database& db);
+
+/// \brief Decodes an envelope buffer: CRC check, db image decode, index
+/// DDL re-issue (rebuilds index data from the decoded relations).
+Result<Database> DecodeSnapshotFile(std::string_view data);
+
+/// \brief Writes the compacted image of `db` to `path` atomically
+/// (write-temp + fsync + rename + directory fsync when `durable`).
+Status WriteSnapshotFile(const std::string& path, const Database& db,
+                         bool durable = true);
+
+/// \brief Loads and validates a snapshot file written by WriteSnapshotFile.
+Result<Database> ReadSnapshotFile(const std::string& path);
+
+}  // namespace hrdm::storage
+
+#endif  // HRDM_STORAGE_SNAPSHOT_H_

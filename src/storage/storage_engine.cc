@@ -1,0 +1,227 @@
+#include "storage/storage_engine.h"
+
+#include <algorithm>
+
+#include "storage/snapshot.h"
+#include "util/file.h"
+
+namespace hrdm::storage {
+
+std::string StorageEngine::PathOf(const std::string& file_name) const {
+  return dir_ + "/" + file_name;
+}
+
+std::string StorageEngine::wal_path() const {
+  return PathOf(WalFileName(generation_));
+}
+
+std::string StorageEngine::snapshot_path() const {
+  return PathOf(SnapshotFileName(generation_));
+}
+
+Result<StorageEngine> StorageEngine::Open(const std::string& dir,
+                                          Options options) {
+  HRDM_RETURN_IF_ERROR(util::CreateDirIfMissing(dir));
+  StorageEngine engine(dir, options);
+
+  // 1. Newest valid snapshot wins; a corrupt newer one falls back to the
+  // previous generation rather than losing the whole database.
+  HRDM_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                        util::ListDir(dir));
+  std::vector<uint64_t> snapshot_gens;
+  for (const std::string& name : entries) {
+    auto gen = ParseGeneration(name, "snapshot-", ".hrdm");
+    if (gen.ok()) snapshot_gens.push_back(*gen);
+  }
+  std::sort(snapshot_gens.rbegin(), snapshot_gens.rend());
+  bool loaded = false;
+  Status first_failure = Status::OK();
+  for (const uint64_t gen : snapshot_gens) {
+    auto db = ReadSnapshotFile(engine.PathOf(SnapshotFileName(gen)));
+    if (db.ok()) {
+      engine.db_ = std::move(db).value();
+      engine.generation_ = gen;
+      loaded = true;
+      break;
+    }
+    if (first_failure.ok()) first_failure = db.status();
+  }
+  if (!loaded && !snapshot_gens.empty()) {
+    // Every snapshot on disk is damaged: refuse to silently restart from
+    // empty — the operator should decide (delete the files to do so).
+    return Status::Corruption(
+        "no valid snapshot in " + dir +
+        " (newest failure: " + first_failure.ToString() + ")");
+  }
+  if (!loaded) {
+    // Fresh directory (possibly with a generation-0 WAL already there).
+    engine.generation_ = 0;
+  }
+
+  // 2. Replay the matching WAL tail (records after the snapshot). A WAL
+  // of a generation newer than the chosen snapshot cannot exist: the
+  // snapshot is renamed into place before its WAL is created.
+  const std::string wal_path = engine.PathOf(WalFileName(engine.generation_));
+  HRDM_ASSIGN_OR_RETURN(WalContents tail, ReadWal(wal_path));
+  for (const std::string& record : tail.records) {
+    HRDM_RETURN_IF_ERROR(ApplyLogRecord(record, &engine.db_));
+  }
+  engine.wal_records_ = tail.records.size();
+
+  // 3. Reopen for appending (drops the torn tail, if any).
+  WalWriter::Options wal_options;
+  wal_options.fsync = options.fsync;
+  wal_options.batch_bytes = options.batch_bytes;
+  HRDM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(wal_path, wal_options));
+  engine.wal_.emplace(std::move(wal));
+
+  // 4. Stale older generations (from a checkpoint that crashed between
+  // rename and delete) are garbage.
+  HRDM_RETURN_IF_ERROR(engine.GarbageCollect());
+  return engine;
+}
+
+Status StorageEngine::GarbageCollect() {
+  HRDM_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                        util::ListDir(dir_));
+  for (const std::string& name : entries) {
+    bool stale = false;
+    if (auto gen = ParseGeneration(name, "snapshot-", ".hrdm"); gen.ok()) {
+      stale = *gen < generation_;
+    } else if (auto wgen = ParseGeneration(name, "wal-", ".log"); wgen.ok()) {
+      stale = *wgen < generation_;
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      stale = true;  // a checkpoint that crashed before its rename
+    }
+    if (stale) {
+      HRDM_RETURN_IF_ERROR(util::RemoveFileIfExists(PathOf(name)));
+    }
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Logged(const std::string& record, Status apply_result) {
+  HRDM_RETURN_IF_ERROR(apply_result);
+  HRDM_RETURN_IF_ERROR(wal_->Append(record));
+  ++wal_records_;
+  if (options_.checkpoint_every > 0 &&
+      wal_records_ >= options_.checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::CreateRelation(std::string name,
+                                     std::vector<AttributeDef> attributes,
+                                     std::vector<std::string> key) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make(std::move(name),
+                                             std::move(attributes),
+                                             std::move(key)));
+  return Logged(EncodeCreateRelationRecord(*scheme),
+                db_.CreateRelation(scheme));
+}
+
+Status StorageEngine::DropRelation(std::string_view name) {
+  return Logged(EncodeDropRelationRecord(name), db_.DropRelation(name));
+}
+
+Status StorageEngine::Insert(std::string_view relation, Tuple t) {
+  std::string record = EncodeInsertRecord(relation, t);
+  return Logged(record, db_.Insert(relation, std::move(t)));
+}
+
+Status StorageEngine::Assign(std::string_view relation,
+                             const std::vector<Value>& key,
+                             std::string_view attr, const Lifespan& span,
+                             const Value& value) {
+  return Logged(EncodeAssignRecord(relation, key, attr, span, value),
+                db_.Assign(relation, key, attr, span, value));
+}
+
+Status StorageEngine::EndLifespan(std::string_view relation,
+                                  const std::vector<Value>& key,
+                                  TimePoint at) {
+  return Logged(EncodeEndLifespanRecord(relation, key, at),
+                db_.EndLifespan(relation, key, at));
+}
+
+Status StorageEngine::Reincarnate(std::string_view relation,
+                                  const std::vector<Value>& key,
+                                  const Lifespan& span) {
+  return Logged(EncodeReincarnateRecord(relation, key, span),
+                db_.Reincarnate(relation, key, span));
+}
+
+Status StorageEngine::AddAttribute(std::string_view relation,
+                                   AttributeDef def) {
+  std::string record = EncodeAddAttributeRecord(relation, def);
+  return Logged(record, db_.AddAttribute(relation, std::move(def)));
+}
+
+Status StorageEngine::CloseAttribute(std::string_view relation,
+                                     std::string_view attr, TimePoint at) {
+  return Logged(EncodeCloseAttributeRecord(relation, attr, at),
+                db_.CloseAttribute(relation, attr, at));
+}
+
+Status StorageEngine::ReopenAttribute(std::string_view relation,
+                                      std::string_view attr,
+                                      const Lifespan& span) {
+  return Logged(EncodeReopenAttributeRecord(relation, attr, span),
+                db_.ReopenAttribute(relation, attr, span));
+}
+
+Status StorageEngine::RegisterForeignKey(std::string child,
+                                         std::vector<std::string> attrs,
+                                         std::string parent) {
+  const ForeignKey fk{child, attrs, parent};
+  return Logged(EncodeRegisterForeignKeyRecord(fk),
+                db_.RegisterForeignKey(std::move(child), std::move(attrs),
+                                       std::move(parent)));
+}
+
+Status StorageEngine::CreateLifespanIndex(std::string_view relation) {
+  return Logged(EncodeCreateLifespanIndexRecord(relation),
+                db_.CreateLifespanIndex(relation));
+}
+
+Status StorageEngine::CreateValueIndex(std::string_view relation,
+                                       std::string_view attr) {
+  return Logged(EncodeCreateValueIndexRecord(relation, attr),
+                db_.CreateValueIndex(relation, attr));
+}
+
+Status StorageEngine::Checkpoint() {
+  // 1. The snapshot must not get ahead of the durable WAL: flush first.
+  HRDM_RETURN_IF_ERROR(wal_->Sync());
+  const uint64_t next = generation_ + 1;
+  // 2. Atomic snapshot publish (temp + fsync + rename + dir fsync).
+  HRDM_RETURN_IF_ERROR(
+      WriteSnapshotFile(PathOf(SnapshotFileName(next)), db_,
+                        /*durable=*/options_.fsync != FsyncPolicy::kOff));
+  // 3. Fresh WAL for the new generation. Crash between 2 and 3: recovery
+  // loads snapshot `next` and finds no wal-`next` — nothing to replay.
+  WalWriter::Options wal_options;
+  wal_options.fsync = options_.fsync;
+  wal_options.batch_bytes = options_.batch_bytes;
+  HRDM_ASSIGN_OR_RETURN(WalWriter wal,
+                        WalWriter::Open(PathOf(WalFileName(next)),
+                                        wal_options));
+  const uint64_t previous = generation_;
+  wal_.emplace(std::move(wal));
+  generation_ = next;
+  wal_records_ = 0;
+  // 4. Best-effort cleanup of the superseded generation; Open() would GC
+  // it anyway after a crash here.
+  HRDM_RETURN_IF_ERROR(
+      util::RemoveFileIfExists(PathOf(WalFileName(previous))));
+  HRDM_RETURN_IF_ERROR(
+      util::RemoveFileIfExists(PathOf(SnapshotFileName(previous))));
+  return Status::OK();
+}
+
+Status StorageEngine::Sync() { return wal_->Sync(); }
+
+}  // namespace hrdm::storage

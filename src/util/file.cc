@@ -1,0 +1,213 @@
+#include "util/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hrdm::util {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("cannot open for append", path));
+  }
+  return AppendFile(fd, path);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IoError("append to closed file " + path_);
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("write failed on", path_));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::IoError("sync of closed file " + path_);
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(Errno("fsync failed on", path_));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> AppendFile::Size() const {
+  if (fd_ < 0) return Status::IoError("size of closed file " + path_);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IoError(Errno("fstat failed on", path_));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status AppendFile::TruncateTo(uint64_t size) {
+  if (fd_ < 0) return Status::IoError("truncate of closed file " + path_);
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IoError(Errno("ftruncate failed on", path_));
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return Status::IoError(Errno("close failed on", path_));
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       bool durable) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("cannot open for writing", tmp));
+  }
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(Errno("write failed on", tmp));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (durable && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(Errno("fsync failed on", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(Errno("close failed on", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(Errno("cannot rename into place", path));
+  }
+  if (durable) {
+    HRDM_RETURN_IF_ERROR(SyncDir(DirName(path)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(Errno("cannot open", path));
+  }
+  std::string data;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(Errno("read failed on", path));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(Errno("cannot open directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError(Errno("fsync failed on directory", dir));
+  return Status::OK();
+}
+
+Status CreateDirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError(dir + " exists but is not a directory");
+  }
+  return Status::IoError(Errno("cannot create directory", dir));
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError(Errno("cannot open directory", dir));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string_view name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.emplace_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Status::IoError(Errno("cannot remove", path));
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace hrdm::util

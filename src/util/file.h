@@ -1,0 +1,102 @@
+#ifndef HRDM_UTIL_FILE_H_
+#define HRDM_UTIL_FILE_H_
+
+/// \file file.h
+/// \brief POSIX file and fsync helpers for the durable storage engine.
+///
+/// Everything the WAL and snapshot layers need from the file system, with
+/// the durability-critical details in one place:
+///
+///  * `AppendFile` — an append-only fd with explicit `Sync` (fsync), the
+///    WAL's substrate;
+///  * `AtomicWriteFile` — write-temp + (optional) fsync + rename +
+///    directory fsync, so a snapshot either exists completely or not at
+///    all (readers can never observe a half-written file under its final
+///    name);
+///  * `SyncDir` — fsync a directory so renames/creates/unlinks inside it
+///    are themselves durable (rename alone is atomic but not persistent
+///    until the directory inode reaches disk).
+///
+/// All functions return `Status`/`Result` (util/status.h); none throw.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hrdm::util {
+
+/// \brief An append-only file handle (O_APPEND) with explicit fsync.
+///
+/// Move-only (owns the fd). The destructor closes without syncing — call
+/// `Sync` wherever durability is required.
+class AppendFile {
+ public:
+  /// \brief Opens (creating if missing) `path` for appending.
+  static Result<AppendFile> Open(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// \brief Appends all of `data` (retrying short writes / EINTR).
+  Status Append(std::string_view data);
+
+  /// \brief fsync(2): block until everything appended so far is on disk.
+  Status Sync();
+
+  /// \brief Current file size in bytes.
+  Result<uint64_t> Size() const;
+
+  /// \brief Truncates the file to `size` bytes (drops a torn tail before
+  /// resuming appends).
+  Status TruncateTo(uint64_t size);
+
+  /// \brief Closes the fd early (idempotent; destructor also closes).
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// \brief Writes `data` to `path` atomically: temp file + rename. With
+/// `durable` the temp file is fsync'ed before the rename and the parent
+/// directory after it, so after a crash either the old or the complete new
+/// content is found — never a prefix.
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       bool durable);
+
+/// \brief Reads the whole file at `path`.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief fsync a directory (durability of renames/creates inside it).
+Status SyncDir(const std::string& dir);
+
+/// \brief mkdir -p (single level): creates `dir` if missing; OK if it
+/// already exists as a directory.
+Status CreateDirIfMissing(const std::string& dir);
+
+/// \brief Names of the entries of `dir` (excluding "." and "..").
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// \brief True iff `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// \brief unlink(2); OK if the file was already gone.
+Status RemoveFileIfExists(const std::string& path);
+
+/// \brief The directory part of `path` ("." when there is no slash).
+std::string DirName(const std::string& path);
+
+}  // namespace hrdm::util
+
+#endif  // HRDM_UTIL_FILE_H_

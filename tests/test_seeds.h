@@ -9,6 +9,12 @@
 //   HRDM_PLAN_SEEDS=7 ctest -R PlanParity
 //   HRDM_JOIN_DIFF_SEEDS=42 ctest -R JoinDifferential
 //   HRDM_PARALLEL_FUZZ_SEEDS=8 ctest -R ParallelDifferential
+//   HRDM_CRASH_SEEDS=11 ctest -R CrashRecovery
+//   HRDM_STORAGE_FUZZ_SEEDS=7 ctest -R StorageFuzz
+//   HRDM_RECOVERY_DIFF_SEEDS=3 ctest -R RecoveryDifferential
+//
+// (The crash harness also reads HRDM_CRASH_FSYNC=off|batched|always to
+// pick the child's WAL fsync policy; default "always".)
 //
 // and every failure prints the seed (plus the override recipe) via
 // SeedTrace, so a red property test is a one-command repro.
