@@ -91,10 +91,18 @@ std::string Expr::ToString() const {
       out += ")";
       return out;
     }
-    default:
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO:
+    case ExprKind::kProduct:
+    case ExprKind::kNaturalJoin:
       return std::string(FunctionName(kind)) + "(" + left->ToString() + ", " +
              right->ToString() + ")";
   }
+  return "?";
 }
 
 std::string LsExpr::ToString() const {

@@ -153,8 +153,11 @@ Result<Lifespan> EvalLifespanMat(const LsExprPtr& expr,
           return l.Union(r);
         case LsExprKind::kIntersect:
           return l.Intersect(r);
-        default:
+        case LsExprKind::kDifference:
           return l.Difference(r);
+        case LsExprKind::kLiteral:
+        case LsExprKind::kWhen:
+          break;  // unreachable: the enclosing case covers ∪ ∩ − only
       }
     }
   }
@@ -233,9 +236,21 @@ Result<Relation> EvalMat(const ExprPtr& expr, const Resolver& resolver,
               return IntersectO(l, r);
             case ExprKind::kDifferenceO:
               return DifferenceO(l, r);
-            default:
+            case ExprKind::kProduct:
               return CartesianProduct(l, r);
+            case ExprKind::kRelationRef:
+            case ExprKind::kSelectIf:
+            case ExprKind::kSelectWhen:
+            case ExprKind::kProject:
+            case ExprKind::kTimeSlice:
+            case ExprKind::kDynSlice:
+            case ExprKind::kThetaJoin:
+            case ExprKind::kNaturalJoin:
+            case ExprKind::kTimeJoin:
+            case ExprKind::kAggregate:
+              break;  // unreachable: the enclosing case covers set ops and ×
           }
+          return Status::Internal("unhandled set operation kind");
         }();
         return Finish(std::move(out), l.size() + r.size(), stats);
       }
@@ -316,8 +331,11 @@ Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
           return l.Union(r);
         case LsExprKind::kIntersect:
           return l.Intersect(r);
-        default:
+        case LsExprKind::kDifference:
           return l.Difference(r);
+        case LsExprKind::kLiteral:
+        case LsExprKind::kWhen:
+          break;  // unreachable: the enclosing case covers ∪ ∩ − only
       }
     }
   }

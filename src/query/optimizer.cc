@@ -139,7 +139,22 @@ JoinChoice ChooseJoinStrategy(const Expr& join, const RelationScheme& left,
     case ExprKind::kTimeJoin:
       choice.strategy = JoinStrategy::kMerge;
       break;
-    default:
+    // Non-join nodes (and the pure product) stay on the nested-loop
+    // default the JoinChoice initializer carries.
+    case ExprKind::kRelationRef:
+    case ExprKind::kSelectIf:
+    case ExprKind::kSelectWhen:
+    case ExprKind::kProject:
+    case ExprKind::kTimeSlice:
+    case ExprKind::kDynSlice:
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO:
+    case ExprKind::kProduct:
+    case ExprKind::kAggregate:
       break;
   }
   return choice;
@@ -222,7 +237,21 @@ AccessPathChoice ChooseAccessPath(const Expr& op, const IndexCatalogFn& indexes,
     case ExprKind::kTimeSlice:
       choice.lifespan_eligible = info->lifespan;
       break;
-    default:
+    // Every other node shape has no index-eligible restriction.
+    case ExprKind::kRelationRef:
+    case ExprKind::kProject:
+    case ExprKind::kDynSlice:
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO:
+    case ExprKind::kProduct:
+    case ExprKind::kThetaJoin:
+    case ExprKind::kNaturalJoin:
+    case ExprKind::kTimeJoin:
+    case ExprKind::kAggregate:
       return choice;
   }
 
@@ -267,9 +296,13 @@ LsExprPtr RewriteLsOnce(const LsExprPtr& e, int* applied) {
             return LsLiteral(l->literal.Union(r->literal));
           case LsExprKind::kIntersect:
             return LsLiteral(l->literal.Intersect(r->literal));
-          default:
+          case LsExprKind::kDifference:
             return LsLiteral(l->literal.Difference(r->literal));
+          case LsExprKind::kLiteral:
+          case LsExprKind::kWhen:
+            break;  // unreachable: the outer case covers ∪ ∩ − only
         }
+        return LsBinary(e->kind, std::move(l), std::move(r));
       }
       if (l == e->left && r == e->right) return e;
       return LsBinary(e->kind, std::move(l), std::move(r));
@@ -364,9 +397,24 @@ ExprPtr RewriteOnce(const ExprPtr& e, int* applied) {
       }
       return rebuild();
     }
-    default:
+    // No rewrite rules fire at these node shapes (yet): rebuild with the
+    // recursively rewritten children.
+    case ExprKind::kRelationRef:
+    case ExprKind::kDynSlice:
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kUnionO:
+    case ExprKind::kIntersectO:
+    case ExprKind::kDifferenceO:
+    case ExprKind::kProduct:
+    case ExprKind::kThetaJoin:
+    case ExprKind::kNaturalJoin:
+    case ExprKind::kTimeJoin:
+    case ExprKind::kAggregate:
       return rebuild();
   }
+  return rebuild();
 }
 
 }  // namespace

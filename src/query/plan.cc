@@ -13,6 +13,13 @@ namespace hrdm::query {
 
 namespace {
 
+/// Builds a cursor of concrete type `C` and returns it as a CursorPtr, so the
+/// result converts into Result<CursorPtr> in a single user-defined step.
+template <typename C, typename... Args>
+CursorPtr MakeCursor(Args&&... args) {
+  return std::make_unique<C>(std::forward<Args>(args)...);
+}
+
 // --- parallel execution helpers ---------------------------------------------
 
 /// The degree of parallelism PlanOptions asks for (0 = auto).
@@ -121,8 +128,11 @@ Result<Lifespan> EvalWindow(const LsExprPtr& expr,
           return l.Union(r);
         case LsExprKind::kIntersect:
           return l.Intersect(r);
-        default:
+        case LsExprKind::kDifference:
           return l.Difference(r);
+        case LsExprKind::kLiteral:
+        case LsExprKind::kWhen:
+          break;  // unreachable: the enclosing case covers ∪ ∩ − only
       }
     }
   }
@@ -1022,9 +1032,9 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
         const size_t parallelism =
             ChooseParallelism(RequestedParallelism(options),
                               probe->candidates.size(), options.force_parallel);
-        return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
-                                             AccessPath::kValueIndex,
-                                             parallelism, stats));
+        return MakeCursor<IndexScanCursor>(
+            rel->scheme(), std::move(*probe), AccessPath::kValueIndex,
+            parallelism, stats);
       }
     }
     if (path == AccessPath::kLifespanIndex && options.lifespan_probe &&
@@ -1034,9 +1044,9 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
         const size_t parallelism =
             ChooseParallelism(RequestedParallelism(options),
                               probe->candidates.size(), options.force_parallel);
-        return CursorPtr(new IndexScanCursor(rel->scheme(), std::move(*probe),
-                                             AccessPath::kLifespanIndex,
-                                             parallelism, stats));
+        return MakeCursor<IndexScanCursor>(
+            rel->scheme(), std::move(*probe), AccessPath::kLifespanIndex,
+            parallelism, stats);
       }
     }
   }
@@ -1111,10 +1121,10 @@ Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
       ChooseParallelism(RequestedParallelism(options),
                         choice.est_left + choice.est_right,
                         options.force_parallel);
-  return CursorPtr(new HashEquiJoinCursor(
+  return MakeCursor<HashEquiJoinCursor>(
       std::move(probe), std::move(*build), choice.build_left,
       std::move(key_attrs), std::move(assembly), std::move(pair), parallelism,
-      stats));
+      stats);
 }
 
 }  // namespace
@@ -1133,7 +1143,7 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const size_t parallelism = ChooseParallelism(
           RequestedParallelism(options), rel->size(), options.force_parallel);
       // Copy-on-write: the scan shares the stored tuples.
-      return CursorPtr(new ScanCursor(*rel, parallelism, stats));
+      return MakeCursor<ScanCursor>(*rel, parallelism, stats);
     }
     case ExprKind::kSelectIf: {
       // The window is a parameter, not a stream: evaluate it first so a
@@ -1148,16 +1158,16 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           CursorPtr child,
           LowerRestrictionInput(*expr, window ? &*window : nullptr, resolver,
                                 stats, options));
-      return CursorPtr(new SelectIfCursor(std::move(child), *expr->predicate,
-                                          expr->quantifier,
-                                          std::move(window), stats));
+      return MakeCursor<SelectIfCursor>(
+          std::move(child), *expr->predicate, expr->quantifier,
+          std::move(window), stats);
     }
     case ExprKind::kSelectWhen: {
       HRDM_ASSIGN_OR_RETURN(
           CursorPtr child,
           LowerRestrictionInput(*expr, nullptr, resolver, stats, options));
-      return CursorPtr(
-          new SelectWhenCursor(std::move(child), *expr->predicate, stats));
+      return MakeCursor<SelectWhenCursor>(std::move(child),
+                                                *expr->predicate, stats);
     }
     case ExprKind::kProject: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
@@ -1167,9 +1177,8 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       HRDM_ASSIGN_OR_RETURN(
           std::vector<size_t> src,
           ProjectSourceIndices(*child->scheme(), *out_scheme));
-      return CursorPtr(new ProjectCursor(std::move(child),
-                                         std::move(out_scheme),
-                                         std::move(src), stats));
+      return MakeCursor<ProjectCursor>(
+          std::move(child), std::move(out_scheme), std::move(src), stats);
     }
     case ExprKind::kTimeSlice: {
       HRDM_ASSIGN_OR_RETURN(
@@ -1177,15 +1186,15 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       HRDM_ASSIGN_OR_RETURN(
           CursorPtr child,
           LowerRestrictionInput(*expr, &window, resolver, stats, options));
-      return CursorPtr(
-          new TimeSliceCursor(std::move(child), std::move(window), stats));
+      return MakeCursor<TimeSliceCursor>(std::move(child),
+                                               std::move(window), stats);
     }
     case ExprKind::kDynSlice: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
                             LowerExpr(expr->left, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(size_t idx,
                             DynSliceAttrIndex(*child->scheme(), expr->attr_a));
-      return CursorPtr(new TimeSliceCursor(std::move(child), idx, stats));
+      return MakeCursor<TimeSliceCursor>(std::move(child), idx, stats);
     }
     case ExprKind::kProduct: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
@@ -1194,9 +1203,8 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
                             LowerExpr(expr->right, resolver, stats, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             ProductScheme(left->scheme(), right->scheme()));
-      return CursorPtr(new ProductJoinCursor(std::move(left),
-                                             std::move(right),
-                                             std::move(scheme), stats));
+      return MakeCursor<ProductJoinCursor>(
+          std::move(left), std::move(right), std::move(scheme), stats);
     }
     case ExprKind::kUnion:
     case ExprKind::kIntersect:
@@ -1204,14 +1212,27 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
     case ExprKind::kUnionO:
     case ExprKind::kIntersectO:
     case ExprKind::kDifferenceO: {
-      SetOpKind kind;
+      SetOpKind kind = SetOpKind::kDifferenceO;
       switch (expr->kind) {
         case ExprKind::kUnion:       kind = SetOpKind::kUnion; break;
         case ExprKind::kIntersect:   kind = SetOpKind::kIntersect; break;
         case ExprKind::kDifference:  kind = SetOpKind::kDifference; break;
         case ExprKind::kUnionO:      kind = SetOpKind::kUnionO; break;
         case ExprKind::kIntersectO:  kind = SetOpKind::kIntersectO; break;
-        default:                     kind = SetOpKind::kDifferenceO; break;
+        case ExprKind::kDifferenceO: kind = SetOpKind::kDifferenceO; break;
+        case ExprKind::kRelationRef:
+        case ExprKind::kSelectIf:
+        case ExprKind::kSelectWhen:
+        case ExprKind::kProject:
+        case ExprKind::kTimeSlice:
+        case ExprKind::kDynSlice:
+        case ExprKind::kProduct:
+        case ExprKind::kThetaJoin:
+        case ExprKind::kNaturalJoin:
+        case ExprKind::kTimeJoin:
+        case ExprKind::kAggregate:
+          // Unreachable: the enclosing case covers the six set operators.
+          return Status::Internal("unhandled set operation kind");
       }
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
                             LowerExpr(expr->left, resolver, stats, options));
@@ -1220,12 +1241,12 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       HRDM_ASSIGN_OR_RETURN(
           SchemePtr scheme,
           SetOpScheme(kind, left->scheme(), right->scheme()));
-      return CursorPtr(new SetOpCursor(
+      return MakeCursor<SetOpCursor>(
           std::move(left), std::move(right), std::move(scheme),
           [kind](const Relation& r1, const Relation& r2) {
             return ApplySetOp(kind, r1, r2);
           },
-          stats));
+          stats);
     }
     case ExprKind::kThetaJoin: {
       HRDM_ASSIGN_OR_RETURN(
@@ -1255,14 +1276,14 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
             ChooseParallelism(RequestedParallelism(options),
                               choice.est_left + choice.est_right,
                               options.force_parallel);
-        return CursorPtr(new HashEquiJoinCursor(
+        return MakeCursor<HashEquiJoinCursor>(
             std::move(left), std::move(right), choice.build_left,
-            {{ia, ib}}, std::move(assembly), std::move(pair), parallelism,
-            stats));
+            std::vector<std::pair<size_t, size_t>>{{ia, ib}},
+            std::move(assembly), std::move(pair), parallelism, stats);
       }
-      return CursorPtr(new NestedLoopJoinCursor(
+      return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats));
+          std::move(pair), stats);
     }
     case ExprKind::kNaturalJoin: {
       HRDM_ASSIGN_OR_RETURN(
@@ -1290,14 +1311,14 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
             ChooseParallelism(RequestedParallelism(options),
                               choice.est_left + choice.est_right,
                               options.force_parallel);
-        return CursorPtr(new HashEquiJoinCursor(
+        return MakeCursor<HashEquiJoinCursor>(
             std::move(left), std::move(right), choice.build_left,
             std::move(shared), std::move(assembly), std::move(pair),
-            parallelism, stats));
+            parallelism, stats);
       }
-      return CursorPtr(new NestedLoopJoinCursor(
+      return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats));
+          std::move(pair), stats);
     }
     case ExprKind::kAggregate: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
@@ -1312,8 +1333,8 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           expr->left, CardinalityOrExact(options.cardinality, resolver));
       const size_t parallelism = ChooseParallelism(
           RequestedParallelism(options), est_input, options.force_parallel);
-      return CursorPtr(new HashAggregateCursor(
-          std::move(child), std::move(aggregator), est, parallelism, stats));
+      return MakeCursor<HashAggregateCursor>(
+          std::move(child), std::move(aggregator), est, parallelism, stats);
     }
     case ExprKind::kTimeJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
@@ -1330,16 +1351,16 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const JoinChoice choice = ResolveJoinChoice(
           *expr, *left->scheme(), *right->scheme(), resolver, options);
       if (choice.strategy == JoinStrategy::kMerge) {
-        return CursorPtr(new MergeTimeJoinCursor(
+        return MakeCursor<MergeTimeJoinCursor>(
             std::move(left), std::move(right), ia, std::move(assembly),
-            stats));
+            stats);
       }
       JoinPairFn pair = [ia](const Tuple& t1, const Tuple& t2) {
         return TimeJoinPairLifespan(t1, ia, t2);
       };
-      return CursorPtr(new NestedLoopJoinCursor(
+      return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats));
+          std::move(pair), stats);
     }
   }
   return Status::Internal("unhandled expression kind");

@@ -12,10 +12,12 @@ std::string StorageEngine::PathOf(const std::string& file_name) const {
 }
 
 std::string StorageEngine::wal_path() const {
+  util::MutexLock lock(*mu_);
   return PathOf(WalFileName(generation_));
 }
 
 std::string StorageEngine::snapshot_path() const {
+  util::MutexLock lock(*mu_);
   return PathOf(SnapshotFileName(generation_));
 }
 
@@ -23,6 +25,10 @@ Result<StorageEngine> StorageEngine::Open(const std::string& dir,
                                           Options options) {
   HRDM_RETURN_IF_ERROR(util::CreateDirIfMissing(dir));
   StorageEngine engine(dir, options);
+  // Nobody else can hold a reference yet; the lock is taken purely so the
+  // thread-safety analysis can check the recovery code against the same
+  // contracts as the steady-state mutators.
+  util::MutexLock lock(*engine.mu_);
 
   // 1. Newest valid snapshot wins; a corrupt newer one falls back to the
   // previous generation rather than losing the whole database.
@@ -107,7 +113,7 @@ Status StorageEngine::Logged(const std::string& record, Status apply_result) {
   ++wal_records_;
   if (options_.checkpoint_every > 0 &&
       wal_records_ >= options_.checkpoint_every) {
-    return Checkpoint();
+    return CheckpointLocked();
   }
   return Status::OK();
 }
@@ -115,6 +121,7 @@ Status StorageEngine::Logged(const std::string& record, Status apply_result) {
 Status StorageEngine::CreateRelation(std::string name,
                                      std::vector<AttributeDef> attributes,
                                      std::vector<std::string> key) {
+  util::MutexLock lock(*mu_);
   HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                         RelationScheme::Make(std::move(name),
                                              std::move(attributes),
@@ -124,10 +131,12 @@ Status StorageEngine::CreateRelation(std::string name,
 }
 
 Status StorageEngine::DropRelation(std::string_view name) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeDropRelationRecord(name), db_.DropRelation(name));
 }
 
 Status StorageEngine::Insert(std::string_view relation, Tuple t) {
+  util::MutexLock lock(*mu_);
   std::string record = EncodeInsertRecord(relation, t);
   return Logged(record, db_.Insert(relation, std::move(t)));
 }
@@ -136,6 +145,7 @@ Status StorageEngine::Assign(std::string_view relation,
                              const std::vector<Value>& key,
                              std::string_view attr, const Lifespan& span,
                              const Value& value) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeAssignRecord(relation, key, attr, span, value),
                 db_.Assign(relation, key, attr, span, value));
 }
@@ -143,6 +153,7 @@ Status StorageEngine::Assign(std::string_view relation,
 Status StorageEngine::EndLifespan(std::string_view relation,
                                   const std::vector<Value>& key,
                                   TimePoint at) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeEndLifespanRecord(relation, key, at),
                 db_.EndLifespan(relation, key, at));
 }
@@ -150,18 +161,21 @@ Status StorageEngine::EndLifespan(std::string_view relation,
 Status StorageEngine::Reincarnate(std::string_view relation,
                                   const std::vector<Value>& key,
                                   const Lifespan& span) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeReincarnateRecord(relation, key, span),
                 db_.Reincarnate(relation, key, span));
 }
 
 Status StorageEngine::AddAttribute(std::string_view relation,
                                    AttributeDef def) {
+  util::MutexLock lock(*mu_);
   std::string record = EncodeAddAttributeRecord(relation, def);
   return Logged(record, db_.AddAttribute(relation, std::move(def)));
 }
 
 Status StorageEngine::CloseAttribute(std::string_view relation,
                                      std::string_view attr, TimePoint at) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeCloseAttributeRecord(relation, attr, at),
                 db_.CloseAttribute(relation, attr, at));
 }
@@ -169,6 +183,7 @@ Status StorageEngine::CloseAttribute(std::string_view relation,
 Status StorageEngine::ReopenAttribute(std::string_view relation,
                                       std::string_view attr,
                                       const Lifespan& span) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeReopenAttributeRecord(relation, attr, span),
                 db_.ReopenAttribute(relation, attr, span));
 }
@@ -176,6 +191,7 @@ Status StorageEngine::ReopenAttribute(std::string_view relation,
 Status StorageEngine::RegisterForeignKey(std::string child,
                                          std::vector<std::string> attrs,
                                          std::string parent) {
+  util::MutexLock lock(*mu_);
   const ForeignKey fk{child, attrs, parent};
   return Logged(EncodeRegisterForeignKeyRecord(fk),
                 db_.RegisterForeignKey(std::move(child), std::move(attrs),
@@ -183,17 +199,24 @@ Status StorageEngine::RegisterForeignKey(std::string child,
 }
 
 Status StorageEngine::CreateLifespanIndex(std::string_view relation) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeCreateLifespanIndexRecord(relation),
                 db_.CreateLifespanIndex(relation));
 }
 
 Status StorageEngine::CreateValueIndex(std::string_view relation,
                                        std::string_view attr) {
+  util::MutexLock lock(*mu_);
   return Logged(EncodeCreateValueIndexRecord(relation, attr),
                 db_.CreateValueIndex(relation, attr));
 }
 
 Status StorageEngine::Checkpoint() {
+  util::MutexLock lock(*mu_);
+  return CheckpointLocked();
+}
+
+Status StorageEngine::CheckpointLocked() {
   // 1. The snapshot must not get ahead of the durable WAL: flush first.
   HRDM_RETURN_IF_ERROR(wal_->Sync());
   const uint64_t next = generation_ + 1;
@@ -222,6 +245,9 @@ Status StorageEngine::Checkpoint() {
   return Status::OK();
 }
 
-Status StorageEngine::Sync() { return wal_->Sync(); }
+Status StorageEngine::Sync() {
+  util::MutexLock lock(*mu_);
+  return wal_->Sync();
+}
 
 }  // namespace hrdm::storage

@@ -47,6 +47,7 @@
 /// tests/storage_engine_test.cc (directed recovery/checkpoint cases).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,7 +55,9 @@
 #include "storage/changelog.h"
 #include "storage/database.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hrdm::storage {
 
@@ -81,51 +84,69 @@ class StorageEngine {
   StorageEngine& operator=(StorageEngine&&) = default;
 
   /// \brief Read access to the recovered/live database.
-  const Database& db() const { return db_; }
+  ///
+  /// Deliberately unserialized against mutations: the engine is
+  /// single-session today, and queries run between logged operations on
+  /// the same thread. A multi-session server (ROADMAP item 2) must add its
+  /// own read/write coordination before sharing one engine across threads.
+  const Database& db() const NO_THREAD_SAFETY_ANALYSIS { return db_; }
 
   // --- logged mutations (mirror Database's DML/DDL surface) ------------------
+  //
+  // Each mutator acquires mu_, so concurrent callers serialize and the
+  // WAL-append order matches the apply order.
 
   Status CreateRelation(std::string name,
                         std::vector<AttributeDef> attributes,
-                        std::vector<std::string> key);
-  Status DropRelation(std::string_view name);
-  Status Insert(std::string_view relation, Tuple t);
+                        std::vector<std::string> key) EXCLUDES(mu_);
+  Status DropRelation(std::string_view name) EXCLUDES(mu_);
+  Status Insert(std::string_view relation, Tuple t) EXCLUDES(mu_);
   Status Assign(std::string_view relation, const std::vector<Value>& key,
                 std::string_view attr, const Lifespan& span,
-                const Value& value);
+                const Value& value) EXCLUDES(mu_);
   Status EndLifespan(std::string_view relation,
-                     const std::vector<Value>& key, TimePoint at);
+                     const std::vector<Value>& key, TimePoint at)
+      EXCLUDES(mu_);
   Status Reincarnate(std::string_view relation,
-                     const std::vector<Value>& key, const Lifespan& span);
-  Status AddAttribute(std::string_view relation, AttributeDef def);
+                     const std::vector<Value>& key, const Lifespan& span)
+      EXCLUDES(mu_);
+  Status AddAttribute(std::string_view relation, AttributeDef def)
+      EXCLUDES(mu_);
   Status CloseAttribute(std::string_view relation, std::string_view attr,
-                        TimePoint at);
+                        TimePoint at) EXCLUDES(mu_);
   Status ReopenAttribute(std::string_view relation, std::string_view attr,
-                         const Lifespan& span);
+                         const Lifespan& span) EXCLUDES(mu_);
   Status RegisterForeignKey(std::string child,
                             std::vector<std::string> attrs,
-                            std::string parent);
-  Status CreateLifespanIndex(std::string_view relation);
-  Status CreateValueIndex(std::string_view relation, std::string_view attr);
+                            std::string parent) EXCLUDES(mu_);
+  Status CreateLifespanIndex(std::string_view relation) EXCLUDES(mu_);
+  Status CreateValueIndex(std::string_view relation, std::string_view attr)
+      EXCLUDES(mu_);
 
   // --- durability controls ---------------------------------------------------
 
   /// \brief Writes a compacted snapshot and rotates the WAL (see file
   /// comment for the crash-safe ordering).
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
 
   /// \brief Flushes the WAL to disk regardless of fsync policy.
-  Status Sync();
+  Status Sync() EXCLUDES(mu_);
 
   /// \brief Current checkpoint generation (0 before the first Checkpoint).
-  uint64_t generation() const { return generation_; }
+  /// Unserialized read, like db().
+  uint64_t generation() const NO_THREAD_SAFETY_ANALYSIS {
+    return generation_;
+  }
 
   /// \brief Records in the current-generation WAL (replayed + appended).
-  uint64_t wal_records() const { return wal_records_; }
+  /// Unserialized read, like db().
+  uint64_t wal_records() const NO_THREAD_SAFETY_ANALYSIS {
+    return wal_records_;
+  }
 
   /// \brief Paths of the live files (tests use these to injure them).
-  std::string wal_path() const;
-  std::string snapshot_path() const;
+  std::string wal_path() const EXCLUDES(mu_);
+  std::string snapshot_path() const EXCLUDES(mu_);
 
   const std::string& dir() const { return dir_; }
 
@@ -135,18 +156,30 @@ class StorageEngine {
 
   /// Applies `apply` to db_, and iff it succeeds appends `record` to the
   /// WAL (then maybe auto-checkpoints).
-  Status Logged(const std::string& record, Status apply_result);
+  Status Logged(const std::string& record, Status apply_result)
+      REQUIRES(mu_);
+
+  /// Checkpoint() body, factored out so Logged's auto-checkpoint can run
+  /// it under the already-held lock.
+  Status CheckpointLocked() REQUIRES(mu_);
 
   std::string PathOf(const std::string& file_name) const;
-  Status GarbageCollect();
+  Status GarbageCollect() REQUIRES(mu_);
 
   std::string dir_;
   Options options_;
-  Database db_;
-  uint64_t generation_ = 0;
-  uint64_t wal_records_ = 0;
+  /// Serializes logged mutations, Checkpoint(), and Sync(), so a future
+  /// multi-session server (ROADMAP item 2) can share one engine.
+  /// Heap-allocated to keep the engine movable; `mu_` below is the raw
+  /// alias clang's thread-safety analysis uses as the capability handle
+  /// (always equal to mu_owner_.get(), including after a move).
+  std::unique_ptr<util::Mutex> mu_owner_ = std::make_unique<util::Mutex>();
+  util::Mutex* mu_ = mu_owner_.get();
+  Database db_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  uint64_t wal_records_ GUARDED_BY(mu_) = 0;
   /// Engaged after Open; optional only so the private ctor can run first.
-  std::optional<WalWriter> wal_;
+  std::optional<WalWriter> wal_ GUARDED_BY(mu_);
 };
 
 inline Result<StorageEngine> StorageEngine::Open(const std::string& dir) {

@@ -1,0 +1,56 @@
+#ifndef HRDM_UTIL_THREAD_ANNOTATIONS_H_
+#define HRDM_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// \brief Clang thread-safety-analysis attribute macros.
+///
+/// These expand to Clang's `-Wthread-safety` attributes when compiling with
+/// clang and to nothing elsewhere, so gcc builds are unaffected. The CI lint
+/// job builds with clang and `-Werror=thread-safety`, turning the annotations
+/// in util/mutex.h, util/thread_pool.h, and storage/storage_engine.h into
+/// machine-checked locking contracts.
+///
+/// Naming follows the capability-based spelling from the Clang documentation:
+///
+///  * `GUARDED_BY(mu)`   — field may only be read or written with `mu` held.
+///  * `REQUIRES(mu)`     — function must be called with `mu` already held.
+///  * `EXCLUDES(mu)`     — function must be called with `mu` NOT held (it
+///                         acquires `mu` itself; prevents self-deadlock).
+///  * `ACQUIRE`/`RELEASE`/`TRY_ACQUIRE` — lock-primitive transitions.
+///  * `CAPABILITY`/`SCOPED_CAPABILITY` — class-level markers for mutexes and
+///                         RAII lock holders.
+
+#if defined(__clang__) && !defined(SWIG)
+#define HRDM_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HRDM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) HRDM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY HRDM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) HRDM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) HRDM_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define REQUIRES(...) \
+  HRDM_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) HRDM_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  HRDM_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  HRDM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  HRDM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define RETURN_CAPABILITY(x) HRDM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HRDM_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // HRDM_UTIL_THREAD_ANNOTATIONS_H_

@@ -6,6 +6,8 @@
 namespace hrdm::util {
 
 ThreadPool::ThreadPool(size_t workers) {
+  // Workers started here block on mu_ until construction finishes.
+  MutexLock lock(mu_);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -15,7 +17,7 @@ ThreadPool::ThreadPool(size_t workers) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 size_t ThreadPool::worker_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
@@ -23,7 +25,7 @@ std::future<void> ThreadPool::Submit(std::function<void(size_t)> fn) {
   std::packaged_task<void(size_t)> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!stopping_ && !workers_.empty()) {
       queue_.push_back(std::move(task));
       cv_.notify_one();
@@ -40,8 +42,10 @@ void ThreadPool::WorkerLoop(size_t id) {
   while (true) {
     std::packaged_task<void(size_t)> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // condition_variable_any waits on the annotated Mutex directly; mu_ is
+      // held again whenever the predicate runs and when the wait returns.
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -53,7 +57,7 @@ void ThreadPool::WorkerLoop(size_t id) {
 void ThreadPool::Shutdown() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
     workers.swap(workers_);
@@ -65,7 +69,7 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::EnsureWorkers(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_) return;
   while (workers_.size() < n) {
     const size_t id = workers_.size();

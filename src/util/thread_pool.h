@@ -41,11 +41,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hrdm::util {
 
@@ -63,30 +64,32 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Number of worker threads (0 for the inline pool).
-  size_t worker_count() const;
+  size_t worker_count() const EXCLUDES(mu_);
 
   /// \brief Enqueues `fn`; it runs on some worker, receiving that worker's
   /// id. The returned future completes when the task finishes and rethrows
   /// anything the task threw. Submitting after Shutdown() runs the task
   /// inline (the pool is still usable as a degenerate inline executor).
-  std::future<void> Submit(std::function<void(size_t worker_id)> fn);
+  std::future<void> Submit(std::function<void(size_t worker_id)> fn)
+      EXCLUDES(mu_);
 
   /// \brief Stops accepting queued work, runs every already-queued task,
   /// and joins all workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   /// \brief Grows the pool to at least `n` workers (never shrinks; no-op
   /// after Shutdown).
-  void EnsureWorkers(size_t n);
+  void EnsureWorkers(size_t n) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(size_t id);
+  void WorkerLoop(size_t id) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void(size_t)>> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  /// `_any` because it waits on the annotated Mutex, not std::mutex.
+  std::condition_variable_any cv_;
+  std::deque<std::packaged_task<void(size_t)>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief The process-wide pool shared by every parallel query operator,

@@ -1,0 +1,80 @@
+// Architecture linter (the CI lint gate):
+//
+//   hrdm_lint [REPO_ROOT]
+//
+// Walks `src/**` and `tests/**` (every .h/.cc file) under REPO_ROOT
+// (default: the current directory), loads `tools/lint_allowlist.txt`,
+// `docs/ARCHITECTURE.md` and `src/query/plan.h`, and runs every check in
+// tools/hrdm_lint_lib.h: layer-DAG include direction + cycles, closed-enum
+// switch discipline, banned constructs, PlanStats/doc parity, and
+// whitespace hygiene. Exit status is the number of findings (capped at
+// 255), so CI fails on any violation. See the library header for the
+// check catalog and docs/ARCHITECTURE.md "Static analysis & invariants"
+// for the rationale.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/hrdm_lint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [REPO_ROOT]\n", argv[0]);
+    return 64;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+
+  std::vector<hrdm::lint::SourceFile> files;
+  for (const char* dir : {"src", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) {
+      std::fprintf(stderr, "hrdm_lint: missing directory %s\n",
+                   base.string().c_str());
+      return 64;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      files.push_back({rel, ReadFile(entry.path())});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const hrdm::lint::SourceFile& a,
+               const hrdm::lint::SourceFile& b) { return a.path < b.path; });
+
+  hrdm::lint::Options options;
+  options.allowlist = ReadFile(root / "tools" / "lint_allowlist.txt");
+  options.architecture_md = ReadFile(root / "docs" / "ARCHITECTURE.md");
+  options.plan_header = ReadFile(root / "src" / "query" / "plan.h");
+
+  const std::vector<hrdm::lint::Finding> findings =
+      hrdm::lint::Run(files, options);
+  for (const hrdm::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                 f.check.c_str(), f.message.c_str());
+  }
+  std::printf("hrdm_lint: %zu file(s), %zu finding(s)\n", files.size(),
+              findings.size());
+  return findings.size() > 255 ? 255 : static_cast<int>(findings.size());
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Local mirror of the CI `lint` job (.github/workflows/ci.yml).
+#
+# Always runs the dependency-free architecture linter (tools/hrdm_lint.cc)
+# and, when the clang toolchain is installed, the clang-tidy and
+# clang-format passes over the same compilation database CI uses. Missing
+# tools are skipped with a notice so the script is useful on minimal
+# containers — hrdm_lint needs nothing beyond the C++ compiler that builds
+# the library.
+#
+# Usage: tools/lint.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+failed=0
+
+echo "== hrdm_lint (architecture linter) =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target hrdm_lint >/dev/null
+"$BUILD_DIR/hrdm_lint" . || failed=1
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The compilation database comes from CMAKE_EXPORT_COMPILE_COMMANDS.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "^$PWD/(src|tools)/.*" || failed=1
+  else
+    git ls-files 'src/*.cc' 'tools/*.cc' |
+      xargs clang-tidy -quiet -p "$BUILD_DIR" || failed=1
+  fi
+else
+  echo "clang-tidy not installed — skipped (runs in CI)"
+fi
+
+echo "== clang-format =="
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.h' '*.cc' |
+    xargs clang-format --dry-run -Werror || failed=1
+else
+  echo "clang-format not installed — skipped (runs in CI; hrdm_lint"
+  echo "hard-gates the whitespace slice: tabs, CRLF, trailing space)"
+fi
+
+echo "== clang build with -Werror=thread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B "$BUILD_DIR-clang" -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety" >/dev/null
+  cmake --build "$BUILD_DIR-clang" -j || failed=1
+else
+  echo "clang++ not installed — skipped (runs in CI; the annotations in"
+  echo "util/thread_annotations.h compile to no-ops under gcc)"
+fi
+
+exit "$failed"
