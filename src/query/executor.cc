@@ -16,6 +16,10 @@ Resolver DatabaseResolver(const storage::Database& db) {
   return [&db](std::string_view name) { return db.Get(name); };
 }
 
+Resolver VersionResolver(const storage::DatabaseVersion& version) {
+  return [&version](std::string_view name) { return version.Get(name); };
+}
+
 CardinalityFn CatalogCardinality(const storage::Catalog& catalog) {
   return [&catalog](std::string_view name) -> std::optional<size_t> {
     auto stats = catalog.Stats(name);
@@ -35,39 +39,84 @@ IndexCatalogFn CatalogIndexes(const storage::Catalog& catalog) {
   };
 }
 
-PlanOptions DatabasePlanOptions(const storage::Database& db) {
+namespace {
+
+// DatabasePlanOptions and VersionPlanOptions differ only in how the source
+// spells its catalog / relation / index accessors; these overloads let one
+// template build the hooks for both. Every hook re-resolves through the
+// source per call — for a live Database that means no reference captured
+// at options-build time can dangle across later mutations, and for a
+// pinned version every answer comes from the immutable snapshot.
+const storage::Catalog& CatalogOf(const storage::Database& db) {
+  return db.catalog();
+}
+const storage::Catalog& CatalogOf(const storage::DatabaseVersion& v) {
+  return v.catalog;
+}
+const storage::RelationIndexes* IndexesOf(const storage::Database& db,
+                                          std::string_view relation) {
+  return db.indexes(relation);
+}
+const storage::RelationIndexes* IndexesOf(const storage::DatabaseVersion& v,
+                                          std::string_view relation) {
+  return v.IndexesOf(relation);
+}
+Result<const Relation*> RelationOf(const storage::Database& db,
+                                   std::string_view relation) {
+  return db.Get(relation);
+}
+Result<const Relation*> RelationOf(const storage::DatabaseVersion& v,
+                                   std::string_view relation) {
+  return v.Get(relation);
+}
+
+template <typename Source>
+PlanOptions MakePlanOptions(const Source& src) {
   PlanOptions options;
-  options.cardinality = CatalogCardinality(db.catalog());
-  options.index_catalog = CatalogIndexes(db.catalog());
+  options.cardinality =
+      [&src](std::string_view name) -> std::optional<size_t> {
+    auto stats = CatalogOf(src).Stats(name);
+    if (!stats) return std::nullopt;
+    return stats->tuple_count;
+  };
+  options.index_catalog =
+      [&src](std::string_view name) -> std::optional<IndexInfo> {
+    auto spec = CatalogOf(src).Indexes(name);
+    if (!spec) return std::nullopt;
+    IndexInfo info;
+    info.lifespan = spec->lifespan;
+    info.value_attrs = std::move(spec->value_attrs);
+    return info;
+  };
   options.lifespan_probe =
-      [&db](std::string_view relation,
-            const Lifespan& window) -> std::optional<IndexProbeResult> {
-    const storage::RelationIndexes* ix = db.indexes(relation);
+      [&src](std::string_view relation,
+             const Lifespan& window) -> std::optional<IndexProbeResult> {
+    const storage::RelationIndexes* ix = IndexesOf(src, relation);
     if (!ix || !ix->has_lifespan()) return std::nullopt;
-    auto rel = db.Get(relation);
+    auto rel = RelationOf(src, relation);
     if (!rel.ok()) return std::nullopt;
     return IndexProbeResult{ix->lifespan()->Probe(window),
                             (*rel)->materialized()};
   };
   options.value_probe =
-      [&db](std::string_view relation, std::string_view attr,
-            const Value& key) -> std::optional<IndexProbeResult> {
-    const storage::RelationIndexes* ix = db.indexes(relation);
+      [&src](std::string_view relation, std::string_view attr,
+             const Value& key) -> std::optional<IndexProbeResult> {
+    const storage::RelationIndexes* ix = IndexesOf(src, relation);
     if (!ix) return std::nullopt;
     const storage::ValueIndex* vi = ix->value(attr);
     if (!vi) return std::nullopt;
-    auto rel = db.Get(relation);
+    auto rel = RelationOf(src, relation);
     if (!rel.ok()) return std::nullopt;
     return IndexProbeResult{vi->Probe(key), (*rel)->materialized()};
   };
   options.indexed_build =
-      [&db](std::string_view relation,
-            std::string_view attr) -> std::optional<IndexedBuildSide> {
-    const storage::RelationIndexes* ix = db.indexes(relation);
+      [&src](std::string_view relation,
+             std::string_view attr) -> std::optional<IndexedBuildSide> {
+    const storage::RelationIndexes* ix = IndexesOf(src, relation);
     if (!ix) return std::nullopt;
     const storage::ValueIndex* vi = ix->value(attr);
     if (!vi) return std::nullopt;
-    auto rel = db.Get(relation);
+    auto rel = RelationOf(src, relation);
     if (!rel.ok()) return std::nullopt;
     IndexedBuildSide build;
     build.materialized = (*rel)->materialized();
@@ -79,6 +128,16 @@ PlanOptions DatabasePlanOptions(const storage::Database& db) {
     return build;
   };
   return options;
+}
+
+}  // namespace
+
+PlanOptions DatabasePlanOptions(const storage::Database& db) {
+  return MakePlanOptions(db);
+}
+
+PlanOptions VersionPlanOptions(const storage::DatabaseVersion& version) {
+  return MakePlanOptions(version);
 }
 
 namespace {
@@ -107,6 +166,12 @@ Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver) {
 
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db) {
   return EvalStreaming(expr, DatabaseResolver(db), DatabasePlanOptions(db));
+}
+
+Result<Relation> Eval(const ExprPtr& expr,
+                      const storage::DatabaseVersion& version) {
+  return EvalStreaming(expr, VersionResolver(version),
+                       VersionPlanOptions(version));
 }
 
 namespace {
@@ -347,9 +412,20 @@ Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
   return EvalLifespan(expr, DatabaseResolver(db));
 }
 
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
+                              const storage::DatabaseVersion& version) {
+  return EvalLifespan(expr, VersionResolver(version));
+}
+
 Result<Relation> Run(std::string_view hrql, const storage::Database& db) {
   HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
   return Eval(expr, db);
+}
+
+Result<Relation> Run(std::string_view hrql,
+                     const storage::DatabaseVersion& version) {
+  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
+  return Eval(expr, version);
 }
 
 }  // namespace hrdm::query

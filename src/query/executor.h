@@ -22,6 +22,13 @@
 /// Because the algebra is multi-sorted, evaluation comes in two flavors —
 /// `Eval` for relation-sorted and `EvalLifespan` for lifespan-sorted
 /// expressions (where `when(e)` first evaluates `e` and then applies Ω).
+///
+/// Every entry point also has an overload taking a
+/// `storage::DatabaseVersion` — a pinned, immutable snapshot
+/// (storage/database_version.h). Those overloads are the multi-session
+/// read path: they touch no lock and no live engine state, so any number
+/// of threads can evaluate against their pinned versions while writers
+/// commit (src/session/session.h wraps this as `Session`).
 
 #include <cstdint>
 #include <functional>
@@ -42,6 +49,10 @@ using Resolver = std::function<Result<const Relation*>(std::string_view)>;
 /// \brief Wraps a Database as a Resolver.
 Resolver DatabaseResolver(const storage::Database& db);
 
+/// \brief Wraps a pinned database version as a Resolver. The version must
+/// outlive the returned function (hold the `DatabaseVersionPtr` pin).
+Resolver VersionResolver(const storage::DatabaseVersion& version);
+
 /// \brief Cardinality source reading the catalog's relation stats — feeds
 /// the optimizer's join-strategy chooser when evaluating against a
 /// Database. The catalog must outlive the returned function.
@@ -59,6 +70,12 @@ IndexCatalogFn CatalogIndexes(const storage::Catalog& catalog);
 /// benches start from it and set `force_*` knobs. `db` must outlive the
 /// returned options.
 PlanOptions DatabasePlanOptions(const storage::Database& db);
+
+/// \brief Planning hooks bound to one pinned version: same shape as
+/// `DatabasePlanOptions`, but every hook answers from the immutable
+/// snapshot — safe to use from any thread, concurrently with writers, for
+/// as long as the pin is held. The version must outlive the options.
+PlanOptions VersionPlanOptions(const storage::DatabaseVersion& version);
 
 /// \brief Counters for the materializing interpreter (the baseline the
 /// plan layer's PlanStats is compared against).
@@ -86,6 +103,8 @@ struct EvalStats {
 /// duplicated).
 Result<Relation> Eval(const ExprPtr& expr, const Resolver& resolver);
 Result<Relation> Eval(const ExprPtr& expr, const storage::Database& db);
+Result<Relation> Eval(const ExprPtr& expr,
+                      const storage::DatabaseVersion& version);
 
 /// \brief Evaluates via the materializing recursive interpreter: every
 /// operator node materializes a whole intermediate `Relation`. `stats`, if
@@ -102,9 +121,13 @@ Result<Relation> EvalMaterializing(const ExprPtr& expr,
 Result<Lifespan> EvalLifespan(const LsExprPtr& expr, const Resolver& resolver);
 Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
                               const storage::Database& db);
+Result<Lifespan> EvalLifespan(const LsExprPtr& expr,
+                              const storage::DatabaseVersion& version);
 
 /// \brief Convenience: parse and evaluate a relation-sorted HRQL string.
 Result<Relation> Run(std::string_view hrql, const storage::Database& db);
+Result<Relation> Run(std::string_view hrql,
+                     const storage::DatabaseVersion& version);
 
 }  // namespace hrdm::query
 

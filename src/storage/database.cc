@@ -3,63 +3,53 @@
 #include "storage/serializer.h"
 
 namespace hrdm::storage {
+namespace {
 
-Status Database::CreateRelation(std::string name,
-                                std::vector<AttributeDef> attributes,
-                                std::vector<std::string> key) {
-  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
-                        RelationScheme::Make(std::move(name),
-                                             std::move(attributes),
-                                             std::move(key)));
-  return CreateRelation(std::move(scheme));
-}
+// --- clone-on-shared mutation helpers ----------------------------------------
+//
+// Inside an Update the DatabaseVersion itself is private to the writer, but
+// its relation/index roots may still be shared with older pinned versions.
+// These helpers hand out mutable pointers, cloning a root first iff someone
+// else still holds it (`use_count() > 1`) — so pinned snapshots are never
+// written, and the unshared fast path mutates in place at original cost.
 
-Status Database::CreateRelation(SchemePtr scheme) {
-  HRDM_RETURN_IF_ERROR(catalog_.Register(scheme));
-  catalog_.SetTupleCount(scheme->name(), 0);
-  relations_.emplace(scheme->name(), Relation(scheme));
-  return Status::OK();
-}
-
-Status Database::DropRelation(std::string_view name) {
-  HRDM_RETURN_IF_ERROR(catalog_.Drop(name));
-  relations_.erase(relations_.find(name));
-  if (auto it = indexes_.find(name); it != indexes_.end()) indexes_.erase(it);
-  for (const ForeignKey& fk : fks_) {
-    if (fk.child == name || fk.parent == name) {
-      // Drop dependent FK declarations silently; integrity of the rest is
-      // unaffected.
-    }
-  }
-  std::erase_if(fks_, [&](const ForeignKey& fk) {
-    return fk.child == name || fk.parent == name;
-  });
-  return Status::OK();
-}
-
-std::vector<std::string> Database::RelationNames() const {
-  return catalog_.Names();
-}
-
-Result<const Relation*> Database::Get(std::string_view name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) {
+Result<Relation*> MutableRelation(DatabaseVersion& v, std::string_view name) {
+  auto it = v.relations.find(name);
+  if (it == v.relations.end()) {
     return Status::NotFound("relation " + std::string(name) + " not found");
   }
-  return &it->second;
-}
-
-Result<Relation*> Database::GetMutable(std::string_view name) {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) {
-    return Status::NotFound("relation " + std::string(name) + " not found");
+  if (it->second.use_count() > 1) {
+    it->second = std::make_shared<Relation>(*it->second);
   }
-  return &it->second;
+  return it->second.get();
 }
 
-Status Database::Rebind(std::string_view relation) {
-  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, catalog_.Get(relation));
-  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
+RelationIndexes* MutableIndexesIfAny(DatabaseVersion& v,
+                                     std::string_view name) {
+  auto it = v.indexes.find(name);
+  if (it == v.indexes.end()) return nullptr;
+  if (it->second.use_count() > 1) {
+    it->second = std::make_shared<RelationIndexes>(*it->second);
+  }
+  return it->second.get();
+}
+
+RelationIndexes* MutableIndexesEntry(DatabaseVersion& v,
+                                     std::string_view name) {
+  auto it = v.indexes.find(name);
+  if (it == v.indexes.end()) {
+    it = v.indexes
+             .emplace(std::string(name), std::make_shared<RelationIndexes>())
+             .first;
+  } else if (it->second.use_count() > 1) {
+    it->second = std::make_shared<RelationIndexes>(*it->second);
+  }
+  return it->second.get();
+}
+
+Status RebindLocked(DatabaseVersion& v, std::string_view relation) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme, v.catalog.Get(relation));
+  HRDM_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(v, relation));
   Relation rebound(scheme);
   for (const Tuple& t : *rel) {
     HRDM_RETURN_IF_ERROR(rebound.Insert(t.Rebind(scheme)));
@@ -67,68 +57,14 @@ Status Database::Rebind(std::string_view relation) {
   *rel = std::move(rebound);
   // Every tuple object was replaced, so incremental index maintenance
   // cannot apply: rebuild against the evolved scheme.
-  if (auto it = indexes_.find(relation); it != indexes_.end()) {
-    HRDM_RETURN_IF_ERROR(it->second.Rebuild(*rel));
+  if (RelationIndexes* idx = MutableIndexesIfAny(v, relation)) {
+    HRDM_RETURN_IF_ERROR(idx->Rebuild(*rel));
   }
   return Status::OK();
 }
 
-// --- access-path indexes -----------------------------------------------------
-
-Status Database::CreateLifespanIndex(std::string_view relation) {
-  HRDM_ASSIGN_OR_RETURN(const Relation* rel, Get(relation));
-  HRDM_RETURN_IF_ERROR(catalog_.RegisterLifespanIndex(relation));
-  indexes_[std::string(relation)].EnableLifespan(*rel);
-  return Status::OK();
-}
-
-Status Database::CreateValueIndex(std::string_view relation,
-                                  std::string_view attr) {
-  HRDM_ASSIGN_OR_RETURN(const Relation* rel, Get(relation));
-  HRDM_ASSIGN_OR_RETURN(size_t attr_index,
-                        rel->scheme()->RequireIndex(attr));
-  HRDM_RETURN_IF_ERROR(catalog_.RegisterValueIndex(relation, attr));
-  indexes_[std::string(relation)].EnableValue(*rel, std::string(attr),
-                                              attr_index);
-  return Status::OK();
-}
-
-const RelationIndexes* Database::indexes(std::string_view relation) const {
-  auto it = indexes_.find(relation);
-  if (it == indexes_.end()) return nullptr;
-  return &it->second;
-}
-
-Status Database::AddAttribute(std::string_view relation, AttributeDef def) {
-  HRDM_RETURN_IF_ERROR(catalog_.AddAttribute(relation, std::move(def)));
-  return Rebind(relation);
-}
-
-Status Database::CloseAttribute(std::string_view relation,
-                                std::string_view attr, TimePoint at) {
-  HRDM_RETURN_IF_ERROR(catalog_.CloseAttribute(relation, attr, at));
-  return Rebind(relation);
-}
-
-Status Database::ReopenAttribute(std::string_view relation,
-                                 std::string_view attr,
-                                 const Lifespan& span) {
-  HRDM_RETURN_IF_ERROR(catalog_.ReopenAttribute(relation, attr, span));
-  return Rebind(relation);
-}
-
-Status Database::Insert(std::string_view relation, Tuple t) {
-  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
-  HRDM_RETURN_IF_ERROR(rel->Insert(std::move(t)));
-  catalog_.SetTupleCount(relation, rel->size());
-  if (auto it = indexes_.find(relation); it != indexes_.end()) {
-    it->second.OnInsert(rel->tuple_ptr(rel->size() - 1));
-  }
-  return Status::OK();
-}
-
-Result<size_t> Database::RequireTuple(const Relation& rel,
-                                      const std::vector<Value>& key) const {
+Result<size_t> RequireTuple(const Relation& rel,
+                            const std::vector<Value>& key) {
   auto idx = rel.FindByKey(key);
   if (!idx.has_value()) {
     std::string key_str;
@@ -142,55 +78,172 @@ Result<size_t> Database::RequireTuple(const Relation& rel,
   return *idx;
 }
 
+}  // namespace
+
+Database::Database()
+    : versions_(std::make_unique<util::VersionCell<DatabaseVersion>>(
+          std::make_shared<DatabaseVersion>())) {}
+
+template <typename Fn>
+Status Database::Mutate(Fn&& fn) {
+  return versions_->Update([&](DatabaseVersion& v) -> Status {
+    Status s = fn(v);
+    if (s.ok()) ++v.id;
+    return s;
+  });
+}
+
+Status Database::CreateRelation(std::string name,
+                                std::vector<AttributeDef> attributes,
+                                std::vector<std::string> key) {
+  HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
+                        RelationScheme::Make(std::move(name),
+                                             std::move(attributes),
+                                             std::move(key)));
+  return CreateRelation(std::move(scheme));
+}
+
+Status Database::CreateRelation(SchemePtr scheme) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_RETURN_IF_ERROR(v.catalog.Register(scheme));
+    v.catalog.SetTupleCount(scheme->name(), 0);
+    v.relations.emplace(scheme->name(), std::make_shared<Relation>(scheme));
+    return Status::OK();
+  });
+}
+
+Status Database::DropRelation(std::string_view name) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_RETURN_IF_ERROR(v.catalog.Drop(name));
+    v.relations.erase(v.relations.find(name));
+    if (auto it = v.indexes.find(name); it != v.indexes.end()) {
+      v.indexes.erase(it);
+    }
+    // Drop dependent FK declarations silently; integrity of the rest is
+    // unaffected.
+    std::erase_if(v.fks, [&](const ForeignKey& fk) {
+      return fk.child == name || fk.parent == name;
+    });
+    return Status::OK();
+  });
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  return versions_->Peek().catalog.Names();
+}
+
+// --- access-path indexes -----------------------------------------------------
+
+Status Database::CreateLifespanIndex(std::string_view relation) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(const Relation* rel, v.Get(relation));
+    HRDM_RETURN_IF_ERROR(v.catalog.RegisterLifespanIndex(relation));
+    MutableIndexesEntry(v, relation)->EnableLifespan(*rel);
+    return Status::OK();
+  });
+}
+
+Status Database::CreateValueIndex(std::string_view relation,
+                                  std::string_view attr) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(const Relation* rel, v.Get(relation));
+    HRDM_ASSIGN_OR_RETURN(size_t attr_index,
+                          rel->scheme()->RequireIndex(attr));
+    HRDM_RETURN_IF_ERROR(v.catalog.RegisterValueIndex(relation, attr));
+    MutableIndexesEntry(v, relation)
+        ->EnableValue(*rel, std::string(attr), attr_index);
+    return Status::OK();
+  });
+}
+
+Status Database::AddAttribute(std::string_view relation, AttributeDef def) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_RETURN_IF_ERROR(v.catalog.AddAttribute(relation, std::move(def)));
+    return RebindLocked(v, relation);
+  });
+}
+
+Status Database::CloseAttribute(std::string_view relation,
+                                std::string_view attr, TimePoint at) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_RETURN_IF_ERROR(v.catalog.CloseAttribute(relation, attr, at));
+    return RebindLocked(v, relation);
+  });
+}
+
+Status Database::ReopenAttribute(std::string_view relation,
+                                 std::string_view attr,
+                                 const Lifespan& span) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_RETURN_IF_ERROR(v.catalog.ReopenAttribute(relation, attr, span));
+    return RebindLocked(v, relation);
+  });
+}
+
+Status Database::Insert(std::string_view relation, Tuple t) {
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(v, relation));
+    HRDM_RETURN_IF_ERROR(rel->Insert(std::move(t)));
+    v.catalog.SetTupleCount(relation, rel->size());
+    if (RelationIndexes* idx = MutableIndexesIfAny(v, relation)) {
+      idx->OnInsert(rel->tuple_ptr(rel->size() - 1));
+    }
+    return Status::OK();
+  });
+}
+
 Status Database::Assign(std::string_view relation,
                         const std::vector<Value>& key, std::string_view attr,
                         const Lifespan& span, const Value& value) {
-  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
-  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
-  const Tuple& t = rel->tuple(idx);
-  HRDM_ASSIGN_OR_RETURN(size_t ai, rel->scheme()->RequireIndex(attr));
-  if (rel->scheme()->IsKey(ai)) {
-    return Status::ConstraintViolation(
-        "cannot Assign to key attribute " + std::string(attr) +
-        " (keys are constant-valued)");
-  }
-  if (value.absent() || value.type() != rel->scheme()->attribute(ai).type) {
-    return Status::TypeError(
-        "Assign to " + std::string(attr) + " expects " +
-        std::string(DomainTypeName(rel->scheme()->attribute(ai).type)) +
-        ", got " +
-        (value.absent() ? "absent" : std::string(DomainTypeName(value.type()))));
-  }
-  const Lifespan vls = t.Vls(ai);
-  if (!vls.ContainsAll(span)) {
-    return Status::ConstraintViolation(
-        "Assign span " + span.ToString() + " escapes vls " + vls.ToString() +
-        " of " + std::string(attr));
-  }
-  // Overwrite: keep old values outside `span`, write `value` over `span`.
-  const TemporalValue& old = t.value(ai);
-  HRDM_ASSIGN_OR_RETURN(TemporalValue fresh,
-                        TemporalValue::Constant(span, value));
-  std::vector<Segment> segs =
-      old.Restrict(old.domain().Difference(span)).segments();
-  const auto& fresh_segs = fresh.segments();
-  segs.insert(segs.end(), fresh_segs.begin(), fresh_segs.end());
-  HRDM_ASSIGN_OR_RETURN(TemporalValue merged,
-                        TemporalValue::FromSegments(std::move(segs)));
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(v, relation));
+    HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+    const Tuple& t = rel->tuple(idx);
+    HRDM_ASSIGN_OR_RETURN(size_t ai, rel->scheme()->RequireIndex(attr));
+    if (rel->scheme()->IsKey(ai)) {
+      return Status::ConstraintViolation(
+          "cannot Assign to key attribute " + std::string(attr) +
+          " (keys are constant-valued)");
+    }
+    if (value.absent() || value.type() != rel->scheme()->attribute(ai).type) {
+      return Status::TypeError(
+          "Assign to " + std::string(attr) + " expects " +
+          std::string(DomainTypeName(rel->scheme()->attribute(ai).type)) +
+          ", got " +
+          (value.absent() ? "absent"
+                          : std::string(DomainTypeName(value.type()))));
+    }
+    const Lifespan vls = t.Vls(ai);
+    if (!vls.ContainsAll(span)) {
+      return Status::ConstraintViolation(
+          "Assign span " + span.ToString() + " escapes vls " +
+          vls.ToString() + " of " + std::string(attr));
+    }
+    // Overwrite: keep old values outside `span`, write `value` over `span`.
+    const TemporalValue& old = t.value(ai);
+    HRDM_ASSIGN_OR_RETURN(TemporalValue fresh,
+                          TemporalValue::Constant(span, value));
+    std::vector<Segment> segs =
+        old.Restrict(old.domain().Difference(span)).segments();
+    const auto& fresh_segs = fresh.segments();
+    segs.insert(segs.end(), fresh_segs.begin(), fresh_segs.end());
+    HRDM_ASSIGN_OR_RETURN(TemporalValue merged,
+                          TemporalValue::FromSegments(std::move(segs)));
 
-  std::vector<TemporalValue> values;
-  values.reserve(t.arity());
-  for (size_t i = 0; i < t.arity(); ++i) {
-    values.push_back(i == ai ? merged : t.value(i));
-  }
-  const TuplePtr old_tuple = rel->tuple_ptr(idx);
-  HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
-      idx,
-      Tuple::FromParts(rel->scheme(), t.lifespan(), std::move(values))));
-  if (auto it = indexes_.find(relation); it != indexes_.end()) {
-    it->second.OnReplace(old_tuple, rel->tuple_ptr(idx));
-  }
-  return Status::OK();
+    std::vector<TemporalValue> values;
+    values.reserve(t.arity());
+    for (size_t i = 0; i < t.arity(); ++i) {
+      values.push_back(i == ai ? merged : t.value(i));
+    }
+    const TuplePtr old_tuple = rel->tuple_ptr(idx);
+    HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
+        idx,
+        Tuple::FromParts(rel->scheme(), t.lifespan(), std::move(values))));
+    if (RelationIndexes* rix = MutableIndexesIfAny(v, relation)) {
+      rix->OnReplace(old_tuple, rel->tuple_ptr(idx));
+    }
+    return Status::OK();
+  });
 }
 
 Status Database::AssignAt(std::string_view relation,
@@ -202,120 +255,92 @@ Status Database::AssignAt(std::string_view relation,
 
 Status Database::EndLifespan(std::string_view relation,
                              const std::vector<Value>& key, TimePoint at) {
-  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
-  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
-  const Tuple& t = rel->tuple(idx);
-  const Lifespan& l = t.lifespan();
-  const Lifespan remaining =
-      l.empty() ? l : l.Intersect(Span(l.Min(), at - 1));
-  const TuplePtr old = rel->tuple_ptr(idx);
-  if (remaining.empty()) {
-    HRDM_RETURN_IF_ERROR(rel->EraseAt(idx));
-    catalog_.SetTupleCount(relation, rel->size());
-    if (auto it = indexes_.find(relation); it != indexes_.end()) {
-      it->second.OnRemove(old);
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(v, relation));
+    HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+    const Tuple& t = rel->tuple(idx);
+    const Lifespan& l = t.lifespan();
+    const Lifespan remaining =
+        l.empty() ? l : l.Intersect(Span(l.Min(), at - 1));
+    const TuplePtr old = rel->tuple_ptr(idx);
+    if (remaining.empty()) {
+      HRDM_RETURN_IF_ERROR(rel->EraseAt(idx));
+      v.catalog.SetTupleCount(relation, rel->size());
+      if (RelationIndexes* rix = MutableIndexesIfAny(v, relation)) {
+        rix->OnRemove(old);
+      }
+      return Status::OK();
+    }
+    HRDM_RETURN_IF_ERROR(
+        rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme())));
+    if (RelationIndexes* rix = MutableIndexesIfAny(v, relation)) {
+      rix->OnReplace(old, rel->tuple_ptr(idx));
     }
     return Status::OK();
-  }
-  HRDM_RETURN_IF_ERROR(
-      rel->ReplaceAt(idx, t.Restrict(remaining, rel->scheme())));
-  if (auto it = indexes_.find(relation); it != indexes_.end()) {
-    it->second.OnReplace(old, rel->tuple_ptr(idx));
-  }
-  return Status::OK();
+  });
 }
 
 Status Database::Reincarnate(std::string_view relation,
                              const std::vector<Value>& key,
                              const Lifespan& span) {
-  HRDM_ASSIGN_OR_RETURN(Relation * rel, GetMutable(relation));
-  HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
-  const Tuple& t = rel->tuple(idx);
-  const SchemePtr& scheme = rel->scheme();
-  Lifespan extended = t.lifespan().Union(span);
-  std::vector<TemporalValue> values;
-  values.reserve(t.arity());
-  for (size_t i = 0; i < t.arity(); ++i) {
-    if (scheme->IsKey(i)) {
-      // Keys stay constant and total over the extended vls.
-      const Lifespan vls = extended.Intersect(scheme->AttributeLifespan(i));
-      HRDM_ASSIGN_OR_RETURN(
-          TemporalValue kv,
-          TemporalValue::Constant(vls, t.value(i).ConstantValue()));
-      values.push_back(std::move(kv));
-    } else {
-      values.push_back(t.value(i));
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(Relation * rel, MutableRelation(v, relation));
+    HRDM_ASSIGN_OR_RETURN(size_t idx, RequireTuple(*rel, key));
+    const Tuple& t = rel->tuple(idx);
+    const SchemePtr& scheme = rel->scheme();
+    Lifespan extended = t.lifespan().Union(span);
+    std::vector<TemporalValue> values;
+    values.reserve(t.arity());
+    for (size_t i = 0; i < t.arity(); ++i) {
+      if (scheme->IsKey(i)) {
+        // Keys stay constant and total over the extended vls.
+        const Lifespan vls = extended.Intersect(scheme->AttributeLifespan(i));
+        HRDM_ASSIGN_OR_RETURN(
+            TemporalValue kv,
+            TemporalValue::Constant(vls, t.value(i).ConstantValue()));
+        values.push_back(std::move(kv));
+      } else {
+        values.push_back(t.value(i));
+      }
     }
-  }
-  const TuplePtr old = rel->tuple_ptr(idx);
-  HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
-      idx,
-      Tuple::FromParts(scheme, std::move(extended), std::move(values))));
-  if (auto it = indexes_.find(relation); it != indexes_.end()) {
-    it->second.OnReplace(old, rel->tuple_ptr(idx));
-  }
-  return Status::OK();
+    const TuplePtr old = rel->tuple_ptr(idx);
+    HRDM_RETURN_IF_ERROR(rel->ReplaceAt(
+        idx,
+        Tuple::FromParts(scheme, std::move(extended), std::move(values))));
+    if (RelationIndexes* rix = MutableIndexesIfAny(v, relation)) {
+      rix->OnReplace(old, rel->tuple_ptr(idx));
+    }
+    return Status::OK();
+  });
 }
 
 Status Database::RegisterForeignKey(std::string child,
                                     std::vector<std::string> attrs,
                                     std::string parent) {
-  HRDM_ASSIGN_OR_RETURN(const Relation* c, Get(child));
-  HRDM_ASSIGN_OR_RETURN(const Relation* p, Get(parent));
-  // Validate arity/domains now so bad declarations fail early.
-  if (p->scheme()->key().empty()) {
-    return Status::InvalidArgument("FK parent " + parent + " has no key");
-  }
-  if (attrs.size() != p->scheme()->key().size()) {
-    return Status::InvalidArgument(
-        "FK attribute count does not match parent key arity");
-  }
-  for (size_t k = 0; k < attrs.size(); ++k) {
-    HRDM_ASSIGN_OR_RETURN(size_t ci, c->scheme()->RequireIndex(attrs[k]));
-    const size_t pi = p->scheme()->key_indices()[k];
-    if (c->scheme()->attribute(ci).type != p->scheme()->attribute(pi).type) {
-      return Status::TypeError("FK attribute " + attrs[k] +
-                               " domain does not match parent key");
+  return Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(const Relation* c, v.Get(child));
+    HRDM_ASSIGN_OR_RETURN(const Relation* p, v.Get(parent));
+    // Validate arity/domains now so bad declarations fail early.
+    if (p->scheme()->key().empty()) {
+      return Status::InvalidArgument("FK parent " + parent + " has no key");
     }
-  }
-  fks_.push_back(ForeignKey{std::move(child), std::move(attrs),
-                            std::move(parent)});
-  return Status::OK();
-}
-
-Result<std::vector<Violation>> Database::CheckIntegrity() const {
-  std::vector<Violation> all;
-  for (const auto& [name, rel] : relations_) {
-    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
-                          CheckRelationWellFormed(rel));
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  for (const ForeignKey& fk : fks_) {
-    HRDM_ASSIGN_OR_RETURN(const Relation* child, Get(fk.child));
-    HRDM_ASSIGN_OR_RETURN(const Relation* parent, Get(fk.parent));
-    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
-                          CheckTemporalForeignKey(*child, fk.attrs, *parent));
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  return all;
-}
-
-std::string Database::EncodeSnapshot() const {
-  std::string out;
-  PutVarint(&out, kSnapshotMagic);
-  PutVarint(&out, kSnapshotVersion);
-  PutVarint(&out, relations_.size());
-  for (const auto& [name, rel] : relations_) {
-    EncodeRelation(&out, rel);
-  }
-  PutVarint(&out, fks_.size());
-  for (const ForeignKey& fk : fks_) {
-    PutString(&out, fk.child);
-    PutVarint(&out, fk.attrs.size());
-    for (const std::string& a : fk.attrs) PutString(&out, a);
-    PutString(&out, fk.parent);
-  }
-  return out;
+    if (attrs.size() != p->scheme()->key().size()) {
+      return Status::InvalidArgument(
+          "FK attribute count does not match parent key arity");
+    }
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      HRDM_ASSIGN_OR_RETURN(size_t ci, c->scheme()->RequireIndex(attrs[k]));
+      const size_t pi = p->scheme()->key_indices()[k];
+      if (c->scheme()->attribute(ci).type !=
+          p->scheme()->attribute(pi).type) {
+        return Status::TypeError("FK attribute " + attrs[k] +
+                                 " domain does not match parent key");
+      }
+    }
+    v.fks.push_back(ForeignKey{std::move(child), std::move(attrs),
+                               std::move(parent)});
+    return Status::OK();
+  });
 }
 
 Result<Database> Database::DecodeSnapshot(std::string_view data) {
@@ -329,57 +354,34 @@ Result<Database> Database::DecodeSnapshot(std::string_view data) {
     return Status::Corruption("unsupported snapshot version");
   }
   Database db;
-  HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
-  for (uint64_t i = 0; i < n; ++i) {
-    HRDM_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
-    HRDM_RETURN_IF_ERROR(db.catalog_.Register(rel.scheme()));
-    db.catalog_.SetTupleCount(rel.scheme()->name(), rel.size());
-    db.relations_.emplace(rel.scheme()->name(), std::move(rel));
-  }
-  HRDM_ASSIGN_OR_RETURN(uint64_t fk_n, r.GetVarint());
-  for (uint64_t i = 0; i < fk_n; ++i) {
-    ForeignKey fk;
-    HRDM_ASSIGN_OR_RETURN(fk.child, r.GetString());
-    HRDM_ASSIGN_OR_RETURN(uint64_t attr_n, r.GetVarint());
-    for (uint64_t k = 0; k < attr_n; ++k) {
-      HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
-      fk.attrs.push_back(std::move(a));
+  HRDM_RETURN_IF_ERROR(db.Mutate([&](DatabaseVersion& v) -> Status {
+    HRDM_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+    for (uint64_t i = 0; i < n; ++i) {
+      HRDM_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
+      HRDM_RETURN_IF_ERROR(v.catalog.Register(rel.scheme()));
+      v.catalog.SetTupleCount(rel.scheme()->name(), rel.size());
+      std::string name = rel.scheme()->name();
+      v.relations.emplace(std::move(name),
+                          std::make_shared<Relation>(std::move(rel)));
     }
-    HRDM_ASSIGN_OR_RETURN(fk.parent, r.GetString());
-    db.fks_.push_back(std::move(fk));
-  }
-  if (!r.AtEnd()) {
-    return Status::Corruption("trailing bytes after snapshot");
-  }
-  return db;
-}
-
-std::string Database::ToString() const {
-  std::string out;
-  for (const auto& [name, rel] : relations_) {
-    out += "== " + name + " ==\n";
-    out += rel.scheme()->ToString();
-    out += "\n";
-    out += rel.ToString();
-    if (const std::optional<IndexSpec> spec = catalog_.Indexes(name);
-        spec.has_value()) {
-      out += "indexes:";
-      if (spec->lifespan) out += " lifespan";
-      for (const std::string& attr : spec->value_attrs) {
-        out += " value(" + attr + ")";
+    HRDM_ASSIGN_OR_RETURN(uint64_t fk_n, r.GetVarint());
+    for (uint64_t i = 0; i < fk_n; ++i) {
+      ForeignKey fk;
+      HRDM_ASSIGN_OR_RETURN(fk.child, r.GetString());
+      HRDM_ASSIGN_OR_RETURN(uint64_t attr_n, r.GetVarint());
+      for (uint64_t k = 0; k < attr_n; ++k) {
+        HRDM_ASSIGN_OR_RETURN(std::string a, r.GetString());
+        fk.attrs.push_back(std::move(a));
       }
-      out += "\n";
+      HRDM_ASSIGN_OR_RETURN(fk.parent, r.GetString());
+      v.fks.push_back(std::move(fk));
     }
-  }
-  for (const ForeignKey& fk : fks_) {
-    out += "fk: " + fk.child + "(";
-    for (size_t i = 0; i < fk.attrs.size(); ++i) {
-      if (i > 0) out += ",";
-      out += fk.attrs[i];
+    if (!r.AtEnd()) {
+      return Status::Corruption("trailing bytes after snapshot");
     }
-    out += ") -> " + fk.parent + "\n";
-  }
-  return out;
+    return Status::OK();
+  }));
+  return db;
 }
 
 Status Database::Save(const std::string& path) const {

@@ -22,6 +22,24 @@
 ///  * temporal referential integrity — registered foreign keys are checked
 ///    over the temporal dimension (Section 1's student/course example).
 ///
+/// Versioning: the whole state — catalog, relation roots, indexes, foreign
+/// keys — lives in one immutable `DatabaseVersion`
+/// (storage/database_version.h) published through a `util::VersionCell`.
+/// Every committed mutation produces the next version; `CurrentVersion()`
+/// pins the latest one in O(1) and the pinned snapshot stays readable,
+/// lock-free and bit-stable, for as long as the handle lives — the
+/// foundation of the multi-session snapshot-isolation layer
+/// (src/session/session.h). With no pin outstanding, mutations run in
+/// place (the single-session fast path); with pins outstanding they
+/// copy-on-write only the relation roots they touch.
+///
+/// Thread contract: const accessors are internally synchronized (each
+/// reads one consistent version). Mutators may be called from several
+/// threads (the cell serializes them), but references previously returned
+/// by `catalog()` / `Get()` are only stable on the mutating thread until
+/// its next mutation — concurrent readers must hold a `CurrentVersion()`
+/// pin (or a Session) instead of raw references.
+///
 /// Access paths: `CreateLifespanIndex`/`CreateValueIndex` build storage
 /// indexes (storage/index.h) that the engine keeps in sync through every
 /// DML mutation above (and rebuilds wholesale after schema evolution, which
@@ -36,35 +54,40 @@
 /// index registrations) use storage/storage_engine.h, which wraps this
 /// class.
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "constraints/constraints.h"
-#include "core/relation.h"
 #include "storage/catalog.h"
-#include "storage/index.h"
+#include "storage/database_version.h"
 #include "util/status.h"
+#include "util/version_cell.h"
 
 namespace hrdm::storage {
 
-/// \brief A registered temporal foreign key: child.attrs -> parent key.
-struct ForeignKey {
-  std::string child;
-  std::vector<std::string> attrs;
-  std::string parent;
-};
-
-/// \brief An in-memory HRDM database with snapshot persistence.
+/// \brief An in-memory HRDM database with snapshot persistence and an
+/// atomically-published version chain.
 class Database {
  public:
-  Database() = default;
+  Database();
 
   // Movable, not copyable (relations can be large).
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // --- versioned reads --------------------------------------------------------
+
+  /// \brief Pins the current version: O(1), and the snapshot stays
+  /// immutable and lock-free to read for the pin's whole lifetime.
+  DatabaseVersionPtr CurrentVersion() const { return versions_->Pin(); }
+
+  /// \brief The publish cell itself (stable address across Database moves;
+  /// the storage engine aliases it for its lock-free session read path).
+  const util::VersionCell<DatabaseVersion>& version_cell() const {
+    return *versions_;
+  }
 
   // --- schema ---------------------------------------------------------------
 
@@ -78,12 +101,18 @@ class Database {
 
   Status DropRelation(std::string_view name);
 
-  const Catalog& catalog() const { return catalog_; }
+  /// \brief The current catalog. The reference is stable on the calling
+  /// thread until that thread's next mutation; cross-thread readers pin a
+  /// version instead.
+  const Catalog& catalog() const { return versions_->Peek().catalog; }
 
   std::vector<std::string> RelationNames() const;
 
-  /// \brief Read access to a stored relation.
-  Result<const Relation*> Get(std::string_view name) const;
+  /// \brief Read access to a stored relation (same stability contract as
+  /// `catalog()`).
+  Result<const Relation*> Get(std::string_view name) const {
+    return versions_->Peek().Get(name);
+  }
 
   // --- schema evolution (Figure 6) -------------------------------------------
 
@@ -134,7 +163,10 @@ class Database {
 
   /// \brief The index set of `relation`, kept in sync with every DML
   /// mutation; null when the relation has no indexes (or does not exist).
-  const RelationIndexes* indexes(std::string_view relation) const;
+  /// Same stability contract as `catalog()`.
+  const RelationIndexes* indexes(std::string_view relation) const {
+    return versions_->Peek().IndexesOf(relation);
+  }
 
   // --- integrity ---------------------------------------------------------------
 
@@ -143,12 +175,16 @@ class Database {
                             std::vector<std::string> attrs,
                             std::string parent);
 
-  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return versions_->Peek().fks;
+  }
 
   /// \brief Runs all integrity checks: per-relation well-formedness plus
   /// every registered temporal foreign key. Returns the full violation
   /// list (empty == healthy).
-  Result<std::vector<Violation>> CheckIntegrity() const;
+  Result<std::vector<Violation>> CheckIntegrity() const {
+    return CurrentVersion()->CheckIntegrity();
+  }
 
   // --- persistence ----------------------------------------------------------------
 
@@ -159,31 +195,28 @@ class Database {
   static Result<Database> Load(const std::string& path);
 
   /// \brief Serializes to a buffer (used by Save and tests).
-  std::string EncodeSnapshot() const;
+  std::string EncodeSnapshot() const {
+    return CurrentVersion()->EncodeSnapshot();
+  }
 
   /// \brief Decodes a snapshot buffer.
   static Result<Database> DecodeSnapshot(std::string_view data);
 
-  /// \brief Canonical human-readable rendering of the whole database:
-  /// every relation (scheme + full tuple history, in stored order), the
-  /// registered foreign keys and the index registrations. Two databases
-  /// with equal ToString() are operationally identical, which is what the
-  /// crash-recovery suites assert after replaying a durable prefix.
-  std::string ToString() const;
+  /// \brief Canonical human-readable rendering of the whole database (see
+  /// DatabaseVersion::ToString — the recovery- and isolation-equality
+  /// oracle).
+  std::string ToString() const { return CurrentVersion()->ToString(); }
 
  private:
-  Result<Relation*> GetMutable(std::string_view name);
-  Result<size_t> RequireTuple(const Relation& rel,
-                              const std::vector<Value>& key) const;
-  /// Rebinds every tuple of `relation` to the catalog's current scheme.
-  Status Rebind(std::string_view relation);
+  /// Runs `fn(DatabaseVersion&)` through the version cell (in place when
+  /// unpinned, copy-on-write otherwise) and bumps the version id iff it
+  /// succeeds.
+  template <typename Fn>
+  Status Mutate(Fn&& fn);
 
-  Catalog catalog_;
-  std::map<std::string, Relation, std::less<>> relations_;
-  /// Access-path indexes per relation (only relations with index DDL have
-  /// an entry), maintained by every mutating operation above.
-  std::map<std::string, RelationIndexes, std::less<>> indexes_;
-  std::vector<ForeignKey> fks_;
+  /// The version chain head. Heap-allocated so the cell's address (which
+  /// the storage engine aliases) survives Database moves.
+  std::unique_ptr<util::VersionCell<DatabaseVersion>> versions_;
 };
 
 }  // namespace hrdm::storage

@@ -1,0 +1,85 @@
+#include "storage/database_version.h"
+
+#include "storage/serializer.h"
+
+namespace hrdm::storage {
+
+Result<const Relation*> DatabaseVersion::Get(std::string_view name) const {
+  auto it = relations.find(name);
+  if (it == relations.end()) {
+    return Status::NotFound("relation " + std::string(name) + " not found");
+  }
+  return it->second.get();
+}
+
+const RelationIndexes* DatabaseVersion::IndexesOf(
+    std::string_view relation) const {
+  auto it = indexes.find(relation);
+  if (it == indexes.end()) return nullptr;
+  return it->second.get();
+}
+
+Result<std::vector<Violation>> DatabaseVersion::CheckIntegrity() const {
+  std::vector<Violation> all;
+  for (const auto& [name, rel] : relations) {
+    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
+                          CheckRelationWellFormed(*rel));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  for (const ForeignKey& fk : fks) {
+    HRDM_ASSIGN_OR_RETURN(const Relation* child, Get(fk.child));
+    HRDM_ASSIGN_OR_RETURN(const Relation* parent, Get(fk.parent));
+    HRDM_ASSIGN_OR_RETURN(std::vector<Violation> v,
+                          CheckTemporalForeignKey(*child, fk.attrs, *parent));
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+std::string DatabaseVersion::EncodeSnapshot() const {
+  std::string out;
+  PutVarint(&out, kSnapshotMagic);
+  PutVarint(&out, kSnapshotVersion);
+  PutVarint(&out, relations.size());
+  for (const auto& [name, rel] : relations) {
+    EncodeRelation(&out, *rel);
+  }
+  PutVarint(&out, fks.size());
+  for (const ForeignKey& fk : fks) {
+    PutString(&out, fk.child);
+    PutVarint(&out, fk.attrs.size());
+    for (const std::string& a : fk.attrs) PutString(&out, a);
+    PutString(&out, fk.parent);
+  }
+  return out;
+}
+
+std::string DatabaseVersion::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations) {
+    out += "== " + name + " ==\n";
+    out += rel->scheme()->ToString();
+    out += "\n";
+    out += rel->ToString();
+    if (const std::optional<IndexSpec> spec = catalog.Indexes(name);
+        spec.has_value()) {
+      out += "indexes:";
+      if (spec->lifespan) out += " lifespan";
+      for (const std::string& attr : spec->value_attrs) {
+        out += " value(" + attr + ")";
+      }
+      out += "\n";
+    }
+  }
+  for (const ForeignKey& fk : fks) {
+    out += "fk: " + fk.child + "(";
+    for (size_t i = 0; i < fk.attrs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fk.attrs[i];
+    }
+    out += ") -> " + fk.parent + "\n";
+  }
+  return out;
+}
+
+}  // namespace hrdm::storage

@@ -17,12 +17,12 @@ void LifespanIndex::Add(const TuplePtr& t) {
         [](const Entry& a, const Entry& b) { return a.begin < b.begin; });
     entries_.insert(pos, std::move(e));
   }
-  tree_dirty_ = true;
+  RebuildTree();
 }
 
 void LifespanIndex::Remove(const TuplePtr& t) {
   std::erase_if(entries_, [&](const Entry& e) { return e.tuple == t; });
-  tree_dirty_ = true;
+  RebuildTree();
 }
 
 void LifespanIndex::Rebuild(const Relation& rel) {
@@ -34,12 +34,10 @@ void LifespanIndex::Rebuild(const Relation& rel) {
   }
   std::sort(entries_.begin(), entries_.end(),
             [](const Entry& a, const Entry& b) { return a.begin < b.begin; });
-  tree_dirty_ = true;
+  RebuildTree();
 }
 
-void LifespanIndex::EnsureTree() const {
-  if (!tree_dirty_) return;
-  tree_dirty_ = false;
+void LifespanIndex::RebuildTree() {
   max_end_.assign(entries_.empty() ? 0 : 4 * entries_.size(), kTimeMin);
   if (entries_.empty()) return;
   // Recursive build of the implicit segment tree: node covers [lo, hi) of
@@ -79,7 +77,6 @@ void LifespanIndex::Collect(size_t node, size_t lo, size_t hi, TimePoint qb,
 std::vector<TuplePtr> LifespanIndex::Probe(const Lifespan& window) const {
   std::vector<TuplePtr> out;
   if (entries_.empty() || window.empty()) return out;
-  EnsureTree();
   std::vector<const Entry*> hits;
   for (const Interval& iv : window.intervals()) {
     Collect(0, 0, entries_.size(), iv.begin, iv.end, &hits);

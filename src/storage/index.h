@@ -58,11 +58,13 @@ namespace hrdm::storage {
 /// queries "which tuples are alive at some chronon of L".
 ///
 /// Entries are (interval, tuple) pairs — one per maximal interval of each
-/// tuple's lifespan — kept sorted by interval begin. A lazily rebuilt
-/// implicit segment tree over interval ends prunes whole subranges whose
-/// intervals all end before the query window, giving O(log n + k) probes
-/// after any run of mutations (the first probe after a mutation pays the
-/// O(n) tree rebuild, amortized across probes).
+/// tuple's lifespan — kept sorted by interval begin. An implicit segment
+/// tree over interval ends prunes whole subranges whose intervals all end
+/// before the query window, giving O(log n + k) probes. The tree is
+/// rebuilt eagerly at the end of every mutation (O(n), dominated by the
+/// sorted-insert / re-sort cost already paid there), which keeps `Probe`
+/// genuinely const — a published index can be probed from any number of
+/// reader sessions concurrently with no hidden writes.
 class LifespanIndex {
  public:
   /// \brief Adds every lifespan interval of `t`. O(intervals · n) worst
@@ -92,15 +94,14 @@ class LifespanIndex {
     TuplePtr tuple;
   };
 
-  void EnsureTree() const;
+  void RebuildTree();
   void Collect(size_t node, size_t lo, size_t hi, TimePoint qb, TimePoint qe,
                std::vector<const Entry*>* out) const;
 
   std::vector<Entry> entries_;  // sorted by begin
   /// Segment tree over entries_ holding the max interval end per subtree;
-  /// rebuilt lazily after mutations (probes are const, hence mutable).
-  mutable std::vector<TimePoint> max_end_;
-  mutable bool tree_dirty_ = true;
+  /// rebuilt eagerly by every mutation so const probes never write.
+  std::vector<TimePoint> max_end_;
 };
 
 /// \brief Equality index over one attribute: constant-valued tuples are

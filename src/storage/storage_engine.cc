@@ -21,6 +21,16 @@ std::string StorageEngine::snapshot_path() const {
   return PathOf(SnapshotFileName(generation_));
 }
 
+uint64_t StorageEngine::generation() const {
+  util::MutexLock lock(*mu_);
+  return generation_;
+}
+
+uint64_t StorageEngine::wal_records() const {
+  util::MutexLock lock(*mu_);
+  return wal_records_;
+}
+
 Result<StorageEngine> StorageEngine::Open(const std::string& dir,
                                           Options options) {
   HRDM_RETURN_IF_ERROR(util::CreateDirIfMissing(dir));

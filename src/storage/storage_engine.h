@@ -41,6 +41,12 @@
 ///      `CreateLifespanIndex` / `CreateValueIndex`, rebuilding index data
 ///      from the recovered relations (indexes are derived, never stored).
 ///
+/// Concurrency: the engine mutex serializes *writers* (so WAL-append order
+/// equals apply order); *readers* never take it — `PinVersion()` hands out
+/// an immutable snapshot of the database in O(1) and any number of
+/// sessions (src/session/session.h) query their pins lock-free while
+/// mutations keep committing. See tests/concurrency_fuzz_test.cc.
+///
 /// Proven by: tests/crash_recovery_test.cc (fork + SIGKILL mid-workload,
 /// truncation at every WAL byte offset), tests/recovery_differential_test.cc
 /// (random DML histories × crash-after-record-k ≡ in-memory replay) and
@@ -85,11 +91,19 @@ class StorageEngine {
 
   /// \brief Read access to the recovered/live database.
   ///
-  /// Deliberately unserialized against mutations: the engine is
-  /// single-session today, and queries run between logged operations on
-  /// the same thread. A multi-session server (ROADMAP item 2) must add its
-  /// own read/write coordination before sharing one engine across threads.
-  const Database& db() const NO_THREAD_SAFETY_ANALYSIS { return db_; }
+  /// Safe without the engine mutex: `Database`'s const surface is
+  /// internally synchronized by its version cell (util/version_cell.h), so
+  /// this needs no engine-level serialization. References obtained through
+  /// it (`catalog()`, `Get()`) follow Database's owner-thread stability
+  /// contract; cross-thread readers should pin a version via
+  /// `PinVersion()` (or open a `session::Session`) instead.
+  const Database& db() const { return db_; }
+
+  /// \brief Pins the current database version: O(1), lock-free to read
+  /// afterwards, and immutable for the pin's whole lifetime while logged
+  /// mutations keep publishing new versions. This is the multi-session
+  /// read path (src/session/session.h).
+  DatabaseVersionPtr PinVersion() const { return db_.CurrentVersion(); }
 
   // --- logged mutations (mirror Database's DML/DDL surface) ------------------
   //
@@ -133,16 +147,10 @@ class StorageEngine {
   Status Sync() EXCLUDES(mu_);
 
   /// \brief Current checkpoint generation (0 before the first Checkpoint).
-  /// Unserialized read, like db().
-  uint64_t generation() const NO_THREAD_SAFETY_ANALYSIS {
-    return generation_;
-  }
+  uint64_t generation() const EXCLUDES(mu_);
 
   /// \brief Records in the current-generation WAL (replayed + appended).
-  /// Unserialized read, like db().
-  uint64_t wal_records() const NO_THREAD_SAFETY_ANALYSIS {
-    return wal_records_;
-  }
+  uint64_t wal_records() const EXCLUDES(mu_);
 
   /// \brief Paths of the live files (tests use these to injure them).
   std::string wal_path() const EXCLUDES(mu_);
@@ -168,14 +176,18 @@ class StorageEngine {
 
   std::string dir_;
   Options options_;
-  /// Serializes logged mutations, Checkpoint(), and Sync(), so a future
-  /// multi-session server (ROADMAP item 2) can share one engine.
+  /// Serializes logged mutations, Checkpoint(), and Sync(): writers queue
+  /// here while reader sessions run lock-free against pinned versions.
   /// Heap-allocated to keep the engine movable; `mu_` below is the raw
   /// alias clang's thread-safety analysis uses as the capability handle
   /// (always equal to mu_owner_.get(), including after a move).
   std::unique_ptr<util::Mutex> mu_owner_ = std::make_unique<util::Mutex>();
   util::Mutex* mu_ = mu_owner_.get();
-  Database db_ GUARDED_BY(mu_);
+  /// Not GUARDED_BY(mu_): the Database's const surface is internally
+  /// synchronized (version cell), so unlocked reads are safe. Mutations
+  /// still happen only inside logged mutators holding mu_ — that is what
+  /// keeps WAL-append order equal to version-publish order.
+  Database db_;
   uint64_t generation_ GUARDED_BY(mu_) = 0;
   uint64_t wal_records_ GUARDED_BY(mu_) = 0;
   /// Engaged after Open; optional only so the private ctor can run first.

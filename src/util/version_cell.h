@@ -1,0 +1,114 @@
+#ifndef HRDM_UTIL_VERSION_CELL_H_
+#define HRDM_UTIL_VERSION_CELL_H_
+
+/// \file version_cell.h
+/// \brief The version-publish primitive behind multi-session snapshot
+/// isolation: a mutex-annotated cell owning the current version of an
+/// immutable-once-published value, with O(1) pinning and copy-on-write
+/// updates.
+///
+/// The protocol has two sides:
+///
+///  * **Readers** call `Pin()` and receive a shared handle to the version
+///    current at that instant. A pinned version is never mutated again —
+///    every subsequent `Update` either copies it first or runs only when
+///    no pin is outstanding — so the reader may use it from any thread,
+///    without any lock, for as long as it keeps the handle alive.
+///
+///  * **Writers** call `Update(mutate)`. When no pin is outstanding
+///    (`use_count() == 1`: the cell is the sole owner) the mutation runs
+///    against the live value *while holding the cell mutex*, so a
+///    concurrent `Pin` can never observe a half-applied mutation — this is
+///    the single-session fast path, identical in cost to mutating a plain
+///    object plus one uncontended lock. Otherwise the value is copied, the
+///    mutation runs against the private copy with no lock held, and the
+///    copy is published atomically iff the mutation succeeds — pinned
+///    readers keep their old version untouched. For this to be cheap, T's
+///    copy constructor should be shallow (shared roots), which is exactly
+///    how `storage::DatabaseVersion` is laid out.
+///
+/// Concurrent `Update` calls are serialized on a dedicated writer mutex
+/// (acquired before the publish mutex, never the other way around), so
+/// two writers cannot lose each other's updates by copying the same base.
+/// `Pin` only ever touches the publish mutex, and only for the duration
+/// of one shared_ptr copy — writers stall pins during an *in-place*
+/// mutation (which by definition has no concurrent readers to serve) and
+/// for a pointer swap otherwise.
+
+#include <memory>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace hrdm::util {
+
+/// \brief Holder of the current version of a copy-on-write value `T`.
+template <typename T>
+class VersionCell {
+ public:
+  explicit VersionCell(std::shared_ptr<T> initial)
+      : head_(std::move(initial)) {}
+
+  VersionCell(const VersionCell&) = delete;
+  VersionCell& operator=(const VersionCell&) = delete;
+
+  /// \brief Pins the current version: the returned snapshot is immutable
+  /// for its whole lifetime and safe to read from any thread.
+  std::shared_ptr<const T> Pin() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return head_;
+  }
+
+  /// \brief Borrows the current version without pinning it. The reference
+  /// is stable across in-place updates (same object) but dies with the
+  /// next copy-on-write publish, so cross-thread readers must use Pin();
+  /// this is the owner-thread accessor backing `Database::catalog()` etc.
+  const T& Peek() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return *head_;
+  }
+
+  /// \brief Applies `mutate` (signature `Status(T&)` or any result with
+  /// `.ok()`) to the current version and publishes the outcome: in place
+  /// under the cell mutex when nobody has the version pinned, against a
+  /// private copy (published only on success) otherwise. Failed copy-path
+  /// mutations leave the published version untouched; failed in-place
+  /// mutations leave whatever the callback itself left (same contract as
+  /// mutating a plain object).
+  template <typename Fn>
+  auto Update(Fn&& mutate) EXCLUDES(writer_mu_, mu_) {
+    MutexLock serialize(writer_mu_);
+    std::shared_ptr<T> base;
+    {
+      MutexLock lock(mu_);
+      if (head_.use_count() == 1) {
+        // Sole owner: no pin exists and none can be taken while we hold
+        // mu_, so mutating in place is invisible to readers.
+        return mutate(*head_);
+      }
+      base = head_;
+    }
+    auto scratch = std::make_shared<T>(*base);
+    base.reset();
+    auto result = mutate(*scratch);
+    if (result.ok()) {
+      MutexLock lock(mu_);
+      head_ = std::move(scratch);
+    }
+    return result;
+  }
+
+ private:
+  /// Serializes whole Update bodies (copy + mutate + publish) so
+  /// concurrent writers cannot copy the same base and lose an update.
+  Mutex writer_mu_;
+  /// Guards the head pointer itself; held only for pointer copies/swaps
+  /// and for the body of in-place (reader-free) mutations.
+  mutable Mutex mu_;
+  std::shared_ptr<T> head_ GUARDED_BY(mu_);
+};
+
+}  // namespace hrdm::util
+
+#endif  // HRDM_UTIL_VERSION_CELL_H_

@@ -1,0 +1,200 @@
+// Tests for the documentation checker's engine (tools/hrql_check_lib.h):
+// one passing and one failing fixture per check class — hrql snippet
+// parsing, relative-link resolution, HRQL.md operator coverage — mirroring
+// tests/lint_test.cc for the architecture linter. The fixtures are
+// in-memory (path, content) documents with an injected existence probe,
+// so these tests pin the engine's behavior without touching the real
+// docs; the CLI wrapper (tools/hrql_check.cc) is the same engine over the
+// real files.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/hrql_check_lib.h"
+
+namespace hrdm::doccheck {
+namespace {
+
+/// Messages of all failures, as "file:line: message" for readable output.
+std::vector<std::string> Render(const std::vector<Failure>& failures) {
+  std::vector<std::string> out;
+  out.reserve(failures.size());
+  for (const Failure& f : failures) {
+    out.push_back(f.file + ":" + std::to_string(f.line) + ": " + f.message);
+  }
+  return out;
+}
+
+bool Mentions(const std::vector<Failure>& failures,
+              const std::string& needle) {
+  for (const Failure& f : failures) {
+    if (f.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// An Options whose link targets resolve iff listed in `existing`
+/// (already resolved against the document's directory).
+Options ExistsOnly(std::set<std::string> existing) {
+  Options options;
+  options.path_exists = [existing = std::move(existing)](
+                            const std::string& p) {
+    return existing.count(p) != 0;
+  };
+  return options;
+}
+
+/// No links in the fixture => the probe must never fire.
+Options NoLinksExpected() {
+  Options options;
+  options.path_exists = [](const std::string& p) -> bool {
+    ADD_FAILURE() << "unexpected existence probe for " << p;
+    return false;
+  };
+  return options;
+}
+
+// --- hrql snippets -----------------------------------------------------------
+
+TEST(HrqlSnippetTest, ParsingStatementsPass) {
+  const DocFile doc = {"docs/guide.md",
+                       "# Guide\n"
+                       "```hrql\n"
+                       "-- a comment line\n"
+                       "timeslice(emp, {[5, 20]})\n"
+                       "select_if(emp, Salary > 100, exists)\n"
+                       "\n"
+                       "when(emp)\n"
+                       "```\n"};
+  EXPECT_TRUE(CheckFile(doc, NoLinksExpected()).empty());
+}
+
+TEST(HrqlSnippetTest, NonParsingStatementFailsWithItsLine) {
+  const DocFile doc = {"docs/guide.md",
+                       "```hrql\n"
+                       "timeslice(emp, {[5, 20]})\n"
+                       "select_if(emp,,)\n"
+                       "```\n"};
+  const std::vector<Failure> failures = CheckFile(doc, NoLinksExpected());
+  ASSERT_EQ(failures.size(), 1u) << ::testing::PrintToString(Render(failures));
+  EXPECT_EQ(failures[0].line, 3u);
+  EXPECT_TRUE(Mentions(failures, "hrql snippet does not parse"));
+}
+
+TEST(HrqlSnippetTest, OtherFenceLanguagesAreNotParsed) {
+  const DocFile doc = {"docs/guide.md",
+                       "```cpp\n"
+                       "auto x = not_hrql();\n"
+                       "```\n"};
+  EXPECT_TRUE(CheckFile(doc, NoLinksExpected()).empty());
+}
+
+// --- relative links ----------------------------------------------------------
+
+TEST(RelativeLinkTest, ResolvingLinksPass) {
+  const DocFile doc = {"docs/guide.md",
+                       "See [the architecture](ARCHITECTURE.md) and\n"
+                       "[the root readme](../README.md#usage), or visit\n"
+                       "[the paper](https://example.org/p) / "
+                       "[mail us](mailto:x@y.z) / [this section](#anchor).\n"};
+  const Options options =
+      ExistsOnly({"docs/ARCHITECTURE.md", "docs/../README.md"});
+  EXPECT_TRUE(CheckFile(doc, options).empty());
+}
+
+TEST(RelativeLinkTest, BrokenLinkFailsWithItsLine) {
+  const DocFile doc = {"docs/guide.md",
+                       "intro\n"
+                       "see [gone](MISSING.md)\n"};
+  const std::vector<Failure> failures =
+      CheckFile(doc, ExistsOnly({/*nothing exists*/}));
+  ASSERT_EQ(failures.size(), 1u) << ::testing::PrintToString(Render(failures));
+  EXPECT_EQ(failures[0].line, 2u);
+  EXPECT_TRUE(Mentions(failures, "broken relative link: MISSING.md"));
+}
+
+TEST(RelativeLinkTest, FencedCodeBlocksAreSkipped) {
+  const DocFile doc = {"docs/guide.md",
+                       "```\n"
+                       "not_a_link [x](NOPE.md)\n"
+                       "```\n"};
+  EXPECT_TRUE(CheckFile(doc, ExistsOnly({})).empty());
+}
+
+// --- operator coverage -------------------------------------------------------
+
+/// One ```hrql block demonstrating every operator the engine requires.
+std::string FullCoverageReference() {
+  std::string doc = "# HRQL\n```hrql\n";
+  doc +=
+      "select_if(emp, Salary > 100, exists)\n"
+      "select_when(emp, Salary > 100)\n"
+      "project(emp, Id)\n"
+      "timeslice(emp, {[5, 20]})\n"
+      "dynslice(emp, Ref)\n"
+      "union(emp, emp)\n"
+      "intersect(emp, emp)\n"
+      "minus(emp, emp)\n"
+      "ounion(emp, emp)\n"
+      "ointersect(emp, emp)\n"
+      "ominus(emp, emp)\n"
+      "product(emp, dept)\n"
+      "join(emp, dept, DeptId = Id)\n"
+      "natjoin(emp, dept)\n"
+      "timejoin(emp, dept, Ref)\n"
+      "aggregate(emp, count)\n"
+      "when(emp)\n"
+      "lunion(when(emp), when(emp))\n"
+      "lintersect(when(emp), when(emp))\n"
+      "lminus(when(emp), when(emp))\n";
+  doc += "```\n";
+  return doc;
+}
+
+TEST(OperatorCoverageTest, FullyCoveredReferencePasses) {
+  const DocFile doc = {"docs/HRQL.md", FullCoverageReference()};
+  const std::vector<Failure> failures = CheckFile(doc, NoLinksExpected());
+  EXPECT_TRUE(failures.empty()) << ::testing::PrintToString(Render(failures));
+}
+
+TEST(OperatorCoverageTest, MissingOperatorFails) {
+  // Strip the dynslice example; the engine must call out exactly that
+  // operator (as a whole-file finding).
+  std::string body = FullCoverageReference();
+  const size_t pos = body.find("dynslice(emp, Ref)\n");
+  ASSERT_NE(pos, std::string::npos);
+  body.erase(pos, std::string("dynslice(emp, Ref)\n").size());
+
+  const std::vector<Failure> failures =
+      CheckFile({"docs/HRQL.md", body}, NoLinksExpected());
+  ASSERT_EQ(failures.size(), 1u) << ::testing::PrintToString(Render(failures));
+  EXPECT_EQ(failures[0].line, 0u);
+  EXPECT_TRUE(Mentions(failures, "operator 'dynslice' has no example"));
+}
+
+TEST(OperatorCoverageTest, OnlyTheLanguageReferenceIsHeldToCoverage) {
+  // Any other file may show as few operators as it likes.
+  const DocFile doc = {"docs/guide.md",
+                       "```hrql\ntimeslice(emp, {[5, 20]})\n```\n"};
+  EXPECT_TRUE(CheckFile(doc, NoLinksExpected()).empty());
+}
+
+// --- engine plumbing ---------------------------------------------------------
+
+TEST(RunTest, AggregatesFailuresAcrossDocumentsInOrder) {
+  const std::vector<DocFile> docs = {
+      {"a.md", "```hrql\nselect_if(emp,,)\n```\n"},
+      {"b.md", "[gone](MISSING.md)\n"},
+  };
+  const std::vector<Failure> failures =
+      ::hrdm::doccheck::Run(docs, ExistsOnly({}));
+  ASSERT_EQ(failures.size(), 2u) << ::testing::PrintToString(Render(failures));
+  EXPECT_EQ(failures[0].file, "a.md");
+  EXPECT_EQ(failures[1].file, "b.md");
+}
+
+}  // namespace
+}  // namespace hrdm::doccheck

@@ -65,6 +65,32 @@ TEST(LintLayerDagTest, UpwardIncludeFails) {
   EXPECT_TRUE(Mentions(found, "'storage' must not include layer 'query'"));
 }
 
+TEST(LintLayerDagTest, SessionMayIncludeQueryDown) {
+  const std::vector<SourceFile> files = {
+      Clean("src/session/session.h",
+            "#include \"query/executor.h\"\n"
+            "#include \"storage/database.h\"\n"
+            "#include \"util/status.h\"\n"),
+      Clean("src/query/executor.h", "#include \"storage/database.h\"\n"),
+      Clean("src/storage/database.h", "#include \"util/status.h\"\n"),
+      Clean("src/util/status.h", "int x;\n"),
+  };
+  EXPECT_TRUE(Of(RunFiles(files), "layer-dag").empty());
+}
+
+TEST(LintLayerDagTest, LowerLayersMustNotIncludeSession) {
+  // session sits above query: neither query nor storage may reach up
+  // into it.
+  const std::vector<SourceFile> files = {
+      Clean("src/query/executor.cc", "#include \"session/session.h\"\n"),
+      Clean("src/storage/database.cc", "#include \"session/session.h\"\n"),
+  };
+  const auto found = Of(RunFiles(files), "layer-dag");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_TRUE(Mentions(found, "'query' must not include layer 'session'"));
+  EXPECT_TRUE(Mentions(found, "'storage' must not include layer 'session'"));
+}
+
 TEST(LintLayerDagTest, SrcIncludingTestCodeFails) {
   const std::vector<SourceFile> files = {
       Clean("src/util/random.cc", "#include \"tests/test_seeds.h\"\n"),

@@ -96,7 +96,12 @@ class WorkloadRunner {
  public:
   static constexpr TimePoint kHorizon = 60;
 
-  explicit WorkloadRunner(uint64_t seed) : rng_(seed) {}
+  /// `id_prefix` namespaces the generated object keys ("o0", "o1", ... by
+  /// default) — concurrent writer threads give each runner its own prefix
+  /// so their births target disjoint objects while still contending on the
+  /// same relation (tests/concurrency_fuzz_test.cc).
+  explicit WorkloadRunner(uint64_t seed, std::string id_prefix = "o")
+      : rng_(seed), prefix_(std::move(id_prefix)) {}
 
   /// Runs step `step` (callers must invoke steps 0,1,2,... in order so the
   /// rng stream stays aligned). Returns the mutation's status: failures
@@ -125,8 +130,8 @@ class WorkloadRunner {
         const TimePoint b = rng_.Uniform(0, kHorizon - 2);
         const TimePoint e = rng_.Uniform(b, kHorizon - 1);
         Tuple::Builder builder(*scheme, Span(b, e));
-        builder.SetConstant("Id",
-                            Value::String("o" + std::to_string(inserted_)));
+        builder.SetConstant(
+            "Id", Value::String(prefix_ + std::to_string(inserted_)));
         builder.SetAt("X", b, Value::Int(rng_.Uniform(0, 99)));
         auto t = std::move(builder).Build();
         if (!t.ok()) return t.status();
@@ -194,11 +199,12 @@ class WorkloadRunner {
   }
 
  private:
-  static std::vector<Value> KeyOf(int i) {
-    return {Value::String("o" + std::to_string(i))};
+  std::vector<Value> KeyOf(int i) const {
+    return {Value::String(prefix_ + std::to_string(i))};
   }
 
   Rng rng_;
+  std::string prefix_ = "o";
   int inserted_ = 0;
 };
 

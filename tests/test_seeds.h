@@ -12,6 +12,8 @@
 //   HRDM_CRASH_SEEDS=11 ctest -R CrashRecovery
 //   HRDM_STORAGE_FUZZ_SEEDS=7 ctest -R StorageFuzz
 //   HRDM_RECOVERY_DIFF_SEEDS=3 ctest -R RecoveryDifferential
+//   HRDM_SESSION_FUZZ_SEEDS=5 ctest -R SessionFuzz
+//   HRDM_CONCURRENCY_FUZZ_SEEDS=9 ctest -R ConcurrencyFuzz
 //
 // (The crash harness also reads HRDM_CRASH_FSYNC=off|batched|always to
 // pick the child's WAL fsync policy; default "always".)

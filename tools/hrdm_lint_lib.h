@@ -13,7 +13,7 @@
 ///
 ///  * **layer-dag** — `#include` edges may only point downward through the
 ///    layer DAG (`util`/`core` ← `classic`/`constraints`/`algebra` ←
-///    `storage` ← `query` ← `workload`; `tests` sit on top), no include
+///    `storage` ← `query` ← `session`/`workload`; `tests` sit on top), no
 ///    cycles at file granularity, and no test code reachable from `src/`.
 ///  * **closed-enum-default** — a `switch` over a *closed* enum
 ///    (`ExprKind`, `LsExprKind`, `OpKind`, `AggregateFn`, `JoinStrategy`,
@@ -205,8 +205,9 @@ inline std::string LayerOf(std::string_view path) {
 /// `util` and `core` form the joint bottom (util/pretty.h renders core
 /// relations); `classic`, `constraints` and `algebra` sit directly on it;
 /// `storage` consumes `algebra` (join digests for value indexes) and
-/// `constraints`; `query` consumes `storage` down; `workload` is the top
-/// of `src/`; `tests` may reach everything.
+/// `constraints`; `query` consumes `storage` down; `session` (reader
+/// sessions over pinned versions) consumes `query` down; `session` and
+/// `workload` are joint tops of `src/`; `tests` may reach everything.
 inline const std::map<std::string, std::set<std::string>>& LayerDag() {
   static const std::map<std::string, std::set<std::string>> dag = {
       {"util", {"util", "core"}},
@@ -217,10 +218,12 @@ inline const std::map<std::string, std::set<std::string>>& LayerDag() {
       {"storage", {"storage", "algebra", "constraints", "core", "util"}},
       {"query", {"query", "storage", "algebra", "constraints", "core",
                  "util"}},
+      {"session", {"session", "query", "storage", "algebra", "constraints",
+                   "core", "util"}},
       {"workload", {"workload", "query", "storage", "algebra", "constraints",
                     "core", "util"}},
-      {"tests", {"tests", "workload", "query", "storage", "algebra",
-                 "constraints", "classic", "core", "util"}},
+      {"tests", {"tests", "workload", "session", "query", "storage",
+                 "algebra", "constraints", "classic", "core", "util"}},
   };
   return dag;
 }

@@ -1,180 +1,28 @@
-// Documentation checker (the CI docs job):
+// Documentation checker CLI (the CI docs job):
 //
 //   hrql_check FILE.md [FILE.md ...]
 //
-// For every markdown file given it verifies
-//  1. every statement inside a ```hrql fenced code block parses — relation-
-//     sorted expressions via ParseExpr, lifespan-sorted via ParseLsExpr —
-//     so the language reference (docs/HRQL.md) can never drift from the
-//     grammar the parser actually accepts;
-//  2. every relative markdown link `[text](path)` resolves to an existing
-//     file or directory (external http(s)/mailto links and pure #anchors
-//     are skipped) so README/docs cross-references can never go stale;
-//  3. for the language reference itself (files named HRQL.md): every
-//     operator of the language has at least one example inside a ```hrql
-//     snippet — a newly shipped operator cannot land undocumented, and a
-//     removed example is flagged immediately.
-//
-// Inside ```hrql blocks, each non-empty line is one statement; lines
-// starting with `--` are comments. Exit status is the number of failures.
+// Thin wrapper over the engine in tools/hrql_check_lib.h (hrql snippet
+// parsing, relative-link resolution, HRQL.md operator coverage — see the
+// header comment there for the check definitions). This file only reads
+// the documents and reports: exit status is the number of failures.
+// tests/hrql_check_test.cc drives the same engine over fixtures.
 
-#include <cctype>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "query/parser.h"
-
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Failure {
-  std::string file;
-  size_t line;
-  std::string message;
-};
-
-/// Every operator keyword of the language (kept in sync with the parser's
-/// keyword set; parser_test.cc and this tool together pin the surface).
-/// The language reference must show each at least once.
-const char* const kOperatorKeywords[] = {
-    // relation-sorted
-    "select_if", "select_when", "project", "timeslice", "dynslice",
-    "union", "intersect", "minus", "ounion", "ointersect", "ominus",
-    "product", "join", "natjoin", "timejoin", "aggregate",
-    // lifespan-sorted
-    "when", "lunion", "lintersect", "lminus",
-};
-
-std::string Trim(const std::string& s) {
-  const size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  const size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-/// Lower-cased identifier words of one snippet statement (the operator
-/// keywords appear as identifiers at call-head positions).
-void CollectIdentifiers(const std::string& statement,
-                        std::set<std::string>* words) {
-  std::string word;
-  for (const char c : statement) {
-    const bool ident = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
-                       c == '_';
-    if (ident) {
-      word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      continue;
-    }
-    if (!word.empty()) words->insert(word);
-    word.clear();
-  }
-  if (!word.empty()) words->insert(word);
-}
-
-void CheckHrqlSnippets(const std::string& path,
-                       const std::vector<std::string>& lines,
-                       std::vector<Failure>* failures) {
-  bool in_hrql = false;
-  std::set<std::string> snippet_words;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string t = Trim(lines[i]);
-    if (!in_hrql) {
-      if (t == "```hrql") in_hrql = true;
-      continue;
-    }
-    if (t.rfind("```", 0) == 0) {
-      in_hrql = false;
-      continue;
-    }
-    if (t.empty() || t.rfind("--", 0) == 0) continue;
-    auto expr = hrdm::query::ParseExpr(t);
-    if (!expr.ok()) {
-      auto ls = hrdm::query::ParseLsExpr(t);
-      if (!ls.ok()) {
-        failures->push_back(
-            {path, i + 1,
-             "hrql snippet does not parse: " + expr.status().ToString()});
-        continue;
-      }
-    }
-    CollectIdentifiers(t, &snippet_words);
-  }
-  // Operator coverage: the language reference must demonstrate every
-  // operator with at least one parsed snippet.
-  const std::string name = fs::path(path).filename().string();
-  if (name == "HRQL.md") {
-    for (const char* op : kOperatorKeywords) {
-      if (snippet_words.count(op) == 0) {
-        failures->push_back(
-            {path, 0,
-             std::string("operator '") + op +
-                 "' has no example in any ```hrql snippet"});
-      }
-    }
-  }
-}
-
-/// Extracts link targets `[...](target)` from one line. Markdown images and
-/// reference-style links are out of scope (the docs do not use them).
-std::vector<std::string> LinkTargets(const std::string& line) {
-  std::vector<std::string> out;
-  size_t pos = 0;
-  while ((pos = line.find("](", pos)) != std::string::npos) {
-    const size_t start = pos + 2;
-    const size_t end = line.find(')', start);
-    if (end == std::string::npos) break;
-    out.push_back(line.substr(start, end - start));
-    pos = end + 1;
-  }
-  return out;
-}
-
-void CheckRelativeLinks(const std::string& path,
-                        const std::vector<std::string>& lines,
-                        std::vector<Failure>* failures) {
-  const fs::path dir = fs::path(path).parent_path();
-  bool in_code = false;
-  for (size_t i = 0; i < lines.size(); ++i) {
-    // Fenced code blocks may contain `](` sequences that are not links.
-    if (Trim(lines[i]).rfind("```", 0) == 0) {
-      in_code = !in_code;
-      continue;
-    }
-    if (in_code) continue;
-    for (const std::string& raw : LinkTargets(lines[i])) {
-      std::string target = raw;
-      if (target.empty() || target[0] == '#') continue;  // intra-doc anchor
-      if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
-          target.rfind("mailto:", 0) == 0) {
-        continue;
-      }
-      const size_t anchor = target.find('#');
-      if (anchor != std::string::npos) target = target.substr(0, anchor);
-      if (target.empty()) continue;
-      const fs::path resolved = dir / target;
-      if (!fs::exists(resolved)) {
-        failures->push_back(
-            {path, i + 1, "broken relative link: " + raw + " (resolved to " +
-                              resolved.string() + ")"});
-      }
-    }
-  }
-}
-
-}  // namespace
+#include "tools/hrql_check_lib.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s FILE.md [FILE.md ...]\n", argv[0]);
     return 64;
   }
-  std::vector<Failure> failures;
-  size_t snippets_files = 0;
+  std::vector<hrdm::doccheck::Failure> failures;
+  std::vector<hrdm::doccheck::DocFile> docs;
   for (int i = 1; i < argc; ++i) {
     const std::string path = argv[i];
     std::ifstream in(path);
@@ -182,18 +30,19 @@ int main(int argc, char** argv) {
       failures.push_back({path, 0, "cannot open file"});
       continue;
     }
-    std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line)) lines.push_back(line);
-    ++snippets_files;
-    CheckHrqlSnippets(path, lines, &failures);
-    CheckRelativeLinks(path, lines, &failures);
+    std::ostringstream content;
+    content << in.rdbuf();
+    docs.push_back({path, content.str()});
   }
-  for (const Failure& f : failures) {
+  {
+    std::vector<hrdm::doccheck::Failure> found = hrdm::doccheck::Run(docs);
+    failures.insert(failures.end(), found.begin(), found.end());
+  }
+  for (const hrdm::doccheck::Failure& f : failures) {
     std::fprintf(stderr, "%s:%zu: %s\n", f.file.c_str(), f.line,
                  f.message.c_str());
   }
-  std::printf("hrql_check: %zu file(s), %zu failure(s)\n", snippets_files,
+  std::printf("hrql_check: %zu file(s), %zu failure(s)\n", docs.size(),
               failures.size());
   return failures.size() > 255 ? 255 : static_cast<int>(failures.size());
 }

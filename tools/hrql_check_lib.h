@@ -1,0 +1,237 @@
+#ifndef HRDM_TOOLS_HRQL_CHECK_LIB_H_
+#define HRDM_TOOLS_HRQL_CHECK_LIB_H_
+
+/// \file hrql_check_lib.h
+/// \brief The documentation checker's engine (the CI docs gate).
+///
+/// For every markdown file given it verifies
+///  1. **hrql-snippet** — every statement inside a ```hrql fenced code
+///     block parses (relation-sorted expressions via ParseExpr,
+///     lifespan-sorted via ParseLsExpr), so the language reference
+///     (docs/HRQL.md) can never drift from the grammar the parser
+///     actually accepts;
+///  2. **relative-link** — every relative markdown link `[text](path)`
+///     resolves to an existing file or directory (external
+///     http(s)/mailto links and pure #anchors are skipped), so
+///     README/docs cross-references can never go stale;
+///  3. **operator-coverage** — for the language reference itself (files
+///     named HRQL.md): every operator of the language has at least one
+///     example inside a ```hrql snippet — a newly shipped operator
+///     cannot land undocumented, and a removed example is flagged
+///     immediately.
+///
+/// Inside ```hrql blocks, each non-empty line is one statement; lines
+/// starting with `--` are comments.
+///
+/// Like tools/hrdm_lint_lib.h, the engine operates on in-memory
+/// (path, content) pairs with an injectable existence probe, so
+/// tests/hrql_check_test.cc can drive every check over fixture documents
+/// without touching the filesystem; the CLI wrapper (tools/hrql_check.cc)
+/// reads the real files and probes the real tree.
+
+#include <cctype>
+#include <filesystem>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+
+namespace hrdm::doccheck {
+
+/// One markdown document: repo-relative path + full text.
+struct DocFile {
+  std::string path;
+  std::string content;
+};
+
+struct Failure {
+  std::string file;
+  size_t line = 0;  // 1-based; 0 = whole file
+  std::string message;
+};
+
+struct Options {
+  /// Existence probe for relative-link targets (already resolved against
+  /// the document's directory). Defaults to std::filesystem::exists;
+  /// tests inject a closed set of "existing" paths instead.
+  std::function<bool(const std::string&)> path_exists;
+};
+
+/// Every operator keyword of the language (kept in sync with the parser's
+/// keyword set; parser_test.cc and this engine together pin the surface).
+/// The language reference must show each at least once.
+inline const std::vector<std::string>& OperatorKeywords() {
+  static const std::vector<std::string> kOperators = {
+      // relation-sorted
+      "select_if", "select_when", "project", "timeslice", "dynslice",
+      "union", "intersect", "minus", "ounion", "ointersect", "ominus",
+      "product", "join", "natjoin", "timejoin", "aggregate",
+      // lifespan-sorted
+      "when", "lunion", "lintersect", "lminus",
+  };
+  return kOperators;
+}
+
+namespace internal {
+
+inline std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+inline std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    const size_t nl = std::min(content.find('\n', pos), content.size());
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+/// Lower-cased identifier words of one snippet statement (the operator
+/// keywords appear as identifiers at call-head positions).
+inline void CollectIdentifiers(const std::string& statement,
+                               std::set<std::string>* words) {
+  std::string word;
+  for (const char c : statement) {
+    const bool ident = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_';
+    if (ident) {
+      word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      continue;
+    }
+    if (!word.empty()) words->insert(word);
+    word.clear();
+  }
+  if (!word.empty()) words->insert(word);
+}
+
+inline void CheckHrqlSnippets(const std::string& path,
+                              const std::vector<std::string>& lines,
+                              std::vector<Failure>* failures) {
+  bool in_hrql = false;
+  std::set<std::string> snippet_words;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = Trim(lines[i]);
+    if (!in_hrql) {
+      if (t == "```hrql") in_hrql = true;
+      continue;
+    }
+    if (t.rfind("```", 0) == 0) {
+      in_hrql = false;
+      continue;
+    }
+    if (t.empty() || t.rfind("--", 0) == 0) continue;
+    auto expr = hrdm::query::ParseExpr(t);
+    if (!expr.ok()) {
+      auto ls = hrdm::query::ParseLsExpr(t);
+      if (!ls.ok()) {
+        failures->push_back(
+            {path, i + 1,
+             "hrql snippet does not parse: " + expr.status().ToString()});
+        continue;
+      }
+    }
+    CollectIdentifiers(t, &snippet_words);
+  }
+  // Operator coverage: the language reference must demonstrate every
+  // operator with at least one parsed snippet.
+  const std::string name = std::filesystem::path(path).filename().string();
+  if (name == "HRQL.md") {
+    for (const std::string& op : OperatorKeywords()) {
+      if (snippet_words.count(op) == 0) {
+        failures->push_back(
+            {path, 0,
+             "operator '" + op + "' has no example in any ```hrql snippet"});
+      }
+    }
+  }
+}
+
+/// Extracts link targets `[...](target)` from one line. Markdown images and
+/// reference-style links are out of scope (the docs do not use them).
+inline std::vector<std::string> LinkTargets(const std::string& line) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = line.find("](", pos)) != std::string::npos) {
+    const size_t start = pos + 2;
+    const size_t end = line.find(')', start);
+    if (end == std::string::npos) break;
+    out.push_back(line.substr(start, end - start));
+    pos = end + 1;
+  }
+  return out;
+}
+
+inline void CheckRelativeLinks(
+    const std::string& path, const std::vector<std::string>& lines,
+    const std::function<bool(const std::string&)>& path_exists,
+    std::vector<Failure>* failures) {
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  bool in_code = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    // Fenced code blocks may contain `](` sequences that are not links.
+    if (Trim(lines[i]).rfind("```", 0) == 0) {
+      in_code = !in_code;
+      continue;
+    }
+    if (in_code) continue;
+    for (const std::string& raw : LinkTargets(lines[i])) {
+      std::string target = raw;
+      if (target.empty() || target[0] == '#') continue;  // intra-doc anchor
+      if (target.rfind("http://", 0) == 0 ||
+          target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      const size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      if (target.empty()) continue;
+      const std::filesystem::path resolved = dir / target;
+      if (!path_exists(resolved.string())) {
+        failures->push_back(
+            {path, i + 1, "broken relative link: " + raw + " (resolved to " +
+                              resolved.string() + ")"});
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+/// All failures of one document under every check.
+inline std::vector<Failure> CheckFile(const DocFile& doc,
+                                      const Options& options = Options()) {
+  const std::function<bool(const std::string&)> exists =
+      options.path_exists != nullptr
+          ? options.path_exists
+          : [](const std::string& p) { return std::filesystem::exists(p); };
+  std::vector<Failure> failures;
+  const std::vector<std::string> lines = internal::SplitLines(doc.content);
+  internal::CheckHrqlSnippets(doc.path, lines, &failures);
+  internal::CheckRelativeLinks(doc.path, lines, exists, &failures);
+  return failures;
+}
+
+/// All failures across a document set, in input order.
+inline std::vector<Failure> Run(const std::vector<DocFile>& docs,
+                                const Options& options = Options()) {
+  std::vector<Failure> failures;
+  for (const DocFile& doc : docs) {
+    std::vector<Failure> one = CheckFile(doc, options);
+    failures.insert(failures.end(), one.begin(), one.end());
+  }
+  return failures;
+}
+
+}  // namespace hrdm::doccheck
+
+#endif  // HRDM_TOOLS_HRQL_CHECK_LIB_H_
