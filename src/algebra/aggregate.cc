@@ -294,6 +294,13 @@ void GroupedAggregator::AddContribution(Group* g, const Lifespan& span,
   }
 }
 
+Status GroupedAggregator::FoldBatch(const TuplePtr* handles, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    HRDM_RETURN_IF_ERROR(Fold(*handles[i]));
+  }
+  return Status::OK();
+}
+
 Status GroupedAggregator::Fold(const Tuple& t) {
   // The membership domain: chronons where every grouping value is defined
   // (for no grouping, the whole tuple lifespan — COUNT counts objects

@@ -129,6 +129,11 @@ class GroupedAggregator {
   /// is responsible for set semantics (folding a duplicate double-counts).
   Status Fold(const Tuple& t);
 
+  /// \brief Folds a contiguous run of tuple handles in order — the tight
+  /// per-batch loop of the batched HashAggregateCursor and the per-morsel
+  /// kernel of its parallel fold (equivalent to Fold on each handle).
+  Status FoldBatch(const TuplePtr* handles, size_t n);
+
   /// \brief Emits one output tuple per group, in first-touch order. Each
   /// group's aggregate is computed by an event sweep over its contribution
   /// segments, folding active values in sorted order per elementary

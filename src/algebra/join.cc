@@ -214,4 +214,18 @@ Result<Relation> TimeJoin(const Relation& r1, std::string_view attr_a,
   return out;
 }
 
+std::optional<uint64_t> JoinKeysDigest(
+    const Tuple& t, const std::vector<std::pair<size_t, size_t>>& key_attrs,
+    bool left_side) {
+  // Mixed digests combine per-column digests order-sensitively, so both
+  // sides of a probe agree bucket-for-bucket by construction.
+  uint64_t h = kJoinKeyDigestSeed;
+  for (const auto& [la, ra] : key_attrs) {
+    const TemporalValue& v = t.value(left_side ? la : ra);
+    if (!v.IsConstant()) return std::nullopt;
+    h = CombineJoinKeyDigest(h, JoinKeyDigest(v.ConstantValue()));
+  }
+  return h;
+}
+
 }  // namespace hrdm

@@ -30,6 +30,7 @@
 ///    the common remaining lifespan `t1.l ∩ L ∩ t2.l`.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -156,6 +157,17 @@ inline constexpr uint64_t kJoinKeyDigestSeed = 0xcbf29ce484222325ULL;
 inline uint64_t CombineJoinKeyDigest(uint64_t h, uint64_t column_digest) {
   return (h ^ column_digest) * 0x100000001b3ULL;
 }
+
+/// \brief Time-invariant digest of one tuple's join-key columns:
+/// `key_attrs` holds (left index, right index) pairs and `left_side` picks
+/// which side `t` is on. A tuple digests only if every key column is a
+/// constant function over its lifespan (the paper's CD membership);
+/// nullopt otherwise — such tuples take the exact per-chronon fallback.
+/// One definition shared by the hash join's build digesting, its probe
+/// side, and the batch build loops of query/plan.cc.
+std::optional<uint64_t> JoinKeysDigest(
+    const Tuple& t, const std::vector<std::pair<size_t, size_t>>& key_attrs,
+    bool left_side);
 
 }  // namespace hrdm
 

@@ -33,14 +33,22 @@ Predicate Predicate::And(std::vector<Predicate> conjuncts) {
 }
 
 Result<Lifespan> Predicate::TimesWhere(const Tuple& t,
-                                       ValueView view) const {
+                                       ValueView view,
+                                       const Lifespan* scope) const {
   if (conjuncts_.empty()) {
     // The empty conjunction is true everywhere the tuple exists.
-    return t.lifespan();
+    return scope ? t.lifespan().Intersect(*scope) : t.lifespan();
   }
-  auto value_of = [&t, view](size_t i) -> Result<TemporalValue> {
-    if (view == ValueView::kStored) return t.value(i);
-    return t.ModelValue(i);
+  auto value_of = [&t, view, scope](size_t i) -> Result<TemporalValue> {
+    HRDM_ASSIGN_OR_RETURN(
+        TemporalValue v,
+        view == ValueView::kStored ? Result<TemporalValue>(t.value(i))
+                                   : t.ModelValue(i));
+    // Clip to the scope so the comparisons attempted (and hence the
+    // errors raised) match evaluation against `t|_scope`. Restrict is the
+    // identity when the scope already covers the value's domain.
+    if (scope && !scope->ContainsAll(v.domain())) v = v.Restrict(*scope);
+    return v;
   };
   Lifespan acc;
   bool first = true;

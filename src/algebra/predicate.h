@@ -67,9 +67,18 @@ class Predicate {
   /// where any referenced value is undefined does not satisfy the
   /// predicate (undefined "does not exist", Section 3).
   ///
+  /// When `scope` is given, evaluation is restricted to it: every
+  /// referenced value is clipped to `scope` before comparison and the
+  /// result is a subset of `scope`. This is exactly `TimesWhere(t|_scope)`
+  /// — same chronons, same comparisons attempted, same errors — without
+  /// building the restricted tuple, which is what lets a chain of
+  /// restriction operators evaluate its criteria against the accumulated
+  /// effective lifespan and restrict the tuple once at the end.
+  ///
   /// Errors on unknown attribute names or type-incompatible comparisons.
   Result<Lifespan> TimesWhere(const Tuple& t,
-                              ValueView view = ValueView::kModel) const;
+                              ValueView view = ValueView::kModel,
+                              const Lifespan* scope = nullptr) const;
 
   /// \brief True if `t` satisfies the predicate at chronon `s`.
   Result<bool> HoldsAt(const Tuple& t, TimePoint s,

@@ -15,13 +15,17 @@ Result<std::vector<size_t>> ProjectSourceIndices(
   return src;
 }
 
-TuplePtr ProjectTuple(const Tuple& t, const SchemePtr& out_scheme,
+Tuple ProjectTupleRaw(const Tuple& t, const SchemePtr& out_scheme,
                       const std::vector<size_t>& src) {
   std::vector<TemporalValue> values;
   values.reserve(src.size());
   for (size_t idx : src) values.push_back(t.value(idx));
-  return std::make_shared<const Tuple>(
-      Tuple::FromParts(out_scheme, t.lifespan(), std::move(values)));
+  return Tuple::FromParts(out_scheme, t.lifespan(), std::move(values));
+}
+
+TuplePtr ProjectTuple(const Tuple& t, const SchemePtr& out_scheme,
+                      const std::vector<size_t>& src) {
+  return std::make_shared<const Tuple>(ProjectTupleRaw(t, out_scheme, src));
 }
 
 Result<Relation> Project(const Relation& r,

@@ -40,6 +40,11 @@ Result<std::vector<size_t>> ProjectSourceIndices(
 TuplePtr ProjectTuple(const Tuple& t, const SchemePtr& out_scheme,
                       const std::vector<size_t>& src);
 
+/// \brief Raw projection kernel: the narrowed tuple by value, so the batch
+/// cursors in query/plan.h control its allocation (arena placement).
+Tuple ProjectTupleRaw(const Tuple& t, const SchemePtr& out_scheme,
+                      const std::vector<size_t>& src);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_PROJECT_H_

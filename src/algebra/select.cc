@@ -20,15 +20,29 @@ Result<bool> SelectIfMatches(const Tuple& t, const Predicate& p, Quantifier q,
   return holds.ContainsAll(scope);
 }
 
+Result<Lifespan> SelectWhenHolds(const Tuple& t, const Predicate& p) {
+  return p.TimesWhere(t, ValueView::kStored);
+}
+
 Result<TuplePtr> SelectWhenTuple(const TuplePtr& t, const Predicate& p,
                                  const SchemePtr& out_scheme) {
-  HRDM_ASSIGN_OR_RETURN(Lifespan holds, p.TimesWhere(*t, ValueView::kStored));
+  HRDM_ASSIGN_OR_RETURN(Lifespan holds, SelectWhenHolds(*t, p));
   // New lifespan: exactly the chronons when the criterion is met; values
   // restricted to match. Empty results are dropped (the object is never
   // selected).
   Tuple restricted = t->Restrict(holds, out_scheme);
   if (restricted.lifespan().empty()) return TuplePtr();
   return std::make_shared<const Tuple>(std::move(restricted));
+}
+
+Status SelectIfBatch(std::vector<TuplePtr>& batch, const Predicate& p,
+                     Quantifier q, const Lifespan* window,
+                     std::vector<TuplePtr>& out) {
+  for (TuplePtr& t : batch) {
+    HRDM_ASSIGN_OR_RETURN(bool selected, SelectIfMatches(*t, p, q, window));
+    if (selected) out.push_back(std::move(t));
+  }
+  return Status::OK();
 }
 
 Result<Relation> SelectIf(const Relation& r, const Predicate& p, Quantifier q,

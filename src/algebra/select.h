@@ -60,6 +60,20 @@ Result<bool> SelectIfMatches(const Tuple& t, const Predicate& p, Quantifier q,
 Result<TuplePtr> SelectWhenTuple(const TuplePtr& t, const Predicate& p,
                                  const SchemePtr& out_scheme);
 
+/// \brief SELECT-WHEN lifespan kernel: the chronons where `p` holds on `t`
+/// (the restriction SelectWhenTuple applies). Split out so the batch
+/// cursors (query/plan.h) can pass a tuple through unchanged when the
+/// criterion holds over its whole lifespan, and choose the allocation of
+/// the restricted copy otherwise. `t` must be materialized.
+Result<Lifespan> SelectWhenHolds(const Tuple& t, const Predicate& p);
+
+/// \brief Batch SELECT-IF kernel: moves the handles of `batch` that satisfy
+/// the criterion into `out` (appending; `batch` is left holding moved-from
+/// handles). The tight per-batch loop of SelectIfCursor.
+Status SelectIfBatch(std::vector<TuplePtr>& batch, const Predicate& p,
+                     Quantifier q, const Lifespan* window,
+                     std::vector<TuplePtr>& out);
+
 }  // namespace hrdm
 
 #endif  // HRDM_ALGEBRA_SELECT_H_

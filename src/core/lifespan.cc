@@ -42,6 +42,23 @@ Lifespan Lifespan::FromIntervals(std::vector<Interval> ivs) {
   return ls;
 }
 
+Lifespan Lifespan::FromSortedDisjoint(std::vector<Interval> ivs) {
+  // Single merge pass — no sort. Valid, begin-sorted, pairwise-disjoint
+  // input is the caller's contract; only adjacency can remain to fix.
+  size_t out = 0;
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    if (out > 0 && ivs[out - 1].adjacent(ivs[i])) {
+      ivs[out - 1].end = ivs[i].end;
+    } else {
+      ivs[out++] = ivs[i];
+    }
+  }
+  ivs.resize(out);
+  Lifespan ls;
+  ls.intervals_ = std::move(ivs);
+  return ls;
+}
+
 Lifespan Lifespan::FromPoints(std::vector<TimePoint> points) {
   std::vector<Interval> ivs;
   ivs.reserve(points.size());

@@ -47,6 +47,13 @@ class Lifespan {
   /// interval list; invalid intervals are dropped, the rest canonicalised.
   static Lifespan FromIntervals(std::vector<Interval> ivs);
 
+  /// \brief Builds a lifespan from intervals that are already valid, sorted
+  /// by begin and pairwise disjoint (e.g. the output of an interval sweep):
+  /// adjacent runs are merged in one linear pass, nothing is sorted. Feeding
+  /// unsorted or overlapping intervals violates the canonical-form
+  /// invariant — use `FromIntervals` when the input is arbitrary.
+  static Lifespan FromSortedDisjoint(std::vector<Interval> ivs);
+
   /// \brief Builds a lifespan from arbitrary chronons (duplicates fine).
   static Lifespan FromPoints(std::vector<TimePoint> points);
 

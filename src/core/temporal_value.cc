@@ -13,10 +13,13 @@ constexpr uint64_t kFnvPrime = 1099511628211ULL;
 }  // namespace
 
 void TemporalValue::Reindex() {
+  // Segment intervals are a class invariant: valid, begin-sorted, disjoint
+  // (FromSegments establishes it, Constant/Restrict preserve it) — so the
+  // domain needs only the linear adjacent-merge pass, not a full sort.
   std::vector<Interval> ivs;
   ivs.reserve(segments_.size());
   for (const Segment& s : segments_) ivs.push_back(s.interval);
-  domain_ = Lifespan::FromIntervals(std::move(ivs));
+  domain_ = Lifespan::FromSortedDisjoint(std::move(ivs));
   type_ = segments_.empty() ? std::nullopt
                             : std::optional<DomainType>(
                                   segments_.front().value.type());
@@ -100,6 +103,10 @@ Value TemporalValue::ValueAt(TimePoint t) const {
 }
 
 TemporalValue TemporalValue::Restrict(const Lifespan& to) const {
+  // Full cover: restriction is the identity, so skip the sweep (and its
+  // two allocations) entirely. ContainsAll is a linear allocation-free
+  // merge, far cheaper than rebuilding the segment list.
+  if (to.ContainsAll(domain_)) return *this;
   std::vector<Segment> out;
   const auto& ivs = to.intervals();
   size_t j = 0;

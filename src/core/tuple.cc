@@ -162,6 +162,24 @@ Result<Tuple> Tuple::Materialized() const {
   return Tuple(scheme_, lifespan_, std::move(values));
 }
 
+Result<std::shared_ptr<const Tuple>> Tuple::MaterializedShared() const {
+  if (memo_state_.load(std::memory_order_acquire) == kMemoReady) {
+    return materialized_memo_;
+  }
+  HRDM_ASSIGN_OR_RETURN(Tuple m, Materialized());
+  auto fresh = std::make_shared<const Tuple>(std::move(m));
+  uint32_t expected = kMemoEmpty;
+  if (memo_state_.compare_exchange_strong(expected, kMemoClaimed,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    materialized_memo_ = fresh;
+    memo_state_.store(kMemoReady, std::memory_order_release);
+  }
+  // A losing racer keeps its own (equal-valued) materialization rather
+  // than spinning until the winner publishes.
+  return fresh;
+}
+
 std::vector<Value> Tuple::KeyValues() const {
   std::vector<Value> key;
   key.reserve(scheme_->key_indices().size());
@@ -210,12 +228,25 @@ Result<Tuple> Tuple::Merge(const Tuple& other, SchemePtr result_scheme) const {
 
 Tuple Tuple::Restrict(const Lifespan& l, SchemePtr result_scheme) const {
   const SchemePtr& scheme = result_scheme ? result_scheme : scheme_;
+  // Full cover within the same scheme: `t|_L = t` when L ⊇ t.l (every vls
+  // is unchanged too, since vls ⊆ t.l). One tuple copy, no interval sweeps.
+  if (scheme == scheme_ && l.ContainsAll(lifespan_)) return *this;
   Lifespan new_ls = lifespan_.Intersect(l);
   std::vector<TemporalValue> new_vals;
   new_vals.reserve(values_.size());
+  // Restricting within the same scheme cannot move an attribute lifespan,
+  // and a stored value's domain already lies inside its old vls ⊆ ALS(i) —
+  // so domain ∩ (new_ls ∩ ALS(i)) = domain ∩ new_ls and the per-attribute
+  // ALS intersection (an allocation each) can be skipped. Rebinding to a
+  // *different* scheme must still clip to the target's ALS.
+  const bool same_scheme = scheme == scheme_;
   for (size_t i = 0; i < values_.size(); ++i) {
-    const Lifespan vls = new_ls.Intersect(scheme->AttributeLifespan(i));
-    new_vals.push_back(values_[i].Restrict(vls));
+    if (same_scheme) {
+      new_vals.push_back(values_[i].Restrict(new_ls));
+    } else {
+      const Lifespan vls = new_ls.Intersect(scheme->AttributeLifespan(i));
+      new_vals.push_back(values_[i].Restrict(vls));
+    }
   }
   return Tuple(scheme, std::move(new_ls), std::move(new_vals));
 }
@@ -249,6 +280,7 @@ bool Tuple::operator==(const Tuple& other) const {
 }
 
 uint64_t Tuple::Hash() const {
+  if (uint64_t memo = hash_memo_.load(std::memory_order_relaxed)) return memo;
   uint64_t h = 14695981039346656037ULL;
   for (const Interval& iv : lifespan_.intervals()) {
     h = (h ^ static_cast<uint64_t>(iv.begin)) * kFnvPrime;
@@ -257,6 +289,8 @@ uint64_t Tuple::Hash() const {
   for (const TemporalValue& v : values_) {
     h = (h ^ v.Hash()) * kFnvPrime;
   }
+  if (h == 0) h = 1;  // 0 is the "not yet computed" sentinel
+  hash_memo_.store(h, std::memory_order_relaxed);
   return h;
 }
 

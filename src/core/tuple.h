@@ -23,6 +23,7 @@
 ///    `vls` (so the temporal key-uniqueness condition of Section 3 is
 ///    well-defined at every chronon of the tuple's lifespan).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -121,6 +122,20 @@ class Tuple {
   /// into the restriction window and silently change query answers.
   Result<Tuple> Materialized() const;
 
+  /// \brief `Materialized()` as a shared handle, memoized: the first call
+  /// interpolates and caches the model-level tuple; later calls return the
+  /// cached handle without re-running the representation → model mapping.
+  /// Thread-safe: the cache is published with a claim/publish state machine
+  /// (one CAS winner stores, everyone else reads after an acquire load) —
+  /// concurrent first calls race benignly, losers keep their own
+  /// equal-valued materialization instead of waiting for the winner. The
+  /// cache is per-object and is deliberately not copied with the tuple:
+  /// derived tuples (restrictions, projections) are new objects with their
+  /// own — initially empty — memo. Storage-resident tuples are long-lived,
+  /// so repeated scans interpolate each stored tuple exactly once per
+  /// database version, not once per query.
+  Result<std::shared_ptr<const Tuple>> MaterializedShared() const;
+
   /// \brief The constant key values, in key-attribute order.
   std::vector<Value> KeyValues() const;
 
@@ -155,10 +170,45 @@ class Tuple {
   /// (scheme pointers may differ if structurally equal).
   bool operator==(const Tuple& other) const;
 
-  /// \brief 64-bit structural hash (lifespan + values).
+  /// \brief 64-bit structural hash (lifespan + values), memoized: tuples
+  /// are immutable, and relation set-semantics (`InsertDedup`) hashes every
+  /// tuple at least twice (dedup probe + structural index), so the first
+  /// computation is cached. Thread-safe: the memo is a relaxed atomic and
+  /// the hash is a pure function of immutable state, so racing writers
+  /// store the same value.
   uint64_t Hash() const;
 
   std::string ToString() const;
+
+  // The materialization memo is identity-bound, so copies and moves start
+  // with an empty cache (and copying/moving never touches another thread's
+  // published memo).
+  Tuple(const Tuple& other)
+      : scheme_(other.scheme_),
+        lifespan_(other.lifespan_),
+        values_(other.values_) {}
+  Tuple(Tuple&& other) noexcept
+      : scheme_(std::move(other.scheme_)),
+        lifespan_(std::move(other.lifespan_)),
+        values_(std::move(other.values_)) {}
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) {
+      scheme_ = other.scheme_;
+      lifespan_ = other.lifespan_;
+      values_ = other.values_;
+      ResetMemos();
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      scheme_ = std::move(other.scheme_);
+      lifespan_ = std::move(other.lifespan_);
+      values_ = std::move(other.values_);
+      ResetMemos();
+    }
+    return *this;
+  }
 
  private:
   friend class Builder;
@@ -167,9 +217,29 @@ class Tuple {
         lifespan_(std::move(lifespan)),
         values_(std::move(values)) {}
 
+  // Assignment gives the object a new value, so the identity-bound caches
+  // restart empty. Assignment requires exclusive access to *this (like any
+  // non-const use), so plain stores suffice.
+  void ResetMemos() {
+    memo_state_.store(kMemoEmpty, std::memory_order_relaxed);
+    materialized_memo_.reset();
+    hash_memo_.store(0, std::memory_order_relaxed);
+  }
+
+  // States of the materialization memo. `materialized_memo_` itself is a
+  // plain shared_ptr: it is written only by the thread whose CAS takes
+  // kMemoEmpty -> kMemoClaimed, and read only after an acquire load of
+  // kMemoReady observes that thread's release store — a publish pattern
+  // ThreadSanitizer verifies as-is (unlike std::atomic<std::shared_ptr>,
+  // whose embedded lock-bit spinlock TSan cannot model).
+  enum : uint32_t { kMemoEmpty = 0, kMemoClaimed = 1, kMemoReady = 2 };
+
   SchemePtr scheme_;
   Lifespan lifespan_;
   std::vector<TemporalValue> values_;
+  mutable std::atomic<uint32_t> memo_state_{kMemoEmpty};
+  mutable std::shared_ptr<const Tuple> materialized_memo_;
+  mutable std::atomic<uint64_t> hash_memo_{0};  // 0 = not yet computed
 };
 
 /// \brief Shared immutable tuple handle. Relations and cursors pass tuples

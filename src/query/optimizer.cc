@@ -184,6 +184,24 @@ size_t ChooseParallelism(size_t requested, size_t est_tuples, bool force) {
   return std::min(requested, morsels);
 }
 
+size_t DefaultBatchSize() {
+  // Deliberately not cached: the batch-size differential axis re-reads the
+  // override between plans (tests/differential_util.h).
+  if (const char* raw = std::getenv("HRDM_BATCH_SIZE")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(raw, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return kDefaultBatchSize;
+}
+
+size_t ChooseBatchSize(size_t requested) {
+  const size_t wanted = requested == 0 ? DefaultBatchSize() : requested;
+  return std::max<size_t>(1, std::min(wanted, kMorselSize));
+}
+
 std::string_view AccessPathName(AccessPath p) {
   switch (p) {
     case AccessPath::kFullScan:

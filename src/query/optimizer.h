@@ -242,6 +242,30 @@ size_t DefaultParallelism();
 /// suite runs many workers over small inputs on purpose).
 size_t ChooseParallelism(size_t requested, size_t est_tuples, bool force);
 
+// --- batch execution ----------------------------------------------------------
+//
+// Cursors exchange *batches* of tuple handles (query/plan.h), amortizing
+// the per-pull virtual dispatch and keeping the kernel loops tight. Like
+// the degree of parallelism, the batch size is a planning decision made
+// once per plan at lowering time.
+
+/// \brief Tuple handles per cursor batch when nothing overrides it: large
+/// enough to amortize virtual dispatch, small enough that a pipeline's
+/// in-flight batches stay cache-resident.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// \brief The batch size when PlanOptions leaves it 0: the HRDM_BATCH_SIZE
+/// environment variable if set to a positive integer, otherwise
+/// kDefaultBatchSize. Re-read on every call (unlike DefaultParallelism) so
+/// the differential suites can sweep batch sizes within one process.
+size_t DefaultBatchSize();
+
+/// \brief The batch size a plan actually runs with: `requested` (0 = auto,
+/// DefaultBatchSize), clamped to [1, kMorselSize] — a batch never outgrows
+/// the unit of parallel work distribution, so batch-filling drains and
+/// morsel-parallel phases (ChooseParallelism) stay composable.
+size_t ChooseBatchSize(size_t requested);
+
 /// \brief Applies the rewrite rules to a fixpoint (bounded) and returns the
 /// rewritten tree. `stats`, if non-null, receives counters.
 ExprPtr Optimize(const ExprPtr& expr, OptimizerStats* stats = nullptr);

@@ -40,12 +40,12 @@ size_t MorselCountFor(size_t n, size_t morsel) {
 }
 
 /// Interpolates `tuples[begin, end)` in place (representation → model,
-/// Figure 9) — the per-morsel kernel of the parallel scan leaves.
+/// Figure 9) — the per-morsel kernel of the parallel scan leaves. Worker
+/// threads allocate through the heap: the plan arena is coordinator-only.
 Status MaterializeRange(std::vector<TuplePtr>& tuples, size_t begin,
                         size_t end) {
   for (size_t i = begin; i < end; ++i) {
-    HRDM_ASSIGN_OR_RETURN(Tuple m, tuples[i]->Materialized());
-    tuples[i] = std::make_shared<const Tuple>(std::move(m));
+    HRDM_ASSIGN_OR_RETURN(tuples[i], tuples[i]->MaterializedShared());
   }
   return Status::OK();
 }
@@ -79,28 +79,30 @@ Status ParallelMaterialize(std::vector<TuplePtr>& tuples, size_t workers,
 
 /// Runs a cursor to completion into a set-semantics Relation (the
 /// whole-relation operators' output contract). Blocking cursors hand over
-/// their buffered result directly.
+/// their buffered result directly; everything else drains batch-at-a-time.
 Result<Relation> DrainCursor(Cursor* cursor) {
   HRDM_ASSIGN_OR_RETURN(std::optional<Relation> whole,
                         cursor->TakeBuffered());
   if (whole) return std::move(*whole);
   Relation out(cursor->scheme());
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, cursor->Next());
-    if (!t) break;
-    HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(t)));
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, cursor->NextBatch());
+    if (!batch) break;
+    for (TuplePtr& t : *batch) {
+      HRDM_RETURN_IF_ERROR(out.InsertDedup(std::move(t)));
+    }
   }
   out.set_materialized(true);
   return out;
 }
 
-/// Evaluates a lifespan-sorted window expression against the same stats
-/// block as the enclosing plan, so the relations a `when(e)` subquery
+/// Evaluates a lifespan-sorted window expression against the same context
+/// as the enclosing plan, so the relations a `when(e)` subquery
 /// materializes are visible in `peak_buffered` (they are genuine
 /// intermediate materializations — the materializing interpreter counts
 /// them too).
 Result<Lifespan> EvalWindow(const LsExprPtr& expr,
-                            const PlanResolver& resolver, PlanStats* stats,
+                            const PlanResolver& resolver, PlanContext* ctx,
                             const PlanOptions& options) {
   if (!expr) return Status::InvalidArgument("null lifespan expression");
   switch (expr->kind) {
@@ -109,20 +111,20 @@ Result<Lifespan> EvalWindow(const LsExprPtr& expr,
     case LsExprKind::kWhen: {
       HRDM_ASSIGN_OR_RETURN(
           CursorPtr cursor,
-          LowerExpr(expr->relation, resolver, stats, options));
+          LowerExpr(expr->relation, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(Relation rel, DrainCursor(cursor.get()));
-      stats->OnBuffer(rel.size());
+      ctx->stats.OnBuffer(rel.size());
       Lifespan ls = rel.LS();  // Ω(r) = LS(r), §4.5
-      stats->OnRelease(rel.size());
+      ctx->stats.OnRelease(rel.size());
       return ls;
     }
     case LsExprKind::kUnion:
     case LsExprKind::kIntersect:
     case LsExprKind::kDifference: {
       HRDM_ASSIGN_OR_RETURN(Lifespan l,
-                            EvalWindow(expr->left, resolver, stats, options));
+                            EvalWindow(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(Lifespan r,
-                            EvalWindow(expr->right, resolver, stats, options));
+                            EvalWindow(expr->right, resolver, ctx, options));
       switch (expr->kind) {
         case LsExprKind::kUnion:
           return l.Union(r);
@@ -183,11 +185,55 @@ JoinChoice ResolveJoinChoice(const Expr& e, const RelationScheme& ls,
 
 }  // namespace
 
+// --- PlanContext -------------------------------------------------------------
+
+TuplePtr PlanContext::AdoptTuple(Tuple&& t) {
+  if (!arena) return std::make_shared<const Tuple>(std::move(t));
+  const Tuple* obj = arena->Create<Tuple>(std::move(t));
+  stats.arena_bytes = arena->bytes_allocated();
+  // Aliasing handle: shares the arena's control block, points at the
+  // arena-resident tuple — escaping handles keep the whole arena alive.
+  return TuplePtr(arena, obj);
+}
+
+// --- Cursor (tuple-at-a-time compatibility shim) -----------------------------
+
+Result<TuplePtr> Cursor::Next() {
+  while (true) {
+    if (read_ != nullptr && read_pos_ < read_->size()) {
+      return std::move((*read_)[read_pos_++]);
+    }
+    if (read_done_) return TuplePtr();
+    HRDM_ASSIGN_OR_RETURN(read_, NextBatch());
+    read_pos_ = 0;
+    if (read_ == nullptr) {
+      read_done_ = true;
+      return TuplePtr();
+    }
+  }
+}
+
+// --- ScalarCursor ------------------------------------------------------------
+
+Result<TupleBatch*> ScalarCursor::NextBatch() {
+  if (done_) return nullptr;
+  batch_.clear();
+  while (batch_.size() < ctx_->batch_size) {
+    HRDM_ASSIGN_OR_RETURN(TuplePtr t, NextTuple());
+    if (!t) {
+      done_ = true;
+      break;
+    }
+    batch_.push_back(std::move(t));
+  }
+  return EmitOrEnd(batch_);
+}
+
 // --- ScanCursor --------------------------------------------------------------
 
 ScanCursor::ScanCursor(const Relation& rel, size_t parallelism,
-                       PlanStats* stats)
-    : Cursor(rel.scheme(), stats),
+                       PlanContext* ctx)
+    : Cursor(rel.scheme(), ctx),
       tuples_(rel.tuple_ptrs()),
       materialized_(rel.materialized()),
       parallelism_(parallelism) {
@@ -201,29 +247,39 @@ ScanCursor::~ScanCursor() {
   if (parallel_primed_) stats_->OnRelease(tuples_.size());
 }
 
-Result<TuplePtr> ScanCursor::Next() {
+Result<TupleBatch*> ScanCursor::NextBatch() {
   if (parallelism_ > 1 && !parallel_primed_) {
     parallel_primed_ = true;
     HRDM_RETURN_IF_ERROR(ParallelMaterialize(tuples_, parallelism_, stats_));
     materialized_ = true;
     stats_->OnBuffer(tuples_.size());  // interpolated copies, held till death
   }
-  if (pos_ >= tuples_.size()) return TuplePtr();
-  ++stats_->tuples_scanned;
-  const TuplePtr& t = tuples_[pos_++];
-  if (materialized_) return t;
-  // Representation → model mapping (Figure 9), one tuple at a time: the
-  // streaming analogue of MaterializeRelation.
-  HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
-  return std::make_shared<const Tuple>(std::move(m));
+  if (pos_ >= tuples_.size()) return nullptr;
+  const size_t n = std::min(ctx_->batch_size, tuples_.size() - pos_);
+  batch_.clear();
+  if (materialized_) {
+    for (size_t i = 0; i < n; ++i) batch_.push_back(tuples_[pos_ + i]);
+  } else {
+    // Representation → model mapping (Figure 9), one tight loop per batch.
+    // MaterializedShared memoizes per stored tuple, so re-scanning a
+    // database version re-uses the interpolated handles instead of
+    // re-running Figure 9's mapping every query.
+    for (size_t i = 0; i < n; ++i) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr m, tuples_[pos_ + i]->MaterializedShared());
+      batch_.push_back(std::move(m));
+    }
+  }
+  pos_ += n;
+  stats_->tuples_scanned += n;
+  return EmitOrEnd(batch_);
 }
 
 // --- IndexScanCursor ---------------------------------------------------------
 
 IndexScanCursor::IndexScanCursor(SchemePtr scheme, IndexProbeResult probe,
                                  AccessPath path, size_t parallelism,
-                                 PlanStats* stats)
-    : Cursor(std::move(scheme), stats),
+                                 PlanContext* ctx)
+    : Cursor(std::move(scheme), ctx),
       tuples_(std::move(probe.candidates)),
       materialized_(probe.materialized),
       parallelism_(parallelism) {
@@ -241,19 +297,27 @@ IndexScanCursor::~IndexScanCursor() {
   if (parallel_primed_) stats_->OnRelease(tuples_.size());
 }
 
-Result<TuplePtr> IndexScanCursor::Next() {
+Result<TupleBatch*> IndexScanCursor::NextBatch() {
   if (parallelism_ > 1 && !parallel_primed_) {
     parallel_primed_ = true;
     HRDM_RETURN_IF_ERROR(ParallelMaterialize(tuples_, parallelism_, stats_));
     materialized_ = true;
     stats_->OnBuffer(tuples_.size());
   }
-  if (pos_ >= tuples_.size()) return TuplePtr();
-  ++stats_->tuples_scanned;
-  const TuplePtr& t = tuples_[pos_++];
-  if (materialized_) return t;
-  HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
-  return std::make_shared<const Tuple>(std::move(m));
+  if (pos_ >= tuples_.size()) return nullptr;
+  const size_t n = std::min(ctx_->batch_size, tuples_.size() - pos_);
+  batch_.clear();
+  if (materialized_) {
+    for (size_t i = 0; i < n; ++i) batch_.push_back(tuples_[pos_ + i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      HRDM_ASSIGN_OR_RETURN(TuplePtr m, tuples_[pos_ + i]->MaterializedShared());
+      batch_.push_back(std::move(m));
+    }
+  }
+  pos_ += n;
+  stats_->tuples_scanned += n;
+  return EmitOrEnd(batch_);
 }
 
 // --- SelectIfCursor ----------------------------------------------------------
@@ -261,90 +325,158 @@ Result<TuplePtr> IndexScanCursor::Next() {
 SelectIfCursor::SelectIfCursor(CursorPtr child, Predicate predicate,
                                Quantifier quantifier,
                                std::optional<Lifespan> window,
-                               PlanStats* stats)
-    : Cursor(child->scheme(), stats),
+                               PlanContext* ctx)
+    : Cursor(child->scheme(), ctx),
       child_(std::move(child)),
       predicate_(std::move(predicate)),
       quantifier_(quantifier),
       window_(std::move(window)) {}
 
-Result<TuplePtr> SelectIfCursor::Next() {
+Result<TupleBatch*> SelectIfCursor::NextBatch() {
+  // Keep pulling child batches until one survives the filter (batches are
+  // never empty, so a fully-filtered input batch is skipped, not emitted).
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
-    if (!t) return TuplePtr();
-    HRDM_ASSIGN_OR_RETURN(
-        bool selected,
-        SelectIfMatches(*t, predicate_, quantifier_,
-                        window_ ? &*window_ : nullptr));
-    if (selected) return t;
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* in, child_->NextBatch());
+    if (!in) return nullptr;
+    out_.clear();
+    HRDM_RETURN_IF_ERROR(SelectIfBatch(*in, predicate_, quantifier_,
+                                       window_ ? &*window_ : nullptr, out_));
+    if (!out_.empty()) return EmitOrEnd(out_);
   }
 }
 
 // --- SelectWhenCursor --------------------------------------------------------
 
 SelectWhenCursor::SelectWhenCursor(CursorPtr child, Predicate predicate,
-                                   PlanStats* stats)
-    : Cursor(child->scheme(), stats),
-      child_(std::move(child)),
-      predicate_(std::move(predicate)) {}
+                                   PlanContext* ctx)
+    : Cursor(child->scheme(), ctx), child_(std::move(child)) {
+  stages_.emplace_back(std::move(predicate));
+}
 
-Result<TuplePtr> SelectWhenCursor::Next() {
+SelectWhenCursor::SelectWhenCursor(CursorPtr child, std::vector<Stage> stages,
+                                   SchemePtr project_scheme,
+                                   std::vector<size_t> project_src,
+                                   PlanContext* ctx)
+    : Cursor(project_scheme ? std::move(project_scheme) : child->scheme(),
+             ctx),
+      child_(std::move(child)),
+      stages_(std::move(stages)),
+      project_(!project_src.empty()),  // projection lists are never empty
+      project_src_(std::move(project_src)) {}
+
+Result<TupleBatch*> SelectWhenCursor::NextBatch() {
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
-    if (!t) return TuplePtr();
-    HRDM_ASSIGN_OR_RETURN(TuplePtr selected,
-                          SelectWhenTuple(t, predicate_, scheme_));
-    if (selected) return selected;
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* in, child_->NextBatch());
+    if (!in) return nullptr;
+    out_.clear();
+    for (TuplePtr& t : *in) {
+      // Accumulate the chain's effective lifespan, innermost stage first.
+      // Criteria are evaluated scoped to the lifespan accumulated so far,
+      // which equals SelectWhenHolds on the stage-restricted tuple — so the
+      // chronons kept, the comparisons attempted, and the per-stage drops
+      // all match the unfused pipeline, with a single Restrict at the end.
+      Lifespan eff = t->lifespan();
+      for (const Stage& stage : stages_) {
+        if (const Lifespan* window = std::get_if<Lifespan>(&stage)) {
+          eff = eff.Intersect(*window);
+        } else {
+          HRDM_ASSIGN_OR_RETURN(
+              eff, std::get<Predicate>(stage).TimesWhere(
+                       *t, ValueView::kStored, &eff));
+        }
+        if (eff.empty()) break;
+      }
+      if (eff.empty()) continue;
+      if (project_) {
+        // Fused restrict+project: only the kept attributes are restricted,
+        // straight into the projected tuple. Equal to ProjectTupleRaw over
+        // the restricted tuple — projection copies values verbatim, so the
+        // two operations commute attribute-by-attribute.
+        std::vector<TemporalValue> values;
+        values.reserve(project_src_.size());
+        for (size_t idx : project_src_) {
+          values.push_back(t->value(idx).Restrict(eff));
+        }
+        out_.push_back(ctx_->AdoptTuple(
+            Tuple::FromParts(scheme_, eff, std::move(values))));
+        continue;
+      }
+      // Identity fast path: the whole chain holds over the whole lifespan,
+      // so Restrict would rebuild the tuple unchanged — re-emit the handle.
+      if (t->scheme() == scheme_ && eff.ContainsAll(t->lifespan())) {
+        out_.push_back(std::move(t));
+        continue;
+      }
+      Tuple restricted = t->Restrict(eff, scheme_);
+      if (restricted.lifespan().empty()) continue;
+      out_.push_back(ctx_->AdoptTuple(std::move(restricted)));
+    }
+    if (!out_.empty()) return EmitOrEnd(out_);
   }
 }
 
 // --- ProjectCursor -----------------------------------------------------------
 
 ProjectCursor::ProjectCursor(CursorPtr child, SchemePtr out_scheme,
-                             std::vector<size_t> src, PlanStats* stats)
-    : Cursor(std::move(out_scheme), stats),
+                             std::vector<size_t> src, PlanContext* ctx)
+    : Cursor(std::move(out_scheme), ctx),
       child_(std::move(child)),
       src_(std::move(src)) {}
 
-Result<TuplePtr> ProjectCursor::Next() {
-  HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
-  if (!t) return TuplePtr();
-  return ProjectTuple(*t, scheme_, src_);
+Result<TupleBatch*> ProjectCursor::NextBatch() {
+  HRDM_ASSIGN_OR_RETURN(TupleBatch* in, child_->NextBatch());
+  if (!in) return nullptr;
+  out_.clear();
+  for (const TuplePtr& t : *in) {
+    out_.push_back(ctx_->AdoptTuple(ProjectTupleRaw(*t, scheme_, src_)));
+  }
+  return EmitOrEnd(out_);
 }
 
 // --- TimeSliceCursor ---------------------------------------------------------
 
 TimeSliceCursor::TimeSliceCursor(CursorPtr child, Lifespan window,
-                                 PlanStats* stats)
-    : Cursor(child->scheme(), stats),
+                                 PlanContext* ctx)
+    : Cursor(child->scheme(), ctx),
       child_(std::move(child)),
       window_(std::move(window)) {}
 
 TimeSliceCursor::TimeSliceCursor(CursorPtr child, size_t attr_idx,
-                                 PlanStats* stats)
-    : Cursor(child->scheme(), stats),
+                                 PlanContext* ctx)
+    : Cursor(child->scheme(), ctx),
       child_(std::move(child)),
       attr_idx_(attr_idx) {}
 
-Result<TuplePtr> TimeSliceCursor::Next() {
+Result<TupleBatch*> TimeSliceCursor::NextBatch() {
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
-    if (!t) return TuplePtr();
-    TuplePtr sliced;
-    if (window_) {
-      sliced = TimeSliceTuple(t, *window_, scheme_);
-    } else {
-      HRDM_ASSIGN_OR_RETURN(sliced, DynSliceTuple(t, attr_idx_, scheme_));
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* in, child_->NextBatch());
+    if (!in) return nullptr;
+    out_.clear();
+    for (TuplePtr& t : *in) {
+      if (window_) {
+        // Identity fast path: the window covers the whole lifespan, so the
+        // restriction cannot remove anything — re-emit the handle.
+        if (t->scheme() == scheme_ && window_->ContainsAll(t->lifespan())) {
+          out_.push_back(std::move(t));
+          continue;
+        }
+        std::optional<Tuple> sliced = TimeSliceTupleRaw(*t, *window_, scheme_);
+        if (sliced) out_.push_back(ctx_->AdoptTuple(*std::move(sliced)));
+      } else {
+        HRDM_ASSIGN_OR_RETURN(TuplePtr sliced,
+                              DynSliceTuple(t, attr_idx_, scheme_));
+        if (sliced) out_.push_back(std::move(sliced));
+      }
     }
-    if (sliced) return sliced;
+    if (!out_.empty()) return EmitOrEnd(out_);
   }
 }
 
 // --- ProductJoinCursor -------------------------------------------------------
 
 ProductJoinCursor::ProductJoinCursor(CursorPtr left, CursorPtr right,
-                                     SchemePtr out_scheme, PlanStats* stats)
-    : Cursor(std::move(out_scheme), stats),
+                                     SchemePtr out_scheme, PlanContext* ctx)
+    : ScalarCursor(std::move(out_scheme), ctx),
       left_(std::move(left)),
       right_(std::move(right)) {}
 
@@ -352,7 +484,7 @@ ProductJoinCursor::~ProductJoinCursor() {
   stats_->OnRelease(right_buffer_.size());
 }
 
-Result<TuplePtr> ProductJoinCursor::Next() {
+Result<TuplePtr> ProductJoinCursor::NextTuple() {
   if (!primed_) {
     primed_ = true;
     while (true) {
@@ -386,8 +518,8 @@ Result<TuplePtr> ProductJoinCursor::Next() {
 
 NestedLoopJoinCursor::NestedLoopJoinCursor(CursorPtr left, CursorPtr right,
                                            JoinAssembly assembly,
-                                           JoinPairFn pair, PlanStats* stats)
-    : Cursor(assembly.scheme(), stats),
+                                           JoinPairFn pair, PlanContext* ctx)
+    : ScalarCursor(assembly.scheme(), ctx),
       left_(std::move(left)),
       right_(std::move(right)),
       assembly_(std::move(assembly)),
@@ -399,7 +531,7 @@ NestedLoopJoinCursor::~NestedLoopJoinCursor() {
   stats_->OnRelease(right_buffer_.size());
 }
 
-Result<TuplePtr> NestedLoopJoinCursor::Next() {
+Result<TuplePtr> NestedLoopJoinCursor::NextTuple() {
   if (!primed_) {
     primed_ = true;
     while (true) {
@@ -428,8 +560,7 @@ Result<TuplePtr> NestedLoopJoinCursor::Next() {
     ++stats_->join_pairs_tested;
     HRDM_ASSIGN_OR_RETURN(Lifespan l, pair_(*current_left_, t2));
     if (l.empty()) continue;
-    return std::make_shared<const Tuple>(
-        assembly_.Assemble(*current_left_, t2, l));
+    return ctx_->AdoptTuple(assembly_.Assemble(*current_left_, t2, l));
   }
 }
 
@@ -438,8 +569,8 @@ Result<TuplePtr> NestedLoopJoinCursor::Next() {
 HashEquiJoinCursor::HashEquiJoinCursor(
     CursorPtr left, CursorPtr right, bool build_left,
     std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
-    JoinPairFn pair, size_t parallelism, PlanStats* stats)
-    : Cursor(assembly.scheme(), stats),
+    JoinPairFn pair, size_t parallelism, PlanContext* ctx)
+    : Cursor(assembly.scheme(), ctx),
       left_(std::move(left)),
       right_(std::move(right)),
       build_left_(build_left),
@@ -454,8 +585,8 @@ HashEquiJoinCursor::HashEquiJoinCursor(
 HashEquiJoinCursor::HashEquiJoinCursor(
     CursorPtr probe, IndexedBuildSide build, bool build_left,
     std::vector<std::pair<size_t, size_t>> key_attrs, JoinAssembly assembly,
-    JoinPairFn pair, size_t parallelism, PlanStats* stats)
-    : Cursor(assembly.scheme(), stats),
+    JoinPairFn pair, size_t parallelism, PlanContext* ctx)
+    : Cursor(assembly.scheme(), ctx),
       build_left_(build_left),
       key_attrs_(std::move(key_attrs)),
       assembly_(std::move(assembly)),
@@ -474,30 +605,15 @@ HashEquiJoinCursor::~HashEquiJoinCursor() {
   if (parallel_probed_) stats_->OnRelease(parallel_out_.size());
 }
 
-std::optional<uint64_t> HashEquiJoinCursor::DigestOf(const Tuple& t,
-                                                     bool left_side) const {
-  // A tuple's join columns digest time-invariantly only if every one is a
-  // constant function over its lifespan (the paper's CD membership). Mixed
-  // digests combine per-column digests order-sensitively.
-  uint64_t h = kJoinKeyDigestSeed;
-  for (const auto& [la, ra] : key_attrs_) {
-    const TemporalValue& v = t.value(left_side ? la : ra);
-    if (!v.IsConstant()) return std::nullopt;
-    h = CombineJoinKeyDigest(h, JoinKeyDigest(v.ConstantValue()));
-  }
-  return h;
-}
-
 Status HashEquiJoinCursor::Prime() {
   primed_ = true;
   if (prebuilt_) {
     // Index-fed build: the value index already partitioned the build side
     // by the raw digest of its (single) join column; fold each group's
-    // digest exactly as DigestOf folds the probe side's.
+    // digest exactly as JoinKeysDigest folds the probe side's.
     auto adopt = [&](TuplePtr t) -> Result<size_t> {
       if (!prebuilt_->materialized) {
-        HRDM_ASSIGN_OR_RETURN(Tuple m, t->Materialized());
-        t = std::make_shared<const Tuple>(std::move(m));
+        HRDM_ASSIGN_OR_RETURN(t, t->MaterializedShared());
       }
       build_.push_back(std::move(t));
       stats_->OnBuffer(1);
@@ -522,24 +638,29 @@ Status HashEquiJoinCursor::Prime() {
     // Parallel build: the drain stays on the coordinator (cursor pulls are
     // serial by design), the digesting goes to the pool.
     while (true) {
-      HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
-      if (!t) break;
-      build_.push_back(std::move(t));
-      stats_->OnBuffer(1);
+      HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, build_child->NextBatch());
+      if (!batch) break;
+      for (TuplePtr& t : *batch) {
+        build_.push_back(std::move(t));
+        stats_->OnBuffer(1);
+      }
     }
     return PartitionBuildParallel();
   }
+  // Serial build: digest batch-at-a-time as the drain goes.
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, build_child->Next());
-    if (!t) break;
-    const size_t idx = build_.size();
-    if (auto digest = DigestOf(*t, build_left_)) {
-      buckets_[*digest].push_back(idx);
-    } else {
-      varying_.push_back(idx);
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, build_child->NextBatch());
+    if (!batch) break;
+    for (TuplePtr& t : *batch) {
+      const size_t idx = build_.size();
+      if (auto digest = JoinKeysDigest(*t, key_attrs_, build_left_)) {
+        buckets_[*digest].push_back(idx);
+      } else {
+        varying_.push_back(idx);
+      }
+      build_.push_back(std::move(t));
+      stats_->OnBuffer(1);
     }
-    build_.push_back(std::move(t));
-    stats_->OnBuffer(1);
   }
   return Status::OK();
 }
@@ -565,7 +686,8 @@ Status HashEquiJoinCursor::PartitionBuildParallel() {
         Partition& p = parts[begin / morsel];
         p.worker_id = worker_id;
         for (size_t i = begin; i < end; ++i) {
-          if (auto digest = DigestOf(*build_[i], build_left_)) {
+          if (auto digest = JoinKeysDigest(*build_[i], key_attrs_,
+                                           build_left_)) {
             p.digested.emplace_back(*digest, i);
           } else {
             p.varying.push_back(i);
@@ -588,14 +710,15 @@ Status HashEquiJoinCursor::PartitionBuildParallel() {
   return Status::OK();
 }
 
-Result<TuplePtr> HashEquiJoinCursor::TryPair(size_t build_idx) {
+Status HashEquiJoinCursor::TryPairInto(size_t build_idx, TupleBatch& out) {
   const Tuple& b = *build_[build_idx];
   const Tuple& t1 = build_left_ ? b : *probe_;
   const Tuple& t2 = build_left_ ? *probe_ : b;
   ++stats_->join_pairs_tested;
   HRDM_ASSIGN_OR_RETURN(Lifespan l, pair_(t1, t2));
-  if (l.empty()) return TuplePtr();
-  return std::make_shared<const Tuple>(assembly_.Assemble(t1, t2, l));
+  if (l.empty()) return Status::OK();
+  out.push_back(ctx_->AdoptTuple(assembly_.Assemble(t1, t2, l)));
+  return Status::OK();
 }
 
 Status HashEquiJoinCursor::ProbeOne(const TuplePtr& probe,
@@ -604,6 +727,7 @@ Status HashEquiJoinCursor::ProbeOne(const TuplePtr& probe,
   // The worker-side mirror of the serial probe loop: same candidate order
   // (digest bucket, then varying; or the full scan when the probe digest is
   // unavailable), so per-probe output order matches the serial emission.
+  // Heap-allocates its output — the plan arena is coordinator-only.
   auto try_pair = [&](size_t build_idx) -> Status {
     const Tuple& b = *build_[build_idx];
     const Tuple& t1 = build_left_ ? b : *probe;
@@ -616,7 +740,7 @@ Status HashEquiJoinCursor::ProbeOne(const TuplePtr& probe,
     }
     return Status::OK();
   };
-  if (auto digest = DigestOf(*probe, !build_left_)) {
+  if (auto digest = JoinKeysDigest(*probe, key_attrs_, !build_left_)) {
     auto it = buckets_.find(*digest);
     if (it != buckets_.end()) {
       for (size_t idx : it->second) HRDM_RETURN_IF_ERROR(try_pair(idx));
@@ -638,9 +762,9 @@ Status HashEquiJoinCursor::RunProbeParallel() {
   // evaluation when the build side is empty), then probe morsel-parallel.
   std::vector<TuplePtr> probes;
   while (true) {
-    HRDM_ASSIGN_OR_RETURN(TuplePtr t, probe_child->Next());
-    if (!t) break;
-    probes.push_back(std::move(t));
+    HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, probe_child->NextBatch());
+    if (!batch) break;
+    for (TuplePtr& t : *batch) probes.push_back(std::move(t));
   }
   stats_->OnBuffer(probes.size());
   if (build_.empty() || probes.empty()) {
@@ -687,7 +811,7 @@ Status HashEquiJoinCursor::RunProbeParallel() {
   return Status::OK();
 }
 
-Result<TuplePtr> HashEquiJoinCursor::Next() {
+Result<TupleBatch*> HashEquiJoinCursor::NextBatch() {
   if (!primed_) {
     HRDM_RETURN_IF_ERROR(Prime());
   }
@@ -695,28 +819,40 @@ Result<TuplePtr> HashEquiJoinCursor::Next() {
     if (!parallel_probed_) {
       HRDM_RETURN_IF_ERROR(RunProbeParallel());
     }
-    if (parallel_out_pos_ >= parallel_out_.size()) return TuplePtr();
-    return parallel_out_[parallel_out_pos_++];
+    // Stream the concatenated parallel output in batch-size slices.
+    if (parallel_out_pos_ >= parallel_out_.size()) return nullptr;
+    const size_t n =
+        std::min(ctx_->batch_size, parallel_out_.size() - parallel_out_pos_);
+    out_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      out_.push_back(std::move(parallel_out_[parallel_out_pos_ + i]));
+    }
+    parallel_out_pos_ += n;
+    return EmitOrEnd(out_);
   }
   Cursor* probe_child = build_left_ ? right_.get() : left_.get();
   if (build_.empty()) {
     // Evaluate the probe side anyway for error parity with the
     // materializing path.
     while (true) {
-      HRDM_ASSIGN_OR_RETURN(TuplePtr t, probe_child->Next());
-      if (!t) return TuplePtr();
+      HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, probe_child->NextBatch());
+      if (!batch) return nullptr;
     }
   }
-  while (true) {
+  // Fill the output batch, suspending the candidate walk wherever it fills;
+  // probe_ and the bucket/varying positions persist across calls, so the
+  // next pull resumes exactly where this one stopped.
+  out_.clear();
+  while (out_.size() < ctx_->batch_size) {
     if (!probe_) {
       HRDM_ASSIGN_OR_RETURN(probe_, probe_child->Next());
-      if (!probe_) return TuplePtr();
+      if (!probe_) break;  // probe side exhausted: flush what we have
       bucket_ = nullptr;
       bucket_pos_ = 0;
       in_varying_ = false;
       scan_all_ = false;
       scan_pos_ = 0;
-      if (auto digest = DigestOf(*probe_, !build_left_)) {
+      if (auto digest = JoinKeysDigest(*probe_, key_attrs_, !build_left_)) {
         auto it = buckets_.find(*digest);
         if (it != buckets_.end()) bucket_ = &it->second;
       } else {
@@ -726,36 +862,37 @@ Result<TuplePtr> HashEquiJoinCursor::Next() {
       }
     }
     if (scan_all_) {
-      while (scan_pos_ < build_.size()) {
-        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair(scan_pos_++));
-        if (out) return out;
+      while (scan_pos_ < build_.size() && out_.size() < ctx_->batch_size) {
+        HRDM_RETURN_IF_ERROR(TryPairInto(scan_pos_++, out_));
       }
-    } else {
-      // Digest-matching partition first, then the varying build tuples
-      // (which may match anything at some chronon).
-      while (bucket_ && bucket_pos_ < bucket_->size()) {
-        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair((*bucket_)[bucket_pos_++]));
-        if (out) return out;
-      }
-      if (!in_varying_) {
-        in_varying_ = true;
-        scan_pos_ = 0;
-      }
-      while (scan_pos_ < varying_.size()) {
-        HRDM_ASSIGN_OR_RETURN(TuplePtr out, TryPair(varying_[scan_pos_++]));
-        if (out) return out;
-      }
+      if (scan_pos_ >= build_.size()) probe_.reset();
+      continue;
     }
-    probe_.reset();  // exhausted candidates; pull the next probe tuple
+    // Digest-matching partition first, then the varying build tuples
+    // (which may match anything at some chronon).
+    while (bucket_ && bucket_pos_ < bucket_->size() &&
+           out_.size() < ctx_->batch_size) {
+      HRDM_RETURN_IF_ERROR(TryPairInto((*bucket_)[bucket_pos_++], out_));
+    }
+    if (bucket_ && bucket_pos_ < bucket_->size()) continue;  // batch full
+    if (!in_varying_) {
+      in_varying_ = true;
+      scan_pos_ = 0;
+    }
+    while (scan_pos_ < varying_.size() && out_.size() < ctx_->batch_size) {
+      HRDM_RETURN_IF_ERROR(TryPairInto(varying_[scan_pos_++], out_));
+    }
+    if (scan_pos_ >= varying_.size()) probe_.reset();
   }
+  return EmitOrEnd(out_);
 }
 
 // --- MergeTimeJoinCursor -----------------------------------------------------
 
 MergeTimeJoinCursor::MergeTimeJoinCursor(CursorPtr left, CursorPtr right,
                                          size_t attr_a, JoinAssembly assembly,
-                                         PlanStats* stats)
-    : Cursor(assembly.scheme(), stats),
+                                         PlanContext* ctx)
+    : ScalarCursor(assembly.scheme(), ctx),
       left_(std::move(left)),
       right_(std::move(right)),
       attr_a_(attr_a),
@@ -802,7 +939,7 @@ Status MergeTimeJoinCursor::Prime() {
   return Status::OK();
 }
 
-Result<TuplePtr> MergeTimeJoinCursor::Next() {
+Result<TuplePtr> MergeTimeJoinCursor::NextTuple() {
   if (!primed_) {
     HRDM_RETURN_IF_ERROR(Prime());
   }
@@ -829,8 +966,7 @@ Result<TuplePtr> MergeTimeJoinCursor::Next() {
       ++stats_->join_pairs_tested;
       Lifespan l = L.effective.Intersect(R.effective);
       if (l.empty()) continue;
-      return std::make_shared<const Tuple>(
-          assembly_.Assemble(*L.tuple, *R.tuple, l));
+      return ctx_->AdoptTuple(assembly_.Assemble(*L.tuple, *R.tuple, l));
     }
     ++li_;
     left_open_ = false;
@@ -852,10 +988,14 @@ Status BufferedResultCursor::EnsurePrimed() {
   return Status::OK();
 }
 
-Result<TuplePtr> BufferedResultCursor::Next() {
+Result<TupleBatch*> BufferedResultCursor::NextBatch() {
   HRDM_RETURN_IF_ERROR(EnsurePrimed());
-  if (!result_ || pos_ >= result_->size()) return TuplePtr();
-  return result_->tuple_ptr(pos_++);
+  if (!result_ || pos_ >= result_->size()) return nullptr;
+  const size_t n = std::min(ctx_->batch_size, result_->size() - pos_);
+  batch_.clear();
+  for (size_t i = 0; i < n; ++i) batch_.push_back(result_->tuple_ptr(pos_ + i));
+  pos_ += n;
+  return EmitOrEnd(batch_);
 }
 
 Result<std::optional<Relation>> BufferedResultCursor::TakeBuffered() {
@@ -873,8 +1013,8 @@ Result<std::optional<Relation>> BufferedResultCursor::TakeBuffered() {
 HashAggregateCursor::HashAggregateCursor(CursorPtr child,
                                          GroupedAggregator aggregator,
                                          size_t estimated_groups,
-                                         size_t parallelism, PlanStats* stats)
-    : BufferedResultCursor(aggregator.scheme(), stats),
+                                         size_t parallelism, PlanContext* ctx)
+    : BufferedResultCursor(aggregator.scheme(), ctx),
       child_(std::move(child)),
       aggregator_(std::move(aggregator)),
       parallelism_(parallelism) {
@@ -886,10 +1026,7 @@ HashAggregateCursor::HashAggregateCursor(CursorPtr child,
 
 Status HashAggregateCursor::FoldAll(const std::vector<TuplePtr>& handles) {
   if (parallelism_ <= 1 || handles.size() < 2) {
-    for (const TuplePtr& t : handles) {
-      HRDM_RETURN_IF_ERROR(aggregator_.Fold(*t));
-    }
-    return Status::OK();
+    return aggregator_.FoldBatch(handles.data(), handles.size());
   }
   // Morsel-parallel fold: each morsel folds its contiguous input slice into
   // a Fork()ed partial; merging the partials in morsel order reconstructs
@@ -908,10 +1045,7 @@ Status HashAggregateCursor::FoldAll(const std::vector<TuplePtr>& handles) {
       [&](size_t begin, size_t end, size_t worker_id) -> Status {
         GroupedAggregator& partial = partials[begin / morsel];
         morsel_worker[begin / morsel] = worker_id;
-        for (size_t i = begin; i < end; ++i) {
-          HRDM_RETURN_IF_ERROR(partial.Fold(*handles[i]));
-        }
-        return Status::OK();
+        return partial.FoldBatch(handles.data() + begin, end - begin);
       },
       &dispatched));
   stats_->morsels_dispatched += dispatched;
@@ -942,12 +1076,14 @@ Result<Relation> HashAggregateCursor::Prime() {
   } else {
     Relation seen(child_->scheme());
     while (true) {
-      HRDM_ASSIGN_OR_RETURN(TuplePtr t, child_->Next());
-      if (!t) break;
-      const size_t before = seen.size();
-      HRDM_RETURN_IF_ERROR(seen.InsertDedup(std::move(t)));
-      if (seen.size() == before) continue;  // structural duplicate
-      stats_->OnBuffer(1);
+      HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, child_->NextBatch());
+      if (!batch) break;
+      for (TuplePtr& t : *batch) {
+        const size_t before = seen.size();
+        HRDM_RETURN_IF_ERROR(seen.InsertDedup(std::move(t)));
+        if (seen.size() == before) continue;  // structural duplicate
+        stats_->OnBuffer(1);
+      }
     }
     HRDM_RETURN_IF_ERROR(FoldAll(seen.tuple_ptrs()));
     stats_->OnRelease(seen.size());
@@ -969,8 +1105,8 @@ Result<Relation> HashAggregateCursor::Prime() {
 
 SetOpCursor::SetOpCursor(CursorPtr left, CursorPtr right,
                          SchemePtr out_scheme, WholeRelationOp op,
-                         PlanStats* stats)
-    : BufferedResultCursor(std::move(out_scheme), stats),
+                         PlanContext* ctx)
+    : BufferedResultCursor(std::move(out_scheme), ctx),
       left_(std::move(left)),
       right_(std::move(right)),
       op_(std::move(op)) {}
@@ -1018,7 +1154,7 @@ AccessPath ResolveAccessPath(const AccessPathChoice& choice,
 /// one (lifespan probes need it).
 Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
                                         const PlanResolver& resolver,
-                                        PlanStats* stats,
+                                        PlanContext* ctx,
                                         const PlanOptions& options) {
   if (op.left && op.left->kind == ExprKind::kRelationRef) {
     const AccessPathChoice choice = ChooseAccessPath(
@@ -1034,7 +1170,7 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
                               probe->candidates.size(), options.force_parallel);
         return MakeCursor<IndexScanCursor>(
             rel->scheme(), std::move(*probe), AccessPath::kValueIndex,
-            parallelism, stats);
+            parallelism, ctx);
       }
     }
     if (path == AccessPath::kLifespanIndex && options.lifespan_probe &&
@@ -1046,11 +1182,90 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
                               probe->candidates.size(), options.force_parallel);
         return MakeCursor<IndexScanCursor>(
             rel->scheme(), std::move(*probe), AccessPath::kLifespanIndex,
-            parallelism, stats);
+            parallelism, ctx);
       }
     }
   }
-  return LowerExpr(op.left, resolver, stats, options);
+  return LowerExpr(op.left, resolver, ctx, options);
+}
+
+/// Lowers the maximal chain of consecutive SELECT-WHEN / static TIME-SLICE
+/// nodes rooted at `expr` into a single fused restriction cursor. Both
+/// operators are pointwise restrictions of the model-level tuple
+/// (`t|_window`, `t|_holds`), so a chain composes to one restriction by
+/// the intersection of its stages' lifespans — the fused cursor computes
+/// that intersection innermost-first (criteria scoped to the accumulated
+/// lifespan, matching what they would see on the stage-restricted tuple)
+/// and restricts each surviving tuple once. Slice windows are evaluated in
+/// lowering order (outermost first), exactly as the unfused per-node
+/// lowering evaluates them. Adjacent windows fold into their intersection;
+/// a chain that is windows-only stays a plain TimeSliceCursor. The chain's
+/// base input goes through the access-path chooser for the innermost node,
+/// with the intersection of every window in the chain as the probe window
+/// — any surviving tuple overlaps it, so the candidate superset is exact
+/// and tighter than the innermost window alone.
+///
+/// `project_attrs`, when given, is a PROJECT sitting directly above the
+/// chain; it fuses into the cursor's emission (only kept attributes are
+/// restricted). The projection is resolved against the chain's scheme
+/// after the chain is lowered, preserving the unfused error order
+/// (window evaluation before projection validation).
+Result<CursorPtr> LowerRestrictionChain(
+    const ExprPtr& expr, const PlanResolver& resolver, PlanContext* ctx,
+    const PlanOptions& options,
+    const std::vector<std::string>* project_attrs = nullptr) {
+  std::vector<SelectWhenCursor::Stage> stages;  // collected outermost-first
+  std::optional<Lifespan> probe_window;
+  const Expr* node = expr.get();
+  while (true) {
+    if (node->kind == ExprKind::kSelectWhen) {
+      stages.emplace_back(*node->predicate);
+    } else {
+      HRDM_ASSIGN_OR_RETURN(
+          Lifespan window, EvalWindow(node->window, resolver, ctx, options));
+      probe_window =
+          probe_window ? probe_window->Intersect(window) : window;
+      if (!stages.empty() &&
+          std::holds_alternative<Lifespan>(stages.back())) {
+        // Two slices with no criterion between them restrict to the
+        // intersection; fold them into one stage.
+        Lifespan& prev = std::get<Lifespan>(stages.back());
+        prev = prev.Intersect(window);
+      } else {
+        stages.emplace_back(std::move(window));
+      }
+    }
+    const Expr* child = node->left.get();
+    if (child && (child->kind == ExprKind::kSelectWhen ||
+                  child->kind == ExprKind::kTimeSlice)) {
+      node = child;
+      continue;
+    }
+    break;
+  }
+  // `node` is now the innermost restriction; its input is the chain's base.
+  HRDM_ASSIGN_OR_RETURN(
+      CursorPtr child,
+      LowerRestrictionInput(*node, probe_window ? &*probe_window : nullptr,
+                            resolver, ctx, options));
+  std::reverse(stages.begin(), stages.end());  // innermost-first
+  if (project_attrs) {
+    HRDM_ASSIGN_OR_RETURN(SchemePtr out_scheme,
+                          child->scheme()->Project(*project_attrs));
+    HRDM_ASSIGN_OR_RETURN(
+        std::vector<size_t> src,
+        ProjectSourceIndices(*child->scheme(), *out_scheme));
+    return MakeCursor<SelectWhenCursor>(std::move(child), std::move(stages),
+                                        std::move(out_scheme), std::move(src),
+                                        ctx);
+  }
+  if (stages.size() == 1 && std::holds_alternative<Lifespan>(stages[0])) {
+    return MakeCursor<TimeSliceCursor>(
+        std::move(child), std::move(std::get<Lifespan>(stages[0])), ctx);
+  }
+  return MakeCursor<SelectWhenCursor>(std::move(child), std::move(stages),
+                                      SchemePtr(), std::vector<size_t>(),
+                                      ctx);
 }
 
 /// Attempts an index-fed hash equi-join lowering: when both operands are
@@ -1062,7 +1277,7 @@ Result<CursorPtr> LowerRestrictionInput(const Expr& op, const Lifespan* window,
 /// to bare-relation operands so the decision needs no speculative lowering.
 Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
                                       const PlanResolver& resolver,
-                                      PlanStats* stats,
+                                      PlanContext* ctx,
                                       const PlanOptions& options) {
   if (!options.indexed_build) return CursorPtr();
   if (options.force_access_path == AccessPath::kFullScan) return CursorPtr();
@@ -1114,7 +1329,7 @@ Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
 
   HRDM_ASSIGN_OR_RETURN(
       CursorPtr probe,
-      LowerExpr(choice.build_left ? expr->right : expr->left, resolver, stats,
+      LowerExpr(choice.build_left ? expr->right : expr->left, resolver, ctx,
                 options));
   JoinAssembly assembly(std::move(out_scheme), *ls, *rs);
   const size_t parallelism =
@@ -1124,18 +1339,18 @@ Result<CursorPtr> TryIndexFedEquiJoin(const ExprPtr& expr,
   return MakeCursor<HashEquiJoinCursor>(
       std::move(probe), std::move(*build), choice.build_left,
       std::move(key_attrs), std::move(assembly), std::move(pair), parallelism,
-      stats);
+      ctx);
 }
 
 }  // namespace
 
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
-                            PlanStats* stats) {
-  return LowerExpr(expr, resolver, stats, PlanOptions{});
+                            PlanContext* ctx) {
+  return LowerExpr(expr, resolver, ctx, PlanOptions{});
 }
 
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
-                            PlanStats* stats, const PlanOptions& options) {
+                            PlanContext* ctx, const PlanOptions& options) {
   if (!expr) return Status::InvalidArgument("null expression");
   switch (expr->kind) {
     case ExprKind::kRelationRef: {
@@ -1143,7 +1358,7 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const size_t parallelism = ChooseParallelism(
           RequestedParallelism(options), rel->size(), options.force_parallel);
       // Copy-on-write: the scan shares the stored tuples.
-      return MakeCursor<ScanCursor>(*rel, parallelism, stats);
+      return MakeCursor<ScanCursor>(*rel, parallelism, ctx);
     }
     case ExprKind::kSelectIf: {
       // The window is a parameter, not a stream: evaluate it first so a
@@ -1151,60 +1366,53 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       std::optional<Lifespan> window;
       if (expr->window) {
         HRDM_ASSIGN_OR_RETURN(
-            Lifespan w, EvalWindow(expr->window, resolver, stats, options));
+            Lifespan w, EvalWindow(expr->window, resolver, ctx, options));
         window = std::move(w);
       }
       HRDM_ASSIGN_OR_RETURN(
           CursorPtr child,
           LowerRestrictionInput(*expr, window ? &*window : nullptr, resolver,
-                                stats, options));
+                                ctx, options));
       return MakeCursor<SelectIfCursor>(
           std::move(child), *expr->predicate, expr->quantifier,
-          std::move(window), stats);
+          std::move(window), ctx);
     }
-    case ExprKind::kSelectWhen: {
-      HRDM_ASSIGN_OR_RETURN(
-          CursorPtr child,
-          LowerRestrictionInput(*expr, nullptr, resolver, stats, options));
-      return MakeCursor<SelectWhenCursor>(std::move(child),
-                                                *expr->predicate, stats);
-    }
+    case ExprKind::kSelectWhen:
+      return LowerRestrictionChain(expr, resolver, ctx, options);
     case ExprKind::kProject: {
+      if (expr->left && (expr->left->kind == ExprKind::kSelectWhen ||
+                         expr->left->kind == ExprKind::kTimeSlice)) {
+        return LowerRestrictionChain(expr->left, resolver, ctx, options,
+                                     &expr->attrs);
+      }
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr out_scheme,
                             child->scheme()->Project(expr->attrs));
       HRDM_ASSIGN_OR_RETURN(
           std::vector<size_t> src,
           ProjectSourceIndices(*child->scheme(), *out_scheme));
       return MakeCursor<ProjectCursor>(
-          std::move(child), std::move(out_scheme), std::move(src), stats);
+          std::move(child), std::move(out_scheme), std::move(src), ctx);
     }
-    case ExprKind::kTimeSlice: {
-      HRDM_ASSIGN_OR_RETURN(
-          Lifespan window, EvalWindow(expr->window, resolver, stats, options));
-      HRDM_ASSIGN_OR_RETURN(
-          CursorPtr child,
-          LowerRestrictionInput(*expr, &window, resolver, stats, options));
-      return MakeCursor<TimeSliceCursor>(std::move(child),
-                                               std::move(window), stats);
-    }
+    case ExprKind::kTimeSlice:
+      return LowerRestrictionChain(expr, resolver, ctx, options);
     case ExprKind::kDynSlice: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(size_t idx,
                             DynSliceAttrIndex(*child->scheme(), expr->attr_a));
-      return MakeCursor<TimeSliceCursor>(std::move(child), idx, stats);
+      return MakeCursor<TimeSliceCursor>(std::move(child), idx, ctx);
     }
     case ExprKind::kProduct: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats, options));
+                            LowerExpr(expr->right, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             ProductScheme(left->scheme(), right->scheme()));
       return MakeCursor<ProductJoinCursor>(
-          std::move(left), std::move(right), std::move(scheme), stats);
+          std::move(left), std::move(right), std::move(scheme), ctx);
     }
     case ExprKind::kUnion:
     case ExprKind::kIntersect:
@@ -1235,9 +1443,9 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           return Status::Internal("unhandled set operation kind");
       }
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats, options));
+                            LowerExpr(expr->right, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(
           SchemePtr scheme,
           SetOpScheme(kind, left->scheme(), right->scheme()));
@@ -1246,16 +1454,16 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
           [kind](const Relation& r1, const Relation& r2) {
             return ApplySetOp(kind, r1, r2);
           },
-          stats);
+          ctx);
     }
     case ExprKind::kThetaJoin: {
       HRDM_ASSIGN_OR_RETURN(
-          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, stats, options));
+          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, ctx, options));
       if (fed) return fed;
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats, options));
+                            LowerExpr(expr->right, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             ThetaJoinScheme(left->scheme(), expr->attr_a,
                                             right->scheme(), expr->attr_b));
@@ -1279,20 +1487,20 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
         return MakeCursor<HashEquiJoinCursor>(
             std::move(left), std::move(right), choice.build_left,
             std::vector<std::pair<size_t, size_t>>{{ia, ib}},
-            std::move(assembly), std::move(pair), parallelism, stats);
+            std::move(assembly), std::move(pair), parallelism, ctx);
       }
       return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats);
+          std::move(pair), ctx);
     }
     case ExprKind::kNaturalJoin: {
       HRDM_ASSIGN_OR_RETURN(
-          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, stats, options));
+          CursorPtr fed, TryIndexFedEquiJoin(expr, resolver, ctx, options));
       if (fed) return fed;
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats, options));
+                            LowerExpr(expr->right, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(
           SchemePtr scheme,
           NaturalJoinScheme(left->scheme(), right->scheme()));
@@ -1314,15 +1522,15 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
         return MakeCursor<HashEquiJoinCursor>(
             std::move(left), std::move(right), choice.build_left,
             std::move(shared), std::move(assembly), std::move(pair),
-            parallelism, stats);
+            parallelism, ctx);
       }
       return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats);
+          std::move(pair), ctx);
     }
     case ExprKind::kAggregate: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr child,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       AggregateSpec spec{expr->agg_fn, expr->attr_a, expr->attrs};
       HRDM_ASSIGN_OR_RETURN(GroupedAggregator aggregator,
                             GroupedAggregator::Make(child->scheme(), spec));
@@ -1334,13 +1542,13 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       const size_t parallelism = ChooseParallelism(
           RequestedParallelism(options), est_input, options.force_parallel);
       return MakeCursor<HashAggregateCursor>(
-          std::move(child), std::move(aggregator), est, parallelism, stats);
+          std::move(child), std::move(aggregator), est, parallelism, ctx);
     }
     case ExprKind::kTimeJoin: {
       HRDM_ASSIGN_OR_RETURN(CursorPtr left,
-                            LowerExpr(expr->left, resolver, stats, options));
+                            LowerExpr(expr->left, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(CursorPtr right,
-                            LowerExpr(expr->right, resolver, stats, options));
+                            LowerExpr(expr->right, resolver, ctx, options));
       HRDM_ASSIGN_OR_RETURN(SchemePtr scheme,
                             TimeJoinScheme(left->scheme(), expr->attr_a,
                                            right->scheme()));
@@ -1353,14 +1561,14 @@ Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
       if (choice.strategy == JoinStrategy::kMerge) {
         return MakeCursor<MergeTimeJoinCursor>(
             std::move(left), std::move(right), ia, std::move(assembly),
-            stats);
+            ctx);
       }
       JoinPairFn pair = [ia](const Tuple& t1, const Tuple& t2) {
         return TimeJoinPairLifespan(t1, ia, t2);
       };
       return MakeCursor<NestedLoopJoinCursor>(
           std::move(left), std::move(right), std::move(assembly),
-          std::move(pair), stats);
+          std::move(pair), ctx);
     }
   }
   return Status::Internal("unhandled expression kind");
@@ -1372,21 +1580,29 @@ Result<Plan> Plan::Lower(const ExprPtr& expr, const PlanResolver& resolver) {
 
 Result<Plan> Plan::Lower(const ExprPtr& expr, const PlanResolver& resolver,
                          const PlanOptions& options) {
-  auto stats = std::make_unique<PlanStats>();
+  auto ctx = std::make_unique<PlanContext>();
+  ctx->batch_size = ChooseBatchSize(options.batch_size);
+  ctx->arena = std::make_shared<util::Arena>();
   HRDM_ASSIGN_OR_RETURN(CursorPtr root,
-                        LowerExpr(expr, resolver, stats.get(), options));
-  return Plan(std::move(stats), std::move(root));
+                        LowerExpr(expr, resolver, ctx.get(), options));
+  return Plan(std::move(ctx), std::move(root));
+}
+
+Result<TupleBatch*> Plan::NextBatch() {
+  HRDM_ASSIGN_OR_RETURN(TupleBatch* batch, root_->NextBatch());
+  if (batch) ctx_->stats.tuples_returned += batch->size();
+  return batch;
 }
 
 Result<TuplePtr> Plan::Next() {
   HRDM_ASSIGN_OR_RETURN(TuplePtr t, root_->Next());
-  if (t) ++stats_->tuples_returned;
+  if (t) ++ctx_->stats.tuples_returned;
   return t;
 }
 
 Result<Relation> Plan::Drain() {
   HRDM_ASSIGN_OR_RETURN(Relation out, DrainCursor(root_.get()));
-  stats_->tuples_returned += out.size();
+  ctx_->stats.tuples_returned += out.size();
   return out;
 }
 

@@ -2,20 +2,48 @@
 #define HRDM_QUERY_PLAN_H_
 
 /// \file plan.h
-/// \brief The physical execution layer: Volcano-style cursor pipelines.
+/// \brief The physical execution layer: batch-at-a-time cursor pipelines.
 ///
 /// Sits between the optimizer and the algebra. A query tree is *lowered*
-/// to a tree of cursors, each pulling `std::shared_ptr<const Tuple>` from
-/// its child one tuple at a time — no intermediate `Relation` is ever
-/// materialized along a unary pipeline (the shape the optimizer's push-down
-/// rules produce: `project(select_when(timeslice(r, L), p), X)` streams
-/// end-to-end with O(1) in-flight tuples).
+/// to a tree of cursors, each pulling a `TupleBatch` — a vector of
+/// `std::shared_ptr<const Tuple>` handles, `PlanContext::batch_size`
+/// (default ~1024) per batch — from its child via `NextBatch()`. No
+/// intermediate `Relation` is ever materialized along a unary pipeline
+/// (the shape the optimizer's push-down rules produce:
+/// `project(select_when(timeslice(r, L), p), X)` streams end-to-end with
+/// one batch in flight per operator), but the per-pull virtual-call and
+/// handle-shuffling overhead of the old tuple-at-a-time Volcano protocol
+/// is amortized over whole batches: each operator runs its kernel in a
+/// tight loop over the batch it holds.
 ///
-/// Cursors reuse the algebra's per-tuple kernels (SelectIfMatches,
-/// SelectWhenTuple, TimeSliceTuple, ProjectTuple, ProductTuple, ...), so
-/// the streaming and whole-relation paths share one implementation of the
-/// paper's semantics. Interpolation (representation → model mapping,
-/// Figure 9) happens once, per tuple, at the scan leaf.
+/// **Batch protocol.** `NextBatch()` returns a pointer to a batch owned by
+/// the producing cursor, or null at end of stream; emitted batches are
+/// never empty, and the pointed-to batch is valid only until the next
+/// `NextBatch()` call on the same cursor. The consumer MAY move handles
+/// out of the batch (every cursor refills or clears its batch before
+/// reuse). A non-virtual `Next()` compatibility shim drives unported
+/// consumers one tuple at a time over the same batches, so porting an
+/// operator is never blocked on porting its neighbours.
+///
+/// **Arena memory.** Per-query tuple temporaries (restricted, projected
+/// and joined tuples created by the serial operator kernels) are
+/// placement-constructed in a per-plan bump allocator
+/// (`util::Arena`, owned by `PlanContext`) instead of one heap
+/// allocation + shared_ptr control block each; the handles alias the
+/// arena's `shared_ptr`, so tuples escaping into results keep the arena
+/// alive and nothing dangles. Morsel-parallel *workers* still allocate
+/// through the heap (the arena is single-threaded by design).
+/// `PlanStats::arena_bytes` tracks the arena traffic,
+/// `batches_emitted`/`batch_tuples` the batch traffic.
+///
+/// Cursors reuse the algebra's kernels (SelectIfBatch, SelectWhenHolds,
+/// TimeSliceTupleRaw, ProjectTupleRaw, ProductTuple, JoinKeysDigest, ...),
+/// so the streaming and whole-relation paths share one implementation of
+/// the paper's semantics. Interpolation (representation → model mapping,
+/// Figure 9) happens once, per tuple, at the scan leaf. Restriction
+/// cursors take a pass-through fast path where the restriction is provably
+/// the identity (the criterion holds over the whole lifespan / the window
+/// covers it), re-emitting the input handle untouched.
 ///
 /// Blocking operators buffer internally and account for every buffered
 /// tuple in `PlanStats`:
@@ -25,10 +53,10 @@
 ///    surrenders) the result;
 ///  * `ProductJoinCursor` — buffers only its *right* input and streams the
 ///    left, so `r × s` holds |s| tuples, not |r × s|;
-///  * `HashAggregateCursor` — AGGREGATE: folds the input into per-group
-///    aggregation state (key vector + contribution segments, via the shared
-///    kernel of algebra/aggregate.h), holding input handles only for the
-///    duplicate elimination a set-semantics aggregate requires.
+///  * `HashAggregateCursor` — AGGREGATE: folds the input batches into
+///    per-group aggregation state (key vector + contribution segments, via
+///    the shared kernel of algebra/aggregate.h), holding input handles only
+///    for the duplicate elimination a set-semantics aggregate requires.
 ///
 /// The JOIN family lowers to dedicated join cursors, all built on the
 /// shared assembly kernel of algebra/join.h and selected by the optimizer's
@@ -38,14 +66,17 @@
 ///  * `HashEquiJoinCursor` — EQUIJOIN/NATURAL-JOIN: buffers only its
 ///    *build* side, partitioned by a time-invariant digest of the join
 ///    attribute values; build tuples whose join attribute varies over
-///    their lifespan are probed per pair, so results are exact;
+///    their lifespan are probed per pair, so results are exact. Builds
+///    and probes batch-at-a-time, suspending mid-bucket when the output
+///    batch fills;
 ///  * `MergeTimeJoinCursor` — TIME-JOIN: buffers both sides sorted by
 ///    effective-span start and sweeps a chronon-interval frontier so only
 ///    pairs whose spans can overlap are tested.
 ///
 /// Base relations are read through one of two leaves, picked by the
 /// optimizer's `ChooseAccessPath` (query/optimizer.h) at lowering time:
-///  * `ScanCursor` — the full scan, streaming every stored tuple;
+///  * `ScanCursor` — the full scan, filling batches straight from the
+///    stored tuple vector;
 ///  * `IndexScanCursor` — an access-path read: the candidate set of a
 ///    storage-index probe (lifespan interval index for TIME-SLICE windows,
 ///    value equality index for sargable SELECT-IF/SELECT-WHEN conjuncts —
@@ -55,7 +86,8 @@
 ///    prune work, never change answers.
 ///
 /// `PlanStats::peak_buffered` is the peak intermediate tuple count: 0 for a
-/// fully streaming pipeline. tests/plan_test.cc asserts this, and
+/// fully streaming pipeline (in-flight batches are not "buffered" — they
+/// are the stream). tests/plan_test.cc asserts this, and
 /// bench/bench_executor.cc, bench/bench_join.cc and bench/bench_scan.cc
 /// track it alongside the access-path and join-strategy counters.
 ///
@@ -80,7 +112,9 @@
 /// serial plan's (and identical across runs); with parallelism 1 every
 /// cursor takes exactly the legacy serial path. PlanStats records the
 /// morsel traffic (`morsels_dispatched`, `partitions_merged`,
-/// `worker_tuples`) for EXPLAIN.
+/// `worker_tuples`) for EXPLAIN. The optimizer's `ChooseBatchSize` keeps
+/// batches within a morsel (`kMorselSize`), so batch boundaries never
+/// straddle morsel boundaries.
 
 #include <cstdint>
 #include <functional>
@@ -88,6 +122,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "algebra/aggregate.h"
@@ -97,6 +132,7 @@
 #include "core/relation.h"
 #include "query/ast.h"
 #include "query/optimizer.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace hrdm::query {
@@ -104,6 +140,11 @@ namespace hrdm::query {
 /// \brief Resolves a base-relation name to a stored relation (mirrors
 /// executor.h's Resolver; redeclared here to avoid a circular include).
 using PlanResolver = std::function<Result<const Relation*>(std::string_view)>;
+
+/// \brief The unit of flow between cursors: a run of shared tuple handles,
+/// owned by the emitting cursor (see the batch protocol in the header
+/// comment).
+using TupleBatch = std::vector<TuplePtr>;
 
 /// \brief The result of probing a storage index for a base-relation read: a
 /// superset of the qualifying tuples, plus whether they are already
@@ -180,6 +221,15 @@ struct PlanStats {
   /// Input tuples that took the per-chronon varying-group-key fallback
   /// (grouping attributes whose value changes over the tuple's lifespan).
   size_t agg_fallback_tuples = 0;
+  /// --- batch execution (see the header comment; util/arena.h) ------------
+  /// Batches emitted by all cursors of the plan, and the tuples they
+  /// carried. `batch_fill_avg()` is their ratio — how full the average
+  /// batch ran (a selective filter or a tiny input drives it down).
+  size_t batches_emitted = 0;
+  size_t batch_tuples = 0;
+  /// Bytes of per-query tuple temporaries served by the plan's arena
+  /// (util/arena.h) instead of the heap.
+  size_t arena_bytes = 0;
   /// --- parallel execution (see the header comment; util/thread_pool.h) ---
   /// Effective parallelism of the widest operator in the plan — what the
   /// optimizer's ChooseParallelism granted (1 = fully serial plan).
@@ -194,6 +244,13 @@ struct PlanStats {
   /// Tuples processed by each pool worker (index = worker id) — the
   /// per-thread EXPLAIN counters. Empty for a fully serial plan.
   std::vector<size_t> worker_tuples;
+
+  double batch_fill_avg() const {
+    return batches_emitted == 0
+               ? 0.0
+               : static_cast<double>(batch_tuples) /
+                     static_cast<double>(batches_emitted);
+  }
 
   void OnParallelOperator(size_t effective) {
     if (effective > parallelism) parallelism = effective;
@@ -211,34 +268,62 @@ struct PlanStats {
   void OnRelease(size_t n) { buffered_now -= n < buffered_now ? n : buffered_now; }
 };
 
-/// \brief A pull-based physical operator. `Next` yields the next tuple of
-/// this operator's output, or a null `TuplePtr` at end of stream. Every
-/// tuple flowing between cursors is materialized (model-level) and bound to
-/// `scheme()`.
+/// \brief Per-plan execution state shared by every cursor of one physical
+/// plan: the stats block, the chosen batch size, and the arena backing
+/// per-query tuple temporaries. Owned by the enclosing `Plan`,
+/// address-stable for the cursor tree's lifetime.
+struct PlanContext {
+  PlanStats stats;
+  /// Handles per emitted batch (ChooseBatchSize: PlanOptions::batch_size,
+  /// the HRDM_BATCH_SIZE env override, else kDefaultBatchSize).
+  size_t batch_size = kDefaultBatchSize;
+  /// The per-plan bump allocator for tuple temporaries; null = heap
+  /// allocation (e.g. cursor trees composed without a Plan). Coordinator
+  /// thread only — morsel workers allocate through the heap.
+  std::shared_ptr<util::Arena> arena;
+
+  /// \brief Moves a freshly built tuple into the arena (heap when none)
+  /// and returns a shared handle. Arena-backed handles alias the arena's
+  /// shared_ptr, so tuples escaping into results keep the arena alive.
+  TuplePtr AdoptTuple(Tuple&& t);
+};
+
+/// \brief A pull-based physical operator emitting its output batch-at-a-
+/// time: `NextBatch` yields the next (never-empty) run of output tuples,
+/// or null at end of stream. Every tuple flowing between cursors is
+/// materialized (model-level) and bound to `scheme()`. The returned batch
+/// is owned by this cursor and valid until the next `NextBatch` call; the
+/// consumer may move handles out of it.
 ///
-/// `Next` is a tuple *stream*, not a set: restriction operators (and the
-/// streaming join cursors, whose pairs may assemble to equal tuples) can
-/// emit structural duplicates mid-pipeline. Set semantics — the
+/// The stream is a tuple *stream*, not a set: restriction operators (and
+/// the streaming join cursors, whose pairs may assemble to equal tuples)
+/// can emit structural duplicates mid-pipeline. Set semantics — the
 /// whole-relation operators' output contract — are established at the
 /// materialization boundary: `Plan::Drain` and `SetOpCursor`'s input
 /// draining collapse duplicates via `InsertDedup`.
 class Cursor {
  public:
-  Cursor(SchemePtr scheme, PlanStats* stats)
-      : scheme_(std::move(scheme)), stats_(stats) {}
+  Cursor(SchemePtr scheme, PlanContext* ctx)
+      : scheme_(std::move(scheme)), ctx_(ctx), stats_(&ctx->stats) {}
   virtual ~Cursor() = default;
 
   Cursor(const Cursor&) = delete;
   Cursor& operator=(const Cursor&) = delete;
 
-  /// \brief Pulls the next output tuple; null at end of stream.
-  virtual Result<TuplePtr> Next() = 0;
+  /// \brief Pulls the next output batch; null at end of stream.
+  virtual Result<TupleBatch*> NextBatch() = 0;
+
+  /// \brief Tuple-at-a-time compatibility shim over `NextBatch`: yields
+  /// the batches' handles one by one, null at end of stream. For consumers
+  /// that need per-tuple control flow; do not interleave with direct
+  /// `NextBatch` calls on the same cursor.
+  Result<TuplePtr> Next();
 
   /// \brief Blocking cursors that already hold their entire output as a
   /// set-semantics Relation may surrender it wholesale, so a draining
   /// consumer does not re-deduplicate an already-deduplicated result.
   /// Returns nullopt (the default) when the cursor must be pulled
-  /// tuple-by-tuple; only valid before the first Next().
+  /// batch-by-batch; only valid before the first NextBatch().
   virtual Result<std::optional<Relation>> TakeBuffered() {
     return std::optional<Relation>();
   }
@@ -247,28 +332,64 @@ class Cursor {
   const SchemePtr& scheme() const { return scheme_; }
 
  protected:
+  /// \brief The tail of every NextBatch implementation: null for an empty
+  /// batch (end of stream), else the batch pointer with the plan-wide
+  /// batch counters bumped.
+  TupleBatch* EmitOrEnd(TupleBatch& batch) {
+    if (batch.empty()) return nullptr;
+    ++stats_->batches_emitted;
+    stats_->batch_tuples += batch.size();
+    return &batch;
+  }
+
   SchemePtr scheme_;
-  PlanStats* stats_;  // owned by the enclosing Plan; never null
+  PlanContext* ctx_;  // owned by the enclosing Plan; never null
+  PlanStats* stats_;  // == &ctx_->stats (kept for kernel-loop brevity)
+
+ private:
+  // Next() shim state: the batch currently being handed out one-by-one.
+  TupleBatch* read_ = nullptr;
+  size_t read_pos_ = 0;
+  bool read_done_ = false;
 };
 
 using CursorPtr = std::unique_ptr<Cursor>;
 
+/// \brief Adapter base for cursors still implemented tuple-at-a-time
+/// (`NextTuple`): packs their output into batches so batch-native
+/// consumers see the uniform protocol. Porting an operator to native
+/// batches means moving it off this base.
+class ScalarCursor : public Cursor {
+ public:
+  using Cursor::Cursor;
+  Result<TupleBatch*> NextBatch() final;
+
+ protected:
+  /// \brief Produces the next output tuple; null at end of stream.
+  virtual Result<TuplePtr> NextTuple() = 0;
+
+ private:
+  TupleBatch batch_;
+  bool done_ = false;
+};
+
 // --- cursors -----------------------------------------------------------------
 
-/// \brief Leaf: streams a relation's tuples without copying them. Holds
-/// only the shared tuple handles (not the relation's key/structural
-/// indexes), so the scan is safe even if the stored relation is later
-/// mutated and construction is O(#tuples) pointer bumps.
-/// Non-materialized inputs are interpolated one tuple at a time; with
-/// `parallelism > 1` the whole interpolation pass instead runs up front,
-/// morsel-parallel on the worker pool (per-morsel output slots, so tuple
-/// order is unchanged), and the materialized tuples stream from the buffer
-/// (accounted in PlanStats until the cursor dies).
+/// \brief Leaf: streams a relation's tuples without copying them, slicing
+/// the stored tuple vector directly into batches. Holds only the shared
+/// tuple handles (not the relation's key/structural indexes), so the scan
+/// is safe even if the stored relation is later mutated and construction
+/// is O(#tuples) pointer bumps.
+/// Non-materialized inputs are interpolated per batch (into the arena);
+/// with `parallelism > 1` the whole interpolation pass instead runs up
+/// front, morsel-parallel on the worker pool (per-morsel output slots, so
+/// tuple order is unchanged), and the materialized tuples stream from the
+/// buffer (accounted in PlanStats until the cursor dies).
 class ScanCursor : public Cursor {
  public:
-  ScanCursor(const Relation& rel, size_t parallelism, PlanStats* stats);
+  ScanCursor(const Relation& rel, size_t parallelism, PlanContext* ctx);
   ~ScanCursor() override;
-  Result<TuplePtr> Next() override;
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   std::vector<TuplePtr> tuples_;
@@ -276,20 +397,21 @@ class ScanCursor : public Cursor {
   size_t parallelism_;
   bool parallel_primed_ = false;
   size_t pos_ = 0;
+  TupleBatch batch_;
 };
 
 /// \brief Leaf: streams the candidate set of a storage-index probe
 /// (lifespan or value index — `path` records which) instead of the whole
 /// relation. Candidates are a superset of the qualifying tuples; the
 /// enclosing operator's kernel re-checks each one, so the scan is exact.
-/// Like ScanCursor, non-materialized candidates are interpolated one tuple
-/// at a time — or morsel-parallel up front when `parallelism > 1`.
+/// Like ScanCursor, non-materialized candidates are interpolated per batch
+/// — or morsel-parallel up front when `parallelism > 1`.
 class IndexScanCursor : public Cursor {
  public:
   IndexScanCursor(SchemePtr scheme, IndexProbeResult probe, AccessPath path,
-                  size_t parallelism, PlanStats* stats);
+                  size_t parallelism, PlanContext* ctx);
   ~IndexScanCursor() override;
-  Result<TuplePtr> Next() override;
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   std::vector<TuplePtr> tuples_;
@@ -297,71 +419,115 @@ class IndexScanCursor : public Cursor {
   size_t parallelism_;
   bool parallel_primed_ = false;
   size_t pos_ = 0;
+  TupleBatch batch_;
 };
 
 /// \brief SELECT-IF: pure tuple filter (whole tuples pass or are dropped).
+/// The predicate runs in one tight loop per input batch (SelectIfBatch);
+/// passing handles move to the output batch untouched. Input batches the
+/// filter empties entirely are skipped, never emitted.
 class SelectIfCursor : public Cursor {
  public:
   SelectIfCursor(CursorPtr child, Predicate predicate, Quantifier quantifier,
-                 std::optional<Lifespan> window, PlanStats* stats);
-  Result<TuplePtr> Next() override;
+                 std::optional<Lifespan> window, PlanContext* ctx);
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   CursorPtr child_;
   Predicate predicate_;
   Quantifier quantifier_;
   std::optional<Lifespan> window_;
+  TupleBatch out_;
 };
 
 /// \brief SELECT-WHEN: restricts each tuple to the chronons where the
-/// criterion holds; tuples that never satisfy it are dropped.
+/// criterion holds; tuples that never satisfy it are dropped. Tuples the
+/// criterion holds over entirely pass through as the original handle (no
+/// copy); the rest are restricted into the arena.
+///
+/// Doubles as the fused form of a whole restriction chain: the lowering
+/// collapses consecutive SELECT-WHEN / static TIME-SLICE operators into one
+/// cursor whose `stages` (innermost-first) are slice windows and criteria.
+/// Per tuple the effective lifespan is accumulated across the stages —
+/// windows intersect, criteria evaluate scoped to the lifespan accumulated
+/// so far (exactly the holds the unfused pipeline computes on the
+/// stage-restricted tuple) — and the tuple is restricted once at the end
+/// instead of once per operator. A tuple whose effective lifespan empties
+/// mid-chain is dropped immediately, before the later criteria run,
+/// mirroring the unfused per-stage drops.
+///
+/// A PROJECT directly above the chain fuses too: emission then builds the
+/// projected tuple straight from the original handle (each kept attribute
+/// restricted to the effective lifespan), skipping both the intermediate
+/// restricted tuple and the separate projection pass — the result is
+/// value-for-value what ProjectTupleRaw applied to the restricted tuple
+/// would produce (projection copies values verbatim, so restriction and
+/// projection commute per attribute).
 class SelectWhenCursor : public Cursor {
  public:
-  SelectWhenCursor(CursorPtr child, Predicate predicate, PlanStats* stats);
-  Result<TuplePtr> Next() override;
+  /// One fused restriction stage: a static slice window or a criterion.
+  using Stage = std::variant<Lifespan, Predicate>;
+
+  SelectWhenCursor(CursorPtr child, Predicate predicate, PlanContext* ctx);
+  /// Fused chain; `stages` are innermost-first. With `project_scheme`
+  /// non-null the cursor also applies the projection it describes
+  /// (`project_src` maps output attribute positions to child positions).
+  SelectWhenCursor(CursorPtr child, std::vector<Stage> stages,
+                   SchemePtr project_scheme, std::vector<size_t> project_src,
+                   PlanContext* ctx);
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   CursorPtr child_;
-  Predicate predicate_;
+  std::vector<Stage> stages_;        // innermost-first
+  bool project_ = false;             // emission projects to scheme_
+  std::vector<size_t> project_src_;  // output position -> child position
+  TupleBatch out_;
 };
 
-/// \brief PROJECT: narrows each tuple to the projected attributes.
+/// \brief PROJECT: narrows each tuple to the projected attributes, one
+/// arena-built tuple per input handle in a tight per-batch loop.
 class ProjectCursor : public Cursor {
  public:
   ProjectCursor(CursorPtr child, SchemePtr out_scheme,
-                std::vector<size_t> src, PlanStats* stats);
-  Result<TuplePtr> Next() override;
+                std::vector<size_t> src, PlanContext* ctx);
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   CursorPtr child_;
   std::vector<size_t> src_;
+  TupleBatch out_;
 };
 
 /// \brief TIME-SLICE, static (`T_L`) or dynamic (`T_@A`): restricts each
 /// tuple to the window (resp. the image of its own value of A); tuples
-/// whose restricted lifespan is empty are dropped.
+/// whose restricted lifespan is empty are dropped. Tuples the static
+/// window already covers pass through as the original handle.
 class TimeSliceCursor : public Cursor {
  public:
   /// Static slice.
-  TimeSliceCursor(CursorPtr child, Lifespan window, PlanStats* stats);
+  TimeSliceCursor(CursorPtr child, Lifespan window, PlanContext* ctx);
   /// Dynamic slice on attribute `attr_idx` (pre-checked time-valued).
-  TimeSliceCursor(CursorPtr child, size_t attr_idx, PlanStats* stats);
-  Result<TuplePtr> Next() override;
+  TimeSliceCursor(CursorPtr child, size_t attr_idx, PlanContext* ctx);
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   CursorPtr child_;
   std::optional<Lifespan> window_;  // static mode
   size_t attr_idx_ = 0;             // dynamic mode
+  TupleBatch out_;
 };
 
 /// \brief Cartesian product: streams the left input against a buffered
 /// right input (|right| buffered tuples, counted in PlanStats).
-class ProductJoinCursor : public Cursor {
+class ProductJoinCursor : public ScalarCursor {
  public:
   ProductJoinCursor(CursorPtr left, CursorPtr right, SchemePtr out_scheme,
-                    PlanStats* stats);
+                    PlanContext* ctx);
   ~ProductJoinCursor() override;
-  Result<TuplePtr> Next() override;
+
+ protected:
+  Result<TuplePtr> NextTuple() override;
 
  private:
   CursorPtr left_;
@@ -384,13 +550,15 @@ using JoinPairFn =
 /// right input, evaluating the pair kernel for every pair (the JOIN ≡
 /// SELECT-WHEN ∘ × reading, with the filter fused so no wide product tuple
 /// is ever assembled for non-matching pairs). Buffers |right| tuples.
-class NestedLoopJoinCursor : public Cursor {
+class NestedLoopJoinCursor : public ScalarCursor {
  public:
   NestedLoopJoinCursor(CursorPtr left, CursorPtr right,
                        JoinAssembly assembly, JoinPairFn pair,
-                       PlanStats* stats);
+                       PlanContext* ctx);
   ~NestedLoopJoinCursor() override;
-  Result<TuplePtr> Next() override;
+
+ protected:
+  Result<TuplePtr> NextTuple() override;
 
  private:
   CursorPtr left_;
@@ -404,20 +572,23 @@ class NestedLoopJoinCursor : public Cursor {
 };
 
 /// \brief Hash equi-join (EQUIJOIN / NATURAL-JOIN with shared attributes):
-/// drains its *build* side into buckets keyed by a time-invariant digest of
-/// the join attribute values (JoinKeyDigest), then streams the probe side,
-/// testing only digest-matching candidates with the exact pair kernel.
-/// Build tuples whose join attribute varies over their lifespan cannot be
-/// digested time-invariantly and are probed per pair instead — the result
-/// is always exact. Buffers only the build side.
+/// drains its *build* side batch-at-a-time into buckets keyed by a
+/// time-invariant digest of the join attribute values (JoinKeysDigest),
+/// then streams the probe side, testing only digest-matching candidates
+/// with the exact pair kernel and assembling matches into the output batch
+/// until it fills (the probe position suspends mid-bucket and resumes on
+/// the next pull). Build tuples whose join attribute varies over their
+/// lifespan cannot be digested time-invariantly and are probed per pair
+/// instead — the result is always exact. Buffers only the build side.
 ///
 /// With `parallelism > 1`, both blocking phases go morsel-parallel on the
 /// worker pool: the drained build side is digested into per-morsel
 /// partition tables merged in morsel order (identical bucket contents to
 /// the serial build, since morsels are contiguous index ranges), and the
 /// probe side is buffered and probed per morsel with the per-morsel output
-/// runs concatenated in morsel order before streaming. The parallel form
-/// additionally buffers the probe input and the joined output.
+/// runs concatenated in morsel order before streaming out in batch-size
+/// slices. The parallel form additionally buffers the probe input and the
+/// joined output.
 class HashEquiJoinCursor : public Cursor {
  public:
   /// `key_attrs` are the equality columns as (left index, right index)
@@ -426,7 +597,7 @@ class HashEquiJoinCursor : public Cursor {
   HashEquiJoinCursor(CursorPtr left, CursorPtr right, bool build_left,
                      std::vector<std::pair<size_t, size_t>> key_attrs,
                      JoinAssembly assembly, JoinPairFn pair, size_t parallelism,
-                     PlanStats* stats);
+                     PlanContext* ctx);
   /// Index-fed build: the build side arrives pre-partitioned from a storage
   /// value index (single-column equality only), so no build cursor is
   /// drained or digested; `probe` is the *other* input. The build tuples
@@ -434,9 +605,9 @@ class HashEquiJoinCursor : public Cursor {
   HashEquiJoinCursor(CursorPtr probe, IndexedBuildSide build, bool build_left,
                      std::vector<std::pair<size_t, size_t>> key_attrs,
                      JoinAssembly assembly, JoinPairFn pair, size_t parallelism,
-                     PlanStats* stats);
+                     PlanContext* ctx);
   ~HashEquiJoinCursor() override;
-  Result<TuplePtr> Next() override;
+  Result<TupleBatch*> NextBatch() override;
 
  private:
   Status Prime();
@@ -446,12 +617,9 @@ class HashEquiJoinCursor : public Cursor {
   /// Parallel probe: drains the probe child into a buffer, probes morsels
   /// on the pool, concatenates per-morsel outputs in morsel order.
   Status RunProbeParallel();
-  /// Digest of the join columns if they are all constant over the tuple's
-  /// lifespan; nullopt when any varies (per-chronon fallback).
-  std::optional<uint64_t> DigestOf(const Tuple& t, bool left_side) const;
-  /// The joined tuple of probe × build_[idx], or null if the pair's
-  /// lifespan is empty.
-  Result<TuplePtr> TryPair(size_t build_idx);
+  /// Appends the joined tuple of probe_ × build_[idx] to `out` (nothing
+  /// when the pair's lifespan is empty).
+  Status TryPairInto(size_t build_idx, TupleBatch& out);
   /// Worker-side probe kernel: every joined tuple of `probe` against the
   /// digest table, appended to `out`. Reads shared state only; per-morsel
   /// pair counts go to `pairs_tested`, not PlanStats.
@@ -473,13 +641,15 @@ class HashEquiJoinCursor : public Cursor {
   std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
   std::vector<size_t> varying_;  // build tuples without a constant digest
 
-  // Probe iteration state (serial mode).
+  // Probe iteration state (serial mode). The candidate walk for probe_
+  // suspends wherever the output batch fills and resumes on the next pull.
   TuplePtr probe_;
   const std::vector<size_t>* bucket_ = nullptr;  // candidates for probe_
   size_t bucket_pos_ = 0;
   bool in_varying_ = false;   // finished bucket_, now scanning varying_
   bool scan_all_ = false;     // probe digest unavailable: scan all of build_
   size_t scan_pos_ = 0;
+  TupleBatch out_;
 
   // Parallel-probe state: the concatenated output runs, streamed out.
   bool parallel_probed_ = false;
@@ -492,12 +662,14 @@ class HashEquiJoinCursor : public Cursor {
 /// right: t.l); a sweep keeps a frontier of right tuples whose spans can
 /// still overlap, so far fewer than |l|·|r| pairs are tested. Buffers both
 /// sides.
-class MergeTimeJoinCursor : public Cursor {
+class MergeTimeJoinCursor : public ScalarCursor {
  public:
   MergeTimeJoinCursor(CursorPtr left, CursorPtr right, size_t attr_a,
-                      JoinAssembly assembly, PlanStats* stats);
+                      JoinAssembly assembly, PlanContext* ctx);
   ~MergeTimeJoinCursor() override;
-  Result<TuplePtr> Next() override;
+
+ protected:
+  Result<TuplePtr> NextTuple() override;
 
  private:
   struct Entry {
@@ -530,12 +702,12 @@ class MergeTimeJoinCursor : public Cursor {
 /// PlanStats accounting. Subclasses implement `Prime`, which must account
 /// the *returned* relation's tuples via `stats_->OnBuffer` (they stay
 /// buffered until streamed out wholesale, taken, or destroyed — the base
-/// pairs the `OnRelease`).
+/// pairs the `OnRelease`). Streams the primed result in batch-size slices.
 class BufferedResultCursor : public Cursor {
  public:
   using Cursor::Cursor;
   ~BufferedResultCursor() override;
-  Result<TuplePtr> Next() override;
+  Result<TupleBatch*> NextBatch() override;
   Result<std::optional<Relation>> TakeBuffered() override;
 
  protected:
@@ -548,12 +720,13 @@ class BufferedResultCursor : public Cursor {
   bool primed_ = false;
   std::optional<Relation> result_;
   size_t pos_ = 0;
+  TupleBatch batch_;
 };
 
 /// \brief AGGREGATE: blocking unary operator computing time-varying
 /// COUNT/SUM/MIN/MAX/AVG with optional GROUP-BY (algebra/aggregate.h is the
 /// shared kernel, so the streaming and whole-relation paths cannot
-/// diverge). The input stream is folded into per-*group* state — key
+/// diverge). The input batches are folded into per-*group* state — key
 /// vector, member spans, contribution segments — never whole wide tuples;
 /// the only per-input retention is the shared handles needed to establish
 /// set semantics at this blocking boundary (the stream may carry structural
@@ -572,14 +745,14 @@ class HashAggregateCursor : public BufferedResultCursor {
   /// EstimateGroupCount, advisory).
   HashAggregateCursor(CursorPtr child, GroupedAggregator aggregator,
                       size_t estimated_groups, size_t parallelism,
-                      PlanStats* stats);
+                      PlanContext* ctx);
 
  protected:
   Result<Relation> Prime() override;
 
  private:
-  /// Folds `handles` into aggregator_ — serially, or via per-morsel
-  /// partials on the worker pool when parallelism_ > 1.
+  /// Folds `handles` into aggregator_ — serially (FoldBatch), or via
+  /// per-morsel partials on the worker pool when parallelism_ > 1.
   Status FoldAll(const std::vector<TuplePtr>& handles);
 
   CursorPtr child_;
@@ -598,7 +771,7 @@ class SetOpCursor : public BufferedResultCursor {
       std::function<Result<Relation>(const Relation&, const Relation&)>;
 
   SetOpCursor(CursorPtr left, CursorPtr right, SchemePtr out_scheme,
-              WholeRelationOp op, PlanStats* stats);
+              WholeRelationOp op, PlanContext* ctx);
 
  protected:
   Result<Relation> Prime() override;
@@ -652,21 +825,35 @@ struct PlanOptions {
   /// Test hook (the parallel differential fuzz): bypass ChooseParallelism's
   /// cardinality threshold so even tiny inputs run morsel-parallel.
   bool force_parallel = false;
+
+  // --- batch execution (see the header comment) ------------------------------
+
+  /// Handles per emitted batch. 0 = auto (ChooseBatchSize: the
+  /// HRDM_BATCH_SIZE env override, else kDefaultBatchSize); explicit values
+  /// are clamped to [1, kMorselSize]. The differential suites sweep this
+  /// axis ({1, 7, 1024, ...}) — output must be identical at every setting.
+  size_t batch_size = 0;
 };
 
-/// \brief A lowered physical plan: owns the cursor tree and its stats.
+/// \brief A lowered physical plan: owns the cursor tree and its context
+/// (stats + batch size + arena).
 class Plan {
  public:
   /// \brief Lowers a relation-sorted query tree to a cursor pipeline.
   /// Scheme computation and compatibility checks happen here, eagerly;
   /// lifespan-sorted windows are evaluated eagerly too (they are
   /// parameters, not streams). Per-tuple errors (e.g. a predicate naming an
-  /// unknown attribute) surface on `Next`.
+  /// unknown attribute) surface on `Next`/`NextBatch`.
   static Result<Plan> Lower(const ExprPtr& expr, const PlanResolver& resolver);
   static Result<Plan> Lower(const ExprPtr& expr, const PlanResolver& resolver,
                             const PlanOptions& options);
 
-  /// \brief Pulls the next root tuple; null at end of stream.
+  /// \brief Pulls the next root batch; null at end of stream. Owned by the
+  /// root cursor, valid until the next call.
+  Result<TupleBatch*> NextBatch();
+
+  /// \brief Pulls the next root tuple; null at end of stream (the
+  /// tuple-at-a-time shim over `NextBatch`).
   Result<TuplePtr> Next();
 
   /// \brief Runs the plan to completion into a set-semantics `Relation`
@@ -676,22 +863,22 @@ class Plan {
   Result<Relation> Drain();
 
   const SchemePtr& scheme() const { return root_->scheme(); }
-  const PlanStats& stats() const { return *stats_; }
+  const PlanStats& stats() const { return ctx_->stats; }
 
  private:
-  Plan(std::unique_ptr<PlanStats> stats, CursorPtr root)
-      : stats_(std::move(stats)), root_(std::move(root)) {}
+  Plan(std::unique_ptr<PlanContext> ctx, CursorPtr root)
+      : ctx_(std::move(ctx)), root_(std::move(root)) {}
 
-  std::unique_ptr<PlanStats> stats_;  // address-stable; outlives root_
+  std::unique_ptr<PlanContext> ctx_;  // address-stable; outlives root_
   CursorPtr root_;
 };
 
-/// \brief Lowers `expr` onto an existing stats block (used by Plan::Lower
+/// \brief Lowers `expr` onto an existing plan context (used by Plan::Lower
 /// and by tests that compose cursors directly).
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
-                            PlanStats* stats);
+                            PlanContext* ctx);
 Result<CursorPtr> LowerExpr(const ExprPtr& expr, const PlanResolver& resolver,
-                            PlanStats* stats, const PlanOptions& options);
+                            PlanContext* ctx, const PlanOptions& options);
 
 }  // namespace hrdm::query
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "differential_util.h"
 #include "query/executor.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
@@ -359,32 +360,9 @@ TEST(AggregateTest, GroupEstimateFeedsThePlanner) {
 
 // --- differential fuzz --------------------------------------------------------
 
-/// Two union-compatible random relations r0/r1 (overlapping key spaces,
-/// random ALS gaps, varying int attributes, a time-valued Ref).
-storage::Database RandomAggDb(uint64_t seed) {
-  Rng rng(seed);
-  storage::Database db;
-  for (int i = 0; i < 2; ++i) {
-    workload::RandomRelationConfig config;
-    config.name = "r" + std::to_string(i);
-    config.num_tuples = 15;
-    config.num_value_attrs = 2;
-    config.horizon = 60;
-    config.with_time_attribute = true;
-    config.random_attribute_lifespans = true;
-    config.key_space = 22;  // overlap between r0 and r1
-    auto rel = workload::MakeRandomRelation(&rng, config);
-    EXPECT_TRUE(rel.ok());
-    EXPECT_TRUE(db.CreateRelation(rel->scheme()).ok());
-    for (const Tuple& t : *rel) {
-      EXPECT_TRUE(db.Insert(config.name, t).ok());
-    }
-  }
-  return db;
-}
-
 /// Asserts the three execution paths agree structurally on `hrql`:
-///  1. the streaming plan (HashAggregateCursor),
+///  1. the streaming plan (HashAggregateCursor), swept over the batch-size
+///     axis (tests/differential_util.h),
 ///  2. the materializing interpreter (whole-relation Aggregate inside),
 ///  3. the whole-relation kernel applied directly to the materialized
 ///     input of the aggregate node,
@@ -393,7 +371,8 @@ void ExpectAggParity(const storage::Database& db, const std::string& hrql) {
   auto expr = query::ParseExpr(hrql);
   ASSERT_TRUE(expr.ok()) << hrql << ": " << expr.status().ToString();
 
-  auto streamed = query::Eval(*expr, db);
+  auto streamed =
+      hrdm::testing::RunBatchInvariant(db, *expr, query::PlanOptions{});
   auto materialized = query::EvalMaterializing(*expr, db);
   ASSERT_EQ(streamed.ok(), materialized.ok())
       << hrql << ": " << streamed.status().ToString() << " vs "
@@ -417,7 +396,8 @@ void ExpectAggParity(const storage::Database& db, const std::string& hrql) {
   }
 
   query::ExprPtr optimized = query::Optimize(*expr);
-  auto opt_streamed = query::Eval(optimized, query::DatabaseResolver(db));
+  auto opt_streamed =
+      hrdm::testing::RunBatchInvariant(db, optimized, query::PlanOptions{});
   ASSERT_TRUE(opt_streamed.ok()) << hrql;
   EXPECT_TRUE(opt_streamed->EqualsAsSet(*materialized))
       << hrql << " (optimized: " << optimized->ToString() << ")";
@@ -425,11 +405,10 @@ void ExpectAggParity(const storage::Database& db, const std::string& hrql) {
 
 TEST(AggregateDifferentialTest, RandomDatabases) {
   // ≥100 random databases; override seeds with HRDM_AGG_FUZZ_SEEDS=....
-  std::vector<uint64_t> defaults(100);
-  for (size_t i = 0; i < defaults.size(); ++i) defaults[i] = i + 1;
-  for (uint64_t seed : hrdm::testing::SeedsFromEnv(kSeedEnv, defaults)) {
+  for (uint64_t seed : hrdm::testing::SeedsFromEnv(
+           kSeedEnv, hrdm::testing::DefaultFuzzSeeds())) {
     SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, seed));
-    auto db = RandomAggDb(seed);
+    auto db = hrdm::testing::RandomUnionCompatibleDb(seed);
     // Every function, grouped and ungrouped, over a varying group key
     // (A0/A1 change within lifespans → the per-chronon fallback), a
     // constant one (Id), and a time-valued one (Ref).

@@ -6,7 +6,9 @@
 //    paper's Section 5 equivalence: JOIN ≡ the appropriate SELECT-WHEN of
 //    the Cartesian product),
 //  * the whole-relation ThetaJoin/EquiJoin/NaturalJoin/TimeJoin APIs,
-//  * the materializing interpreter.
+//  * the materializing interpreter,
+// with every plan execution swept over the batch-size axis (exact
+// rendered-output equality across sizes — see tests/differential_util.h).
 // Plus directed lifespan edge cases: empty inputs, single-chronon
 // overlaps, join attributes whose value changes inside the overlap window,
 // and the no-shared-attribute NATURAL-JOIN degenerate product.
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "algebra/join.h"
+#include "differential_util.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/plan.h"
@@ -29,21 +32,19 @@ namespace {
 
 constexpr char kSeedEnv[] = "HRDM_JOIN_DIFF_SEEDS";
 
-/// Drains `hrql` through a plan with the given forced join strategy.
+/// Drains `hrql` through a plan with the given forced join strategy, swept
+/// over the batch-size axis.
 Result<Relation> RunForced(const storage::Database& db,
                            const std::string& hrql, JoinStrategy strategy) {
-  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
   PlanOptions options;
   options.force_join_strategy = strategy;
-  HRDM_ASSIGN_OR_RETURN(Plan plan,
-                        Plan::Lower(expr, DatabaseResolver(db), options));
-  return plan.Drain();
+  return hrdm::testing::RunBatchInvariant(db, hrql, options);
 }
 
-/// Runs `hrql` under all three forced strategies plus the materializing
-/// interpreter, asserts pairwise set equality, and returns one result.
-/// `reference`, if non-null, is additionally compared (the whole-relation
-/// API answer).
+/// Runs `hrql` under all three forced strategies (each batch-size-swept)
+/// plus the materializing interpreter, asserts pairwise set equality, and
+/// returns one result. `reference`, if non-null, is additionally compared
+/// (the whole-relation API answer).
 void ExpectAllStrategiesAgree(const storage::Database& db,
                               const std::string& hrql,
                               const Relation* reference) {
@@ -61,117 +62,16 @@ void ExpectAllStrategiesAgree(const storage::Database& db,
       << hrql << "\nmerge:\n"
       << merge->ToString() << "nested loop:\n"
       << nested->ToString();
-
-  auto expr = ParseExpr(hrql);
-  ASSERT_TRUE(expr.ok());
-  auto materialized = EvalMaterializing(*expr, db);
-  ASSERT_TRUE(materialized.ok()) << hrql;
-  EXPECT_TRUE(materialized->EqualsAsSet(*nested)) << hrql;
-
-  if (reference != nullptr) {
-    EXPECT_TRUE(reference->EqualsAsSet(*nested))
-        << hrql << "\nwhole-relation API:\n"
-        << reference->ToString() << "plan:\n"
-        << nested->ToString();
-  }
-}
-
-/// A random join database:
-///  * `ra(Id*, A0, Ref)` — int attribute A0, time-valued Ref;
-///  * `rb(Id2*, B0)` — disjoint attribute names, overlapping value space
-///    with A0 (selective equi-matches);
-///  * `na(NId*, D, X)` / `nb(MId*, D, Y)` — one shared attribute D for
-///    NATURAL-JOIN.
-storage::Database RandomJoinDb(uint64_t seed) {
-  Rng rng(seed);
-  storage::Database db;
-  const TimePoint horizon = 60;
-  const Lifespan full = Span(0, horizon - 1);
-
-  workload::RandomRelationConfig ca;
-  ca.name = "ra";
-  ca.num_tuples = 10;
-  ca.num_value_attrs = 1;
-  ca.with_time_attribute = true;
-  ca.key_prefix = "x";
-  auto ra = *workload::MakeRandomRelation(&rng, ca);
-  EXPECT_TRUE(db.CreateRelation(ra.scheme()).ok());
-  for (const Tuple& t : ra) EXPECT_TRUE(db.Insert("ra", t).ok());
-
-  // rb mirrors another random relation under renamed (disjoint) attributes.
-  workload::RandomRelationConfig cb = ca;
-  cb.name = "rb";
-  cb.key_prefix = "y";
-  cb.with_time_attribute = false;
-  auto src = *workload::MakeRandomRelation(&rng, cb);
-  auto rb_scheme = *RelationScheme::Make(
-      "rb",
-      {{"Id2", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"B0", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"Id2"});
-  EXPECT_TRUE(db.CreateRelation(rb_scheme).ok());
-  for (const Tuple& t : src) {
-    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
-    EXPECT_TRUE(
-        db.Insert("rb", Tuple::FromParts(rb_scheme, t.lifespan(), vals))
-            .ok());
-  }
-
-  // Natural-join pair sharing attribute D (small int range → real matches).
-  auto na_scheme = *RelationScheme::Make(
-      "na",
-      {{"NId", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
-       {"X", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"NId"});
-  auto nb_scheme = *RelationScheme::Make(
-      "nb",
-      {{"MId", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
-       {"Y", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"MId"});
-  EXPECT_TRUE(db.CreateRelation(na_scheme).ok());
-  EXPECT_TRUE(db.CreateRelation(nb_scheme).ok());
-  auto fill = [&](const char* rel, const SchemePtr& scheme, const char* key,
-                  const char* val, int n) {
-    for (int i = 0; i < n; ++i) {
-      const TimePoint b = rng.Uniform(0, horizon - 10);
-      const TimePoint e = std::min<TimePoint>(b + rng.Uniform(3, 25),
-                                              horizon - 1);
-      Tuple::Builder tb(scheme, Span(b, e));
-      std::string id(key);
-      id += std::to_string(i);
-      tb.SetConstant(scheme->attribute(0).name, Value::String(std::move(id)));
-      if (rng.Chance(0.3)) {
-        // A D that changes value mid-lifespan: exercises the hash join's
-        // varying-attribute fallback on random data.
-        const TimePoint mid = b + (e - b) / 2;
-        std::vector<Segment> segs;
-        segs.push_back({Interval(b, mid), Value::Int(rng.Uniform(0, 4))});
-        if (mid + 1 <= e) {
-          segs.push_back(
-              {Interval(mid + 1, e), Value::Int(rng.Uniform(0, 4))});
-        }
-        tb.Set("D", *TemporalValue::FromSegments(std::move(segs)));
-      } else {
-        tb.SetConstant("D", Value::Int(rng.Uniform(0, 4)));
-      }
-      tb.SetConstant(val, Value::Int(rng.Uniform(0, 99)));
-      EXPECT_TRUE(db.Insert(rel, *std::move(tb).Build()).ok());
-    }
-  };
-  fill("na", na_scheme, "n", "X", 8);
-  fill("nb", nb_scheme, "m", "Y", 7);
-  return db;
+  hrdm::testing::ExpectMatchesOracle(db, hrql, *nested, reference);
 }
 
 TEST(JoinDifferentialTest, RandomDatabases) {
   // ≥100 random databases; override seeds with HRDM_JOIN_DIFF_SEEDS=....
-  std::vector<uint64_t> defaults(100);
-  for (size_t i = 0; i < defaults.size(); ++i) defaults[i] = i + 1;
-  for (uint64_t seed : hrdm::testing::SeedsFromEnv(kSeedEnv, defaults)) {
+  for (uint64_t seed : hrdm::testing::SeedsFromEnv(
+           kSeedEnv, hrdm::testing::DefaultFuzzSeeds())) {
     SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, seed));
-    auto db = RandomJoinDb(seed);
+    auto db = hrdm::testing::RandomJoinStyleDb(
+        seed, {.ra_tuples = 10, .na_tuples = 8, .nb_tuples = 7});
     const Relation& ra = **db.Get("ra");
     const Relation& rb = **db.Get("rb");
     const Relation& na = **db.Get("na");

@@ -9,8 +9,11 @@
 // Identity is asserted both as set equality and as exact rendered output:
 // every parallel merge happens in morsel order, so the parallel stream is
 // deterministic and tuple-for-tuple equal to the serial one, not merely
-// set-equal. Plus directed checks of the planner's parallelism decisions
-// (threshold fallback, PlanStats morsel/worker counters).
+// set-equal. Every (hrql, parallelism) execution is additionally swept
+// over the batch-size axis (tests/differential_util.h), so batching and
+// parallelism are proven independent. Plus directed checks of the
+// planner's parallelism decisions (threshold fallback, PlanStats
+// morsel/worker counters).
 
 #include <gtest/gtest.h>
 
@@ -19,6 +22,7 @@
 
 #include "algebra/aggregate.h"
 #include "algebra/join.h"
+#include "differential_util.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/plan.h"
@@ -32,16 +36,14 @@ namespace {
 constexpr char kSeedEnv[] = "HRDM_PARALLEL_FUZZ_SEEDS";
 
 /// Drains `hrql` through a plan with the given parallelism (bypassing the
-/// cardinality threshold, so small fuzz relations really run parallel).
+/// cardinality threshold, so small fuzz relations really run parallel),
+/// swept over the batch-size axis.
 Result<Relation> RunAtThreads(const storage::Database& db,
                               const std::string& hrql, size_t threads) {
-  HRDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(hrql));
   PlanOptions options;
   options.parallelism = threads;
   options.force_parallel = threads > 1;
-  HRDM_ASSIGN_OR_RETURN(Plan plan,
-                        Plan::Lower(expr, DatabaseResolver(db), options));
-  return plan.Drain();
+  return hrdm::testing::RunBatchInvariant(db, hrql, options);
 }
 
 /// Runs `hrql` serially and at 2/4/8 workers, asserting the parallel
@@ -64,112 +66,20 @@ void ExpectParallelMatchesSerial(const storage::Database& db,
     // order-identical to serial, not merely set-equal.
     EXPECT_EQ(parallel->ToString(), serial->ToString());
   }
-  auto expr = ParseExpr(hrql);
-  ASSERT_TRUE(expr.ok());
-  auto materialized = EvalMaterializing(*expr, db);
-  ASSERT_TRUE(materialized.ok()) << hrql;
-  EXPECT_TRUE(materialized->EqualsAsSet(*serial)) << hrql;
-  if (reference != nullptr) {
-    EXPECT_TRUE(reference->EqualsAsSet(*serial))
-        << hrql << "\nwhole-relation API:\n"
-        << reference->ToString() << "plan:\n"
-        << serial->ToString();
-  }
+  hrdm::testing::ExpectMatchesOracle(db, hrql, *serial, reference);
 }
 
-/// A random database exercising every parallel operator family:
-///  * `ra(Id*, A0, Ref)` — scan + restriction input, time-valued Ref;
-///  * `rb(Id2*, B0)` — equi-join partner with overlapping value space;
-///  * `na(NId*, D, X)` — GROUP-BY D aggregate input and natural-join side
-///    (some D values varying mid-lifespan: digest fallback paths under
-///    parallel partitioning too).
+/// The shared four-relation fuzz database at this suite's historical
+/// tuple counts (see tests/differential_util.h for the shape).
 storage::Database RandomParallelDb(uint64_t seed) {
-  Rng rng(seed);
-  storage::Database db;
-  const TimePoint horizon = 60;
-  const Lifespan full = Span(0, horizon - 1);
-
-  workload::RandomRelationConfig ca;
-  ca.name = "ra";
-  ca.num_tuples = 12;
-  ca.num_value_attrs = 1;
-  ca.with_time_attribute = true;
-  ca.key_prefix = "x";
-  auto ra = *workload::MakeRandomRelation(&rng, ca);
-  EXPECT_TRUE(db.CreateRelation(ra.scheme()).ok());
-  for (const Tuple& t : ra) EXPECT_TRUE(db.Insert("ra", t).ok());
-
-  auto rb_scheme = *RelationScheme::Make(
-      "rb",
-      {{"Id2", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"B0", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"Id2"});
-  EXPECT_TRUE(db.CreateRelation(rb_scheme).ok());
-  workload::RandomRelationConfig cb = ca;
-  cb.name = "rb";
-  cb.key_prefix = "y";
-  cb.with_time_attribute = false;
-  auto src = *workload::MakeRandomRelation(&rng, cb);
-  for (const Tuple& t : src) {
-    std::vector<TemporalValue> vals = {t.value(0), t.value(1)};
-    EXPECT_TRUE(
-        db.Insert("rb", Tuple::FromParts(rb_scheme, t.lifespan(), vals))
-            .ok());
-  }
-
-  auto na_scheme = *RelationScheme::Make(
-      "na",
-      {{"NId", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
-       {"X", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"NId"});
-  auto nb_scheme = *RelationScheme::Make(
-      "nb",
-      {{"MId", DomainType::kString, full, InterpolationKind::kDiscrete},
-       {"D", DomainType::kInt, full, InterpolationKind::kStepwise},
-       {"Y", DomainType::kInt, full, InterpolationKind::kStepwise}},
-      {"MId"});
-  EXPECT_TRUE(db.CreateRelation(na_scheme).ok());
-  EXPECT_TRUE(db.CreateRelation(nb_scheme).ok());
-  auto fill = [&](const char* rel, const SchemePtr& scheme, const char* key,
-                  const char* val, int n) {
-    for (int i = 0; i < n; ++i) {
-      const TimePoint b = rng.Uniform(0, horizon - 10);
-      const TimePoint e = std::min<TimePoint>(b + rng.Uniform(3, 25),
-                                              horizon - 1);
-      Tuple::Builder tb(scheme, Span(b, e));
-      std::string id(key);
-      id += std::to_string(i);
-      tb.SetConstant(scheme->attribute(0).name, Value::String(std::move(id)));
-      if (rng.Chance(0.3)) {
-        // A grouping/join key that changes value mid-lifespan: the digest
-        // fallback and the per-chronon grouping fallback must survive the
-        // parallel partitioning unchanged.
-        const TimePoint mid = b + (e - b) / 2;
-        std::vector<Segment> segs;
-        segs.push_back({Interval(b, mid), Value::Int(rng.Uniform(0, 4))});
-        if (mid + 1 <= e) {
-          segs.push_back(
-              {Interval(mid + 1, e), Value::Int(rng.Uniform(0, 4))});
-        }
-        tb.Set("D", *TemporalValue::FromSegments(std::move(segs)));
-      } else {
-        tb.SetConstant("D", Value::Int(rng.Uniform(0, 4)));
-      }
-      tb.SetConstant(val, Value::Int(rng.Uniform(0, 99)));
-      EXPECT_TRUE(db.Insert(rel, *std::move(tb).Build()).ok());
-    }
-  };
-  fill("na", na_scheme, "n", "X", 9);
-  fill("nb", nb_scheme, "m", "Y", 7);
-  return db;
+  return hrdm::testing::RandomJoinStyleDb(
+      seed, {.ra_tuples = 12, .na_tuples = 9, .nb_tuples = 7});
 }
 
 TEST(ParallelDifferentialTest, RandomDatabases) {
   // ≥100 random databases; override with HRDM_PARALLEL_FUZZ_SEEDS=....
-  std::vector<uint64_t> defaults(100);
-  for (size_t i = 0; i < defaults.size(); ++i) defaults[i] = i + 1;
-  for (uint64_t seed : hrdm::testing::SeedsFromEnv(kSeedEnv, defaults)) {
+  for (uint64_t seed : hrdm::testing::SeedsFromEnv(
+           kSeedEnv, hrdm::testing::DefaultFuzzSeeds())) {
     SCOPED_TRACE(hrdm::testing::SeedTrace(kSeedEnv, seed));
     auto db = RandomParallelDb(seed);
     const Relation& ra = **db.Get("ra");
